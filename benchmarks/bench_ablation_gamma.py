@@ -1,0 +1,65 @@
+"""Ablation — the gamma threshold for repartition insertion (§III-C).
+
+The paper fixes gamma = 1.5 "to tolerate the model estimation error".
+This ablation drives a SQL variant whose per-customer aggregation is
+user-fixed at a pathological 16 partitions (gigabyte join partitions,
+idle cores), and sweeps gamma:
+
+* a permissive gamma (~1.0) inserts the repartition and recovers most of
+  the lost time;
+* a conservative gamma (very large) refuses, leaving the user's bad
+  scheme in place.
+"""
+
+import pytest
+
+from repro.chopper import ChopperRunner
+from repro.workloads import SQLWorkload
+
+from conftest import P_GRID, report
+
+
+def build_runner() -> ChopperRunner:
+    workload = SQLWorkload(
+        virtual_gb=34.5, physical_records=6000, fixed_agg_partitions=16
+    )
+    runner = ChopperRunner(workload)
+    # The grid must span the user's pathological P=16 so the model can
+    # price the fixed scheme it is asked to judge.
+    runner.profile(p_grid=(16,) + P_GRID, scales=(1.0,))
+    runner.train()
+    return runner
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_gamma_threshold(benchmark):
+    def run():
+        runner = build_runner()
+        results = {}
+        for gamma in (1.0, 1.5, 1e9):
+            runner.gamma = gamma
+            config = runner.optimize()
+            inserted = sum(
+                1 for e in config.entries.values() if e.insert_repartition
+            )
+            outcome = runner.run_chopper(config=config)
+            results[gamma] = (inserted, outcome.total_time)
+        vanilla = runner.run_vanilla()
+        return results, vanilla.total_time
+
+    results, vanilla_time = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Ablation — gamma-gated repartition insertion (SQL, fixed P=16)"]
+    lines.append(f"vanilla (fixed scheme respected blindly): {vanilla_time / 60:.2f} min")
+    lines.append(f"{'gamma':>8s} {'repartitions':>13s} {'time (min)':>11s}")
+    for gamma, (inserted, total) in results.items():
+        label = f"{gamma:g}"
+        lines.append(f"{label:>8s} {inserted:13d} {total / 60:11.2f}")
+    report("ablation_gamma", lines)
+
+    # A conservative gamma never inserts.
+    assert results[1e9][0] == 0
+    # A permissive gamma inserts at least one repartition phase...
+    assert results[1.0][0] >= 1
+    # ...and the inserted phase pays for itself against the no-insert run.
+    assert results[1.0][1] < results[1e9][1]

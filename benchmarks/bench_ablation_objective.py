@@ -1,0 +1,100 @@
+"""Ablation — the alpha/beta weighting of Eq. 3.
+
+The paper sets alpha = beta = 0.5, "making them equally important". This
+ablation applies Algorithm 1 to KMeans' shuffle-producing iteration stage
+(the Lloyd ``assign -> reduceByKey`` map stage, whose combined shuffle
+volume grows with the map partition count — Fig. 4) under three
+weightings of the raw Eq. 3 and reports the chosen P:
+
+* time-only (alpha=1): picks the throughput optimum (high P — finer tasks
+  pack the heterogeneous cluster better);
+* shuffle-only (beta=1): picks the minimum sampled P (volume is monotone
+  in P);
+* balanced 0.5/0.5 (the paper's default): lands in between.
+
+A second column re-runs the full workload under each weighting, showing
+the end-to-end effect is small for KMeans (its shuffles are kilobytes
+against gigabytes of compute) — the observation behind this repo's
+shuffle-significance floor (DESIGN.md).
+"""
+
+import pytest
+
+from repro.chopper import ChopperRunner, CostWeights, get_stage_par
+from repro.chopper.optimizer import get_stage_input
+from repro.workloads import KMeansWorkload
+
+from conftest import report
+
+
+def build_runner() -> ChopperRunner:
+    # A larger physical sample than the shared fixture: the map-side
+    # combined shuffle volume must keep growing with P (not saturate on
+    # exhausted physical records) for the beta term to have a gradient.
+    runner = ChopperRunner(
+        KMeansWorkload(virtual_gb=21.8, physical_records=24_000)
+    )
+    runner.profile(p_grid=(100, 300, 500, 800, 1200), scales=(1.0,))
+    runner.train()
+    return runner
+
+
+WEIGHTINGS = (
+    ("time-only", 1.0, 0.0),
+    ("balanced", 0.5, 0.5),
+    ("shuffle-only", 0.0, 1.0),
+)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_objective_weights(benchmark):
+    def run():
+        runner = build_runner()
+        dag = runner.db.dag("kmeans")
+        # The Lloyd map stage: shuffle_map kind, repeated 3x (stages 12/14/16).
+        assign = next(
+            s for s in dag.stages if s.kind == "shuffle_map" and s.repeats == 3
+        )
+        d = get_stage_input(runner.db, "kmeans", assign.signature, 21.8e9)
+        stage_choice = {}
+        run_time = {}
+        original = runner.weights
+        try:
+            for label, alpha, beta in WEIGHTINGS:
+                runner.weights = CostWeights(
+                    alpha=alpha, beta=beta,
+                    default_parallelism=original.default_parallelism,
+                    shuffle_significance=1e-7,  # ~the paper's raw Eq. 3
+                )
+                scheme, _cost = get_stage_par(
+                    runner.db, "kmeans", assign.signature, d, runner.weights
+                )
+                stage_choice[label] = scheme.num_partitions
+                outcome = runner.run_chopper(config=runner.optimize())
+                run_time[label] = outcome.total_time
+        finally:
+            runner.weights = original
+        return stage_choice, run_time
+
+    stage_choice, run_time = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Ablation — Eq. 3 weights on KMeans' shuffle-producing map stage"]
+    lines.append(
+        f"{'objective':>13s} {'stage P (Alg.1)':>16s} {'workload time (min)':>20s}"
+    )
+    for label, _a, _b in WEIGHTINGS:
+        lines.append(
+            f"{label:>13s} {stage_choice[label]:16d} {run_time[label] / 60:20.2f}"
+        )
+    report("ablation_objective", lines)
+
+    # The shuffle term pulls the stage's P down; time pushes it up.
+    assert stage_choice["shuffle-only"] < stage_choice["time-only"]
+    assert (
+        stage_choice["shuffle-only"]
+        <= stage_choice["balanced"]
+        <= stage_choice["time-only"]
+    )
+    # End to end, no weighting is catastrophic on this workload.
+    best = min(run_time.values())
+    assert max(run_time.values()) <= 1.35 * best

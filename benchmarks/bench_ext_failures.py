@@ -1,0 +1,76 @@
+"""Extension — CHOPPER under task failures (the paper's future work).
+
+§VI: "We will also explore how CHOPPER behaves under failures." The
+engine injects deterministic task failures (Spark-style retries); this
+bench reruns the KMeans comparison at increasing failure rates and
+checks that CHOPPER's advantage survives — finer-grained stages lose
+less work per failed task, so the optimized schemes degrade no worse
+than the vanilla default.
+"""
+
+import pytest
+from dataclasses import replace
+
+from repro.chopper import ChopperAdvisor, improvement
+from repro.chopper.stats import StatisticsCollector
+from repro.cluster import paper_cluster
+from repro.engine import AnalyticsContext
+
+from conftest import report
+
+RATES = (0.0, 0.02, 0.05)
+
+
+def run_with_failures(runner, config, rate: float):
+    workload = runner.workload
+
+    def one(advisor, copartition):
+        conf = replace(
+            runner.base_conf,
+            task_failure_rate=rate,
+            copartition_scheduling=copartition,
+            # Spark's default of 4 attempts can abort a whole job on an
+            # unlucky streak at 5% failure; give the benchmark headroom.
+            max_task_attempts=8,
+        )
+        ctx = AnalyticsContext(paper_cluster(), conf)
+        if advisor is not None:
+            ctx.set_advisor(advisor)
+        collector = StatisticsCollector(workload.name, workload.virtual_bytes())
+        with collector.attached(ctx):
+            workload.run(ctx)
+        return ctx.now
+
+    vanilla = one(None, False)
+    chopper = one(ChopperAdvisor(config), True)
+    return vanilla, chopper
+
+
+@pytest.mark.benchmark(group="extension")
+def test_ext_failure_resilience(benchmark, kmeans_runner):
+    def run():
+        config = kmeans_runner.optimize()
+        return {
+            rate: run_with_failures(kmeans_runner, config, rate)
+            for rate in RATES
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Extension — KMeans under injected task failures"]
+    lines.append(f"{'failure rate':>13s} {'vanilla (min)':>14s}"
+                 f" {'chopper (min)':>14s} {'improvement':>12s}")
+    for rate, (vanilla, chopper) in results.items():
+        gain = (1 - chopper / vanilla) * 100
+        lines.append(
+            f"{rate:13.2f} {vanilla / 60:14.2f} {chopper / 60:14.2f}"
+            f" {gain:11.1f}%"
+        )
+    report("ext_failures", lines)
+
+    for rate, (vanilla, chopper) in results.items():
+        # Failures cost time on both systems...
+        if rate > 0:
+            assert vanilla > results[0.0][0]
+        # ...but CHOPPER keeps a material advantage throughout.
+        assert chopper < 0.95 * vanilla, f"rate={rate}"

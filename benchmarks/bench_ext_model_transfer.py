@@ -1,0 +1,83 @@
+"""Extension — model transfer across cluster configurations.
+
+§VI: "Our current implementation of CHOPPER has to re-train its models
+whenever the available resources are changed. In future, we plan to
+explore the per-stage performance models that can work across different
+resource configurations, i.e., clusters."
+
+This bench quantifies that limitation: KMeans models/configs trained on
+the paper's 6-node heterogeneous testbed are applied, unchanged, to a
+different cluster (8 homogeneous 16-core workers), and compared against
+(a) the new cluster's vanilla default and (b) a config re-profiled on
+the new cluster. Expectation: the stale config transfers imperfectly —
+re-training recovers additional time — which is exactly why the paper
+calls for cross-cluster models.
+"""
+
+import pytest
+from dataclasses import replace
+
+from repro.chopper import ChopperAdvisor, ChopperRunner
+from repro.chopper.stats import StatisticsCollector
+from repro.cluster import uniform_cluster
+from repro.engine import AnalyticsContext, EngineConf
+from repro.workloads import KMeansWorkload
+
+from conftest import P_GRID, report
+
+
+def other_cluster():
+    return uniform_cluster(n_workers=8, cores=16)
+
+
+def run_on(cluster_factory, workload, advisor, copartition, conf):
+    ctx = AnalyticsContext(
+        cluster_factory(), replace(conf, copartition_scheduling=copartition)
+    )
+    if advisor is not None:
+        ctx.set_advisor(advisor)
+    collector = StatisticsCollector(workload.name, workload.virtual_bytes())
+    with collector.attached(ctx):
+        workload.run(ctx)
+    return ctx.now
+
+
+@pytest.mark.benchmark(group="extension")
+def test_ext_model_transfer(benchmark, kmeans_runner):
+    def run():
+        workload = KMeansWorkload(virtual_gb=21.8, physical_records=4000)
+        conf = EngineConf(default_parallelism=300)
+
+        # Config trained on the paper cluster, applied to the new one.
+        stale_config = kmeans_runner.optimize()
+        # Config re-profiled on the new cluster.
+        fresh_runner = ChopperRunner(
+            workload, cluster_factory=other_cluster, base_conf=conf
+        )
+        fresh_runner.profile(p_grid=P_GRID, scales=(1.0,))
+        fresh_runner.train()
+        fresh_config = fresh_runner.optimize()
+
+        return {
+            "vanilla": run_on(other_cluster, workload, None, False, conf),
+            "stale config": run_on(
+                other_cluster, workload, ChopperAdvisor(stale_config), True, conf
+            ),
+            "re-profiled": run_on(
+                other_cluster, workload, ChopperAdvisor(fresh_config), True, conf
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Extension — KMeans config transfer to a different cluster"]
+    lines.append("(trained on 3x32@10Gbps+2x8@1Gbps, applied to 8x16 uniform)")
+    for label, total in results.items():
+        lines.append(f"  {label:>13s}: {total / 60:7.2f} min")
+    report("ext_model_transfer", lines)
+
+    # Re-profiling on the target cluster is at least as good as carrying
+    # the stale config over — the retraining need the paper states.
+    assert results["re-profiled"] <= 1.02 * results["stale config"]
+    # And the freshly-profiled CHOPPER beats the new cluster's vanilla.
+    assert results["re-profiled"] < results["vanilla"]

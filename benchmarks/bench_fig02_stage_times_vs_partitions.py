@@ -1,0 +1,59 @@
+"""Fig. 2 — KMeans execution time per stage under 100..500 partitions.
+
+Paper setup (§II-B): KMeans, 7.3 GB input, 20 stages, uniform partition
+counts swept from 100 to 500. Claim reproduced: "For every stage, the
+number of partitions that yields minimum execution time varies" and the
+per-stage times differ materially across partition counts.
+"""
+
+import pytest
+
+from repro.chopper import ProfilingAdvisor, StatisticsCollector
+from repro.cluster import paper_cluster
+from repro.engine import AnalyticsContext, EngineConf
+from repro.workloads import KMeansWorkload
+
+from conftest import report
+
+PARTITIONS = (100, 200, 300, 400, 500)
+
+
+def run_sweep():
+    """{P: [per-stage durations]} for the 7.3 GB motivation KMeans."""
+    results = {}
+    for p in PARTITIONS:
+        workload = KMeansWorkload(virtual_gb=7.3, physical_records=4000)
+        ctx = AnalyticsContext(paper_cluster(), EngineConf(default_parallelism=300))
+        ctx.set_advisor(ProfilingAdvisor("hash", p))
+        collector = StatisticsCollector(workload.name, workload.virtual_bytes())
+        with collector.attached(ctx):
+            workload.run(ctx)
+        results[p] = [o.duration for o in collector.record.observations]
+    return results
+
+
+@pytest.mark.benchmark(group="fig02")
+def test_fig02_stage_times_vs_partitions(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    n_stages = len(results[PARTITIONS[0]])
+    lines = ["Fig. 2 — KMeans per-stage execution time (s) vs partitions"]
+    lines.append("stage | " + " | ".join(f"P={p:4d}" for p in PARTITIONS))
+    for stage in range(n_stages):
+        row = " | ".join(f"{results[p][stage]:6.1f}" for p in PARTITIONS)
+        lines.append(f"{stage:5d} | {row}")
+    report("fig02_stage_times", lines)
+
+    # Paper claim 1: 20 stages in total.
+    assert n_stages == 20
+    # Paper claim 2: the best partition count varies across stages.
+    best_p = [
+        min(PARTITIONS, key=lambda p: results[p][stage])
+        for stage in range(1, n_stages)  # skip noisy stage 1 (sample)
+    ]
+    assert len(set(best_p)) > 1, "optimal P should differ across stages"
+    # Paper claim 3: per-stage time depends materially on P (>= 25% spread
+    # between best and worst for the heavy stages).
+    for stage in (0, 12, 14, 16):
+        times = [results[p][stage] for p in PARTITIONS]
+        assert max(times) > 1.25 * min(times)

@@ -1,0 +1,71 @@
+"""Fig. 4 + the §II-B blow-up — KMeans shuffle data per stage vs partitions.
+
+Paper claims reproduced:
+
+* only stages 12-17 of KMeans involve shuffle;
+* "any increase in the number of partitions also increases the shuffle
+  data at each stage" — for a map-side-combined aggregation the shuffle
+  payload grows ~linearly with the map partition count (their stage-17
+  series: 434.83 KB @ 200 -> 1081.6 KB @ 500 -> 4300.8 KB @ 2000);
+* at 2000 partitions the total execution time blows up as well (their
+  4.53 min vs ~2 min).
+"""
+
+import pytest
+
+from repro.chopper import ProfilingAdvisor, StatisticsCollector
+from repro.cluster import paper_cluster
+from repro.engine import AnalyticsContext, EngineConf
+from repro.workloads import KMeansWorkload
+
+from conftest import report
+
+PARTITIONS = (100, 200, 300, 400, 500, 2000)
+SHUFFLE_STAGES = range(12, 18)
+
+
+def run_shuffle_sweep():
+    # A larger physical sample than the other benches: the linear payload
+    # growth (~20 combined records per map task) needs partitions to hold
+    # at least k distinct cluster keys even at P=2000.
+    shuffle, totals = {}, {}
+    for p in PARTITIONS:
+        workload = KMeansWorkload(virtual_gb=7.3, physical_records=48_000)
+        ctx = AnalyticsContext(paper_cluster(), EngineConf(default_parallelism=300))
+        ctx.set_advisor(ProfilingAdvisor("hash", p))
+        collector = StatisticsCollector(workload.name, workload.virtual_bytes())
+        with collector.attached(ctx):
+            workload.run(ctx)
+        obs = collector.record.observations
+        shuffle[p] = [obs[i].shuffle_bytes / 1024.0 for i in SHUFFLE_STAGES]
+        totals[p] = collector.record.total_time
+    return shuffle, totals
+
+
+@pytest.mark.benchmark(group="fig04")
+def test_fig04_shuffle_data_vs_partitions(benchmark):
+    shuffle, totals = benchmark.pedantic(run_shuffle_sweep, rounds=1, iterations=1)
+
+    lines = ["Fig. 4 — KMeans shuffle data per stage (KB) vs partitions (7.3 GB)"]
+    lines.append("stage | " + " | ".join(f"P={p:5d}" for p in PARTITIONS))
+    for i, stage in enumerate(SHUFFLE_STAGES):
+        row = " | ".join(f"{shuffle[p][i]:7.1f}" for p in PARTITIONS)
+        lines.append(f"{stage:5d} | {row}")
+    lines.append("")
+    lines.append("total execution time (min): " + ", ".join(
+        f"P={p}: {totals[p] / 60:.2f}" for p in PARTITIONS
+    ))
+    lines.append("paper stage-17 reference: 434.8 KB @200, 1081.6 KB @500, 4300.8 KB @2000")
+    report("fig04_shuffle", lines)
+
+    # Shuffle volume grows monotonically with P for every shuffle stage.
+    for i in range(len(list(SHUFFLE_STAGES))):
+        series = [shuffle[p][i] for p in PARTITIONS]
+        assert series == sorted(series), f"stage {12 + i} not monotone in P"
+    # Roughly linear growth: 10x the partitions -> ~10x the shuffle data
+    # (paper: 9.9x from 200 to 2000 for stage 17).
+    stage17 = {p: shuffle[p][-1] for p in PARTITIONS}
+    ratio = stage17[2000] / stage17[200]
+    assert 5.0 < ratio < 15.0, f"expected ~10x growth, got {ratio:.1f}x"
+    # The 2000-partition run is much slower overall than the 200-500 band.
+    assert totals[2000] > 1.2 * min(totals[p] for p in (200, 300, 400, 500))

@@ -1,0 +1,41 @@
+"""Fig. 10 — SQL per-stage execution time breakdown.
+
+Paper claims reproduced: CHOPPER shortens the SQL stages overall, and the
+join phase in particular benefits from detecting dependent RDDs and
+co-partitioning them ("stage 4 takes comparatively shorter time to
+execute using CHOPPER versus Spark ... CHOPPER combines these two
+sub-stages for shuffle write").
+"""
+
+import pytest
+
+from conftest import report
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_sql_stage_breakdown(benchmark, paper_comparisons):
+    vanilla, chopper = benchmark.pedantic(
+        lambda: paper_comparisons["sql"], rounds=1, iterations=1
+    )
+    v_obs = vanilla.record.observations
+    c_obs = chopper.record.observations
+
+    lines = ["Fig. 10 — SQL per-stage execution time (s): vanilla vs CHOPPER"]
+    lines.append(f"{'stage':>5s} {'vanilla':>9s} {'chopper':>9s}")
+    for i in range(max(len(v_obs), len(c_obs))):
+        v = f"{v_obs[i].duration:9.1f}" if i < len(v_obs) else "        -"
+        c = f"{c_obs[i].duration:9.1f}" if i < len(c_obs) else "        -"
+        lines.append(f"{i:5d} {v} {c}")
+    lines.append(
+        f"total {sum(o.duration for o in v_obs):9.1f}"
+        f" {sum(o.duration for o in c_obs):9.1f}"
+    )
+    report("fig10_sql_breakdown", lines)
+
+    # Overall stage time drops.
+    assert sum(o.duration for o in c_obs) < sum(o.duration for o in v_obs)
+    # The heavy join-phase stage (the slowest vanilla stage) improves.
+    v_heavy = max(v_obs, key=lambda o: o.duration)
+    c_same_order = [o for o in c_obs if o.order == v_heavy.order]
+    if c_same_order:
+        assert c_same_order[0].duration <= 1.05 * v_heavy.duration

@@ -1,0 +1,75 @@
+"""Figs. 11-14 — system utilization under CHOPPER vs vanilla.
+
+The paper plots dstat-style series averaged over the six cluster nodes:
+CPU % (Fig. 11), memory % (Fig. 12), transmitted+received packets/s
+(Fig. 13), and disk transactions/s (Fig. 14), and concludes that
+CHOPPER's utilization "is either equivalent or in most of the cases
+better than" vanilla while finishing sooner.
+
+Reproduced here as per-workload summaries of the same four series; the
+assertion is the paper's: CHOPPER's average CPU utilization is not worse
+(within tolerance) while its makespan is shorter.
+"""
+
+import pytest
+
+from conftest import report
+
+MTU = 1500.0  # bytes per packet for the Fig. 13 metric
+
+
+def summarize(outcome):
+    ctx = outcome.ctx
+    horizon = ctx.now
+    bucket = max(horizon / 50.0, 1.0)
+    cores = ctx.cluster.total_cores / len(ctx.cluster.workers)
+    cpu = ctx.metrics.bucketize("cpu", bucket, end=horizon)
+    mem = ctx.metrics.bucketize("mem_working", bucket, end=horizon)
+    net = ctx.metrics.bucketize("net_bytes", bucket, end=horizon)
+    disk = ctx.metrics.bucketize("disk_transactions", bucket, end=horizon)
+    mem_cap = outcome.ctx.cluster.workers[0].executor_memory
+    return {
+        "cpu_pct": cpu.mean() / cores * 100.0,
+        "mem_pct": mem.mean() / mem_cap * 100.0,
+        "packets_s": net.mean() / MTU,
+        "disk_tx_s": disk.mean(),
+        "makespan_min": horizon / 60.0,
+    }
+
+
+@pytest.mark.benchmark(group="fig11_14")
+def test_fig11_14_utilization(benchmark, paper_comparisons):
+    summaries = benchmark.pedantic(
+        lambda: {
+            name: (summarize(v), summarize(c))
+            for name, (v, c) in paper_comparisons.items()
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = ["Figs. 11-14 — node-average utilization: vanilla | CHOPPER"]
+    lines.append(
+        f"{'workload':>9s} {'cpu %':>15s} {'mem %':>15s}"
+        f" {'packets/s':>19s} {'disk tx/s':>17s} {'makespan':>15s}"
+    )
+    for name, (v, c) in summaries.items():
+        lines.append(
+            f"{name:>9s}"
+            f" {v['cpu_pct']:6.1f} | {c['cpu_pct']:6.1f}"
+            f" {v['mem_pct']:6.1f} | {c['mem_pct']:6.1f}"
+            f" {v['packets_s']:8.1f} | {c['packets_s']:8.1f}"
+            f" {v['disk_tx_s']:7.1f} | {c['disk_tx_s']:7.1f}"
+            f" {v['makespan_min']:6.1f} | {c['makespan_min']:6.1f}"
+        )
+    report("fig11_14_utilization", lines)
+
+    for name, (v, c) in summaries.items():
+        # CHOPPER finishes sooner...
+        assert c["makespan_min"] < v["makespan_min"], name
+        # ...with equivalent-or-better average CPU utilization (the same
+        # work squeezed into less wall-clock time).
+        assert c["cpu_pct"] > 0.85 * v["cpu_pct"], name
+        # All series are non-trivial (the samplers are actually wired up).
+        for key in ("cpu_pct", "packets_s", "disk_tx_s"):
+            assert v[key] > 0 and c[key] > 0, (name, key)

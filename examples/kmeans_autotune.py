@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""KMeans auto-tuning: the paper's flagship scenario, end to end.
+
+Reproduces the CHOPPER workflow of §III-IV on the KMeans workload
+(shrunk from 21.8 GB to a quicker 8 GB by default; pass ``--paper`` for
+the full Table I size):
+
+1. profile: test runs sweeping (partitioner, P) at two input scales;
+2. train: Eq. 1-2 models per stage signature;
+3. optimize: Algorithm 3 over the regrouped DAG;
+4. compare: vanilla (fixed 300 partitions) vs CHOPPER, per stage.
+"""
+
+import argparse
+
+from repro.chopper import ChopperRunner, improvement
+from repro.common.units import fmt_bytes, fmt_duration
+from repro.workloads import KMeansWorkload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--paper", action="store_true",
+        help="use the paper's 21.8 GB input (slower profiling sweep)",
+    )
+    args = parser.parse_args()
+
+    virtual_gb = 21.8 if args.paper else 8.0
+    workload = KMeansWorkload(virtual_gb=virtual_gb, physical_records=6000)
+    runner = ChopperRunner(workload)
+
+    print(f"profiling kmeans at {virtual_gb} GB (virtual)...")
+    runs = runner.profile(
+        p_grid=(100, 200, 300, 500, 800, 1200), scales=(0.33, 1.0)
+    )
+    models = runner.train()
+    print(f"  {runs} test runs -> {models} trained stage models")
+
+    config = runner.optimize(mode="global")
+    print("\ngenerated workload config (signature -> scheme):")
+    print(config.to_json())
+
+    vanilla, chopper = runner.compare()
+    print("\nper-stage comparison (vanilla | chopper):")
+    print(f"{'stage':>5s} {'vanilla':>10s} {'P':>5s} | {'chopper':>10s} {'P':>5s}")
+    for v_obs, c_obs in zip(
+        vanilla.record.observations, chopper.record.observations
+    ):
+        print(
+            f"{v_obs.order:5d} {fmt_duration(v_obs.duration):>10s}"
+            f" {v_obs.num_partitions:5d} |"
+            f" {fmt_duration(c_obs.duration):>10s} {c_obs.num_partitions:5d}"
+        )
+
+    print(f"\nvanilla total:  {fmt_duration(vanilla.total_time)}")
+    print(f"chopper total:  {fmt_duration(chopper.total_time)}")
+    print(f"improvement:    {improvement(vanilla, chopper) * 100:.1f}%")
+    print(
+        "total shuffle:  "
+        f"{fmt_bytes(vanilla.total_shuffle_bytes)} -> "
+        f"{fmt_bytes(chopper.total_shuffle_bytes)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

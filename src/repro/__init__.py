@@ -1,0 +1,49 @@
+"""CHOPPER reproduction: auto-partitioning for in-memory DAG analytics.
+
+Reproduces *CHOPPER: Optimizing Data Partitioning for In-Memory Data
+Analytics Frameworks* (IEEE CLUSTER 2016) end to end:
+
+* ``repro.engine`` — a from-scratch, Spark-semantics DAG analytics engine
+  running real computations under simulated time;
+* ``repro.cluster`` / ``repro.simul`` — the paper's 6-node heterogeneous
+  testbed as a discrete-event simulation;
+* ``repro.chopper`` — the paper's contribution: per-stage performance
+  models (Eq. 1-2), the normalized cost objective (Eq. 3-4),
+  Algorithms 1-3, config generation, and the dynamic-partitioning
+  scheduler hook;
+* ``repro.workloads`` — SparkBench-style KMeans, PCA, and SQL drivers
+  plus data generators.
+
+Quickstart::
+
+    from repro import AnalyticsContext, paper_cluster
+    ctx = AnalyticsContext(paper_cluster())
+    rdd = ctx.parallelize(range(1000), num_partitions=8)
+    squares = rdd.map(lambda x: x * x).collect()
+"""
+
+from repro.cluster import Cluster, NodeSpec, paper_cluster, uniform_cluster
+from repro.engine import (
+    AnalyticsContext,
+    Broadcast,
+    EngineConf,
+    HashPartitioner,
+    RangePartitioner,
+    RDD,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticsContext",
+    "Broadcast",
+    "EngineConf",
+    "HashPartitioner",
+    "RangePartitioner",
+    "RDD",
+    "Cluster",
+    "NodeSpec",
+    "paper_cluster",
+    "uniform_cluster",
+    "__version__",
+]

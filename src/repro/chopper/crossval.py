@@ -1,0 +1,138 @@
+"""Cross-validation of the Eq. 1-2 stage models.
+
+A config is only as trustworthy as the models behind it. This module
+estimates each model's *generalization* error with k-fold
+cross-validation over the stage's observations (grouped by (D, P) cell so
+repeated identical measurements can't leak across folds) and rolls the
+result into a per-workload quality report the runner can gate on::
+
+    report = cross_validate(db, "kmeans")
+    print(report.summary())
+    if report.worst_mape > 0.5:
+        ...profile more before trusting optimize()...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.common.errors import ModelError
+from repro.chopper.model import StagePerfModel
+from repro.chopper.stats import StageObservation
+from repro.chopper.workload_db import WorkloadDB
+
+
+@dataclass
+class StageCvResult:
+    """Cross-validated quality of one (stage, partitioner kind) model."""
+
+    signature: str
+    partitioner_kind: str
+    n_observations: int
+    n_folds: int
+    mape: float  # median absolute % error on held-out folds
+
+    @property
+    def reliable(self) -> bool:
+        """Rule of thumb: held-out error under 35 %."""
+        return self.mape < 0.35
+
+
+@dataclass
+class CvReport:
+    """Cross-validation results for a whole workload."""
+
+    workload: str
+    results: List[StageCvResult] = field(default_factory=list)
+
+    @property
+    def worst_mape(self) -> float:
+        return max((r.mape for r in self.results), default=0.0)
+
+    @property
+    def median_mape(self) -> float:
+        if not self.results:
+            return 0.0
+        return float(np.median([r.mape for r in self.results]))
+
+    def unreliable(self) -> List[StageCvResult]:
+        return [r for r in self.results if not r.reliable]
+
+    def summary(self) -> str:
+        lines = [
+            f"cross-validation ({self.workload}): median held-out error "
+            f"{self.median_mape:.1%}, worst {self.worst_mape:.1%}"
+        ]
+        for r in sorted(self.results, key=lambda r: -r.mape):
+            flag = "  " if r.reliable else "!!"
+            lines.append(
+                f"  {flag} {r.signature[:10]} [{r.partitioner_kind}] "
+                f"mape={r.mape:.1%} (n={r.n_observations}, k={r.n_folds})"
+            )
+        return "\n".join(lines)
+
+
+def cross_validate_stage(
+    observations: List[StageObservation], k: int = 4
+) -> Tuple[float, int]:
+    """Held-out MAPE of a stage model via grouped k-fold CV.
+
+    Folds are formed over distinct (D, P) cells — identical repeated
+    measurements stay together, so the score reflects interpolation to
+    *unseen* configurations, not memorization. Returns (mape, folds run).
+    """
+    cells: Dict[Tuple[float, int], List[StageObservation]] = {}
+    for obs in observations:
+        cells.setdefault(
+            (round(obs.input_bytes, 3), obs.num_partitions), []
+        ).append(obs)
+    keys = sorted(cells)
+    if len(keys) < 3:
+        raise ModelError("need observations at >= 3 distinct (D, P) cells")
+    k = min(k, len(keys))
+
+    errors: List[float] = []
+    folds = 0
+    for fold in range(k):
+        held = {key for i, key in enumerate(keys) if i % k == fold}
+        train = [o for key in keys if key not in held for o in cells[key]]
+        test = [o for key in held for o in cells[key]]
+        if len(train) < 2 or not test:
+            continue
+        model = StagePerfModel.fit(train)
+        for obs in test:
+            predicted = model.predict_time(obs.input_bytes, obs.num_partitions)
+            truth = max(obs.duration, 1e-9)
+            errors.append(abs(predicted - truth) / truth)
+        folds += 1
+    if not errors:
+        raise ModelError("cross-validation produced no held-out errors")
+    return float(np.median(errors)), folds
+
+
+def cross_validate(db: WorkloadDB, workload: str, k: int = 4) -> CvReport:
+    """Cross-validate every trainable stage model of a workload."""
+    report = CvReport(workload=workload)
+    for stage in db.dag(workload).stages:
+        for kind in ("hash", "range"):
+            observations = [
+                o for o in db.observations(workload, signature=stage.signature)
+                if o.partitioner_kind in (kind, None)
+            ]
+            try:
+                mape, folds = cross_validate_stage(observations, k=k)
+            except ModelError:
+                continue
+            report.results.append(
+                StageCvResult(
+                    signature=stage.signature,
+                    partitioner_kind=kind,
+                    n_observations=len(observations),
+                    n_folds=folds,
+                    mape=mape,
+                )
+            )
+    return report

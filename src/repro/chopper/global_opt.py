@@ -1,0 +1,264 @@
+"""Algorithm 3: the globally-optimized partition scheme.
+
+Per §III-C, the DAG is regrouped from the sinks toward the sources:
+stages joined by a cogroup/join dependency collapse into a *subgraph*
+that must share one partition scheme (so the join sides end up
+co-partitioned and the join-side shuffle disappears). For each regrouped
+node:
+
+* plain stage → Algorithm 1;
+* subgraph → ``get_subgraph_par``: take each member's Algorithm-1
+  candidate, price applying it to *all* members (``getCost``), keep the
+  cheapest shared scheme;
+* user-fixed stage → keep the user's scheme unless the optimal scheme
+  plus the cost of an inserted repartition phase beats it by the factor
+  gamma (1.5, "to tolerate the model estimation error"), in which case a
+  repartition stage is inserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.chopper.cost import CostWeights, repartition_cost, stage_cost
+from repro.chopper.optimizer import (
+    StageScheme,
+    default_baselines,
+    get_stage_input,
+    get_stage_par,
+)
+from repro.chopper.schemes import PartitionScheme
+from repro.chopper.workload_db import DagStage, WorkloadDB
+
+GAMMA_DEFAULT = 1.5
+
+
+@dataclass
+class RegroupedNode:
+    """One node of the regrouped DAG: a stage or a co-partition subgraph."""
+
+    members: List[DagStage] = field(default_factory=list)
+
+    @property
+    def is_subgraph(self) -> bool:
+        return len(self.members) > 1
+
+    def signatures(self) -> List[str]:
+        return [m.signature for m in self.members]
+
+
+def get_regrouped_dag(db: WorkloadDB, workload: str) -> List[RegroupedNode]:
+    """Group dependent stages into shared-scheme subgraphs (end to source).
+
+    Two kinds of grouping, per §III-C:
+
+    * **join subgraphs** — a stage whose base is a cogroup
+      (``cogroup_sides >= 2``) pulls its parent stages into one subgraph:
+      the parents' output partitioning must match the consumer's scheme
+      for the join shuffle to vanish;
+    * **partition-dependency (source) subgraphs** — stages whose input
+      granularity is inherited from a source RDD (no shuffled input)
+      cannot be re-partitioned independently; all stages over one source
+      form a subgraph whose single scheme sets the source's split count,
+      priced over *every* member (the load stage plus each cached-scan
+      stage).
+
+    Iterating from the last stage backwards matches the paper ("started
+    from the end stages of the graph and iterated towards the source");
+    join grouping takes precedence.
+    """
+    stages = db.dag(workload).stages
+    by_sig = {s.signature: s for s in stages}
+    assigned: set = set()
+    nodes: List[RegroupedNode] = []
+    for stage in reversed(stages):
+        if stage.signature in assigned:
+            continue
+        if stage.cogroup_sides >= 2:
+            node = RegroupedNode(members=[stage])
+            assigned.add(stage.signature)
+            for parent_sig in stage.parent_signatures:
+                parent = by_sig.get(parent_sig)
+                if parent is not None and parent.signature not in assigned:
+                    node.members.append(parent)
+                    assigned.add(parent.signature)
+            nodes.append(node)
+    # Source-granularity groups over whatever remains.
+    by_source: dict = {}
+    for stage in stages:
+        if stage.signature in assigned:
+            continue
+        if stage.observed_partitioner_kind is None and stage.source_signatures:
+            key = stage.source_signatures[0]
+            by_source.setdefault(key, RegroupedNode()).members.append(stage)
+            assigned.add(stage.signature)
+    nodes.extend(by_source.values())
+    # Everything else stands alone.
+    for stage in stages:
+        if stage.signature not in assigned:
+            nodes.append(RegroupedNode(members=[stage]))
+            assigned.add(stage.signature)
+    nodes.sort(key=lambda n: min(m.order for m in n.members))
+    return nodes
+
+
+def get_cost(
+    db: WorkloadDB,
+    workload: str,
+    members: List[DagStage],
+    scheme: PartitionScheme,
+    d_total: float,
+    weights: CostWeights,
+) -> float:
+    """The paper's ``getCost``: Eq. 3 summed over ``members`` under one scheme.
+
+    Members without a trained model for the scheme's partitioner kind
+    (e.g. a source stage profiled only one way) contribute via whichever
+    model exists.
+    """
+    total = 0.0
+    for member in members:
+        model = _best_available_model(db, workload, member.signature, scheme.kind)
+        if model is None:
+            continue
+        d = get_stage_input(db, workload, member.signature, d_total)
+        t_default, s_default = default_baselines(
+            db, workload, member.signature, d, weights
+        )
+        # Iterative stages (repeats > 1) execute the scheme that many
+        # times; weight them accordingly.
+        total += member.repeats * stage_cost(
+            model, d, scheme.num_partitions, weights,
+            t_default=t_default, s_default=s_default,
+        )
+    return total
+
+
+def get_subgraph_par(
+    db: WorkloadDB,
+    workload: str,
+    members: List[DagStage],
+    d_total: float,
+    weights: CostWeights,
+) -> Tuple[PartitionScheme, float]:
+    """The paper's ``getSubGraphPar``: cheapest shared scheme for a subgraph."""
+    best_scheme: Optional[PartitionScheme] = None
+    best_total = float("inf")
+    for member in members:
+        d = get_stage_input(db, workload, member.signature, d_total)
+        candidate, _cost = get_stage_par(db, workload, member.signature, d, weights)
+        total = get_cost(db, workload, members, candidate, d_total, weights)
+        if total < best_total:
+            best_scheme, best_total = candidate, total
+    assert best_scheme is not None, "subgraph has no members with models"
+    return best_scheme, best_total
+
+
+def get_global_par(
+    db: WorkloadDB,
+    workload: str,
+    d_total: float,
+    weights: CostWeights,
+    gamma: float = GAMMA_DEFAULT,
+    cluster_parallelism: int = 136,
+) -> List[StageScheme]:
+    """Algorithm 3: globally-optimized schemes for every stage.
+
+    Returns one :class:`StageScheme` per DAG stage; members of a join
+    subgraph share a ``group`` label (the advisor turns that into one
+    shared ``SchemeRef``, i.e. identical partitioners at runtime).
+    """
+    out: List[StageScheme] = []
+    for idx, node in enumerate(get_regrouped_dag(db, workload)):
+        group = f"g{idx}" if node.is_subgraph else None
+        if node.is_subgraph:
+            scheme, cost = get_subgraph_par(
+                db, workload, node.members, d_total, weights
+            )
+        else:
+            member = node.members[0]
+            d = get_stage_input(db, workload, member.signature, d_total)
+            scheme, cost = get_stage_par(db, workload, member.signature, d, weights)
+
+        # The fixed-stage gamma test, applied node-wide: a user-fixed
+        # member whose scheme the node wants to change must clear the
+        # gamma bar (benefit > gamma x (optimized cost + repartition
+        # overhead)). If it does, the member is flagged for an inserted
+        # repartition phase; if not, the WHOLE node is left untouched —
+        # "CHOPPER leaves the user optimization intact" (§III-C), and
+        # half-retuning a co-partitioned group would break it.
+        insert_for: set = set()
+        rejected = False
+        for member in node.members:
+            current = _observed_scheme(member)
+            if not member.user_fixed or current is None or current == scheme:
+                continue
+            if _gamma_accepts(
+                db, workload, member, current, scheme,
+                d_total, weights, gamma, cluster_parallelism,
+            ):
+                insert_for.add(member.signature)
+            else:
+                rejected = True
+                break
+        if rejected:
+            continue  # no entries: the advisor leaves this node alone
+
+        for member in node.members:
+            out.append(
+                StageScheme(
+                    signature=member.signature,
+                    scheme=scheme,
+                    cost=cost,
+                    group=group,
+                    insert_repartition=member.signature in insert_for,
+                )
+            )
+    out.sort(key=lambda s: db.dag(workload).stage(s.signature).order)
+    return out
+
+
+def _gamma_accepts(
+    db: WorkloadDB,
+    workload: str,
+    member: DagStage,
+    current: PartitionScheme,
+    scheme: PartitionScheme,
+    d_total: float,
+    weights: CostWeights,
+    gamma: float,
+    cluster_parallelism: int,
+) -> bool:
+    """True if re-partitioning a user-fixed stage clears the gamma bar."""
+    d = get_stage_input(db, workload, member.signature, d_total)
+    cur_cost = get_cost(db, workload, [member], current, d_total, weights)
+    opt_cost = get_cost(db, workload, [member], scheme, d_total, weights)
+    # Normalize the repartition's wall-clock estimate into Eq. 3 units via
+    # the stage's default-parallelism time.
+    model = _best_available_model(db, workload, member.signature, scheme.kind)
+    t_default = (
+        model.predict_time(d, weights.default_parallelism) if model else 0.0
+    )
+    rep = repartition_cost(
+        d, scheme.num_partitions, cluster_parallelism=cluster_parallelism
+    )
+    rep_norm = rep / t_default if t_default > 1e-9 else rep
+    return cur_cost > gamma * (opt_cost + rep_norm)
+
+
+def _observed_scheme(member: DagStage) -> Optional[PartitionScheme]:
+    if member.observed_partitioner_kind is None or member.observed_num_partitions < 1:
+        return None
+    return PartitionScheme(
+        member.observed_partitioner_kind, member.observed_num_partitions
+    )
+
+
+def _best_available_model(db, workload, signature, preferred_kind):
+    if db.has_model(workload, signature, preferred_kind):
+        return db.model(workload, signature, preferred_kind)
+    other = "hash" if preferred_kind == "range" else "range"
+    if db.has_model(workload, signature, other):
+        return db.model(workload, signature, other)
+    return None

@@ -1,0 +1,123 @@
+"""Run history: persistent event logs, like Spark's history server files.
+
+A :class:`HistoryLogger` subscribes to a context's listener bus and
+appends one JSON line per stage/job event to a log file. A history file
+can later be re-read into :class:`~repro.engine.listener.StageStats`
+summaries — which is how CHOPPER trains from *production* runs that
+happened in other processes ("CHOPPER also remembers the statistics from
+the user workload execution in a production environment", §III-B):
+
+    HistoryLogger.attach(ctx, "run42.jsonl")      # during the run
+    ...
+    record = load_history_record("run42.jsonl", workload="kmeans",
+                                 input_bytes=21.8 * GB)
+    db.add_run(record)                            # offline, later
+
+Task-level metrics are folded into per-stage aggregates in the log to
+keep files small; the per-stage fields are exactly what the workload DB
+consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.chopper.stats import RunRecord, StageObservation
+from repro.common.errors import ConfigurationError
+from repro.engine.context import AnalyticsContext
+from repro.engine.listener import JobStats, Listener, StageStats
+
+FORMAT_VERSION = 1
+
+
+class HistoryLogger(Listener):
+    """Streams stage/job completions to a JSONL history file."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._order = 0
+        self._ctx: Optional[AnalyticsContext] = None
+        self.path.write_text(
+            json.dumps({"event": "header", "version": FORMAT_VERSION}) + "\n"
+        )
+
+    @classmethod
+    def attach(cls, ctx: AnalyticsContext, path: Union[str, Path]) -> "HistoryLogger":
+        logger = cls(path)
+        ctx.listener_bus.add(logger)
+        logger._ctx = ctx
+        return logger
+
+    def detach(self) -> None:
+        if self._ctx is not None:
+            self._ctx.listener_bus.remove(self)
+            self._ctx = None
+
+    # ------------------------------------------------------------------
+
+    def on_stage_completed(self, stage_stats: StageStats) -> None:
+        observation = StageObservation.from_stage_stats(stage_stats, self._order)
+        self._order += 1
+        payload = {"event": "stage", **observation.to_dict()}
+        # Extra fields not in the observation, useful for reports.
+        payload["name"] = stage_stats.name
+        payload["submitted_at"] = stage_stats.submitted_at
+        payload["completed_at"] = stage_stats.completed_at
+        payload["skew"] = stage_stats.skew()
+        payload["remote_shuffle_read"] = stage_stats.remote_shuffle_read
+        self._append(payload)
+
+    def on_job_end(self, job_stats: JobStats) -> None:
+        self._append(
+            {
+                "event": "job",
+                "job_id": job_stats.job_id,
+                "submitted_at": job_stats.submitted_at,
+                "completed_at": job_stats.completed_at,
+                "stages": len(job_stats.stages),
+            }
+        )
+
+    def _append(self, payload: dict) -> None:
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(payload) + "\n")
+
+
+def read_history(path: Union[str, Path]) -> List[dict]:
+    """All events of a history file, validated against the format header."""
+    lines = Path(path).read_text().splitlines()
+    if not lines:
+        raise ConfigurationError(f"empty history file {path}")
+    header = json.loads(lines[0])
+    if header.get("event") != "header":
+        raise ConfigurationError(f"{path} is not a history file (no header)")
+    if header.get("version") != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"history version {header.get('version')} unsupported "
+            f"(expected {FORMAT_VERSION})"
+        )
+    return [json.loads(line) for line in lines[1:]]
+
+
+def load_history_record(
+    path: Union[str, Path], workload: str, input_bytes: float
+) -> RunRecord:
+    """Rebuild a :class:`RunRecord` from a history file (for the DB)."""
+    record = RunRecord(workload=workload, input_bytes=input_bytes)
+    last_end = 0.0
+    first_start: Optional[float] = None
+    for event in read_history(path):
+        if event.get("event") != "stage":
+            continue
+        fields = {
+            k: v for k, v in event.items()
+            if k in StageObservation.__dataclass_fields__
+        }
+        record.observations.append(StageObservation.from_dict(fields))
+        if first_start is None:
+            first_start = event.get("submitted_at", 0.0)
+        last_end = max(last_end, event.get("completed_at", 0.0))
+    record.total_time = last_end - (first_start or 0.0)
+    return record

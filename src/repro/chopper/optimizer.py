@@ -1,0 +1,117 @@
+"""Algorithms 1 and 2: per-stage and per-workload partition schemes.
+
+Algorithm 1 (``get_stage_par``): retrieve the stage's trained range and
+hash models from the workload DB, minimize Eq. 3 over P for each, and
+return the (partitioner, P) pair with the lower cost.
+
+Algorithm 2 (``get_workload_par``): iterate the workload DAG, estimate
+each stage's input size from the workload input size, and apply
+Algorithm 1 independently per stage — the naive scheme the paper
+contrasts with the globally-optimized Algorithm 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+from repro.common.errors import ModelError
+from repro.chopper.cost import CostWeights, get_min_par
+from repro.chopper.schemes import HASH, RANGE, PartitionScheme
+from repro.chopper.workload_db import WorkloadDB
+
+
+def default_baselines(
+    db: WorkloadDB,
+    workload: str,
+    signature: str,
+    d: float,
+    weights: CostWeights,
+) -> Tuple[float, float]:
+    """Eq. 3 baselines: the stage under the default setup.
+
+    The engine default is hash at ``default_parallelism``, so the hash
+    model supplies the baseline for *both* partitioner kinds — otherwise
+    each kind would be normalized against itself and kinds could not be
+    compared. Falls back to the range model when no hash model exists.
+    """
+    for kind in (HASH, RANGE):
+        if db.has_model(workload, signature, kind):
+            model = db.model(workload, signature, kind)
+            return (
+                model.predict_time(d, weights.default_parallelism),
+                model.predict_shuffle(d, weights.default_parallelism),
+            )
+    raise ModelError(f"no trained models for stage {signature!r} of {workload!r}")
+
+
+@dataclass
+class StageScheme:
+    """Optimizer output for one stage (one config-file tuple)."""
+
+    signature: str
+    scheme: PartitionScheme
+    cost: float
+    group: Optional[str] = None  # co-partition group id (Algorithm 3)
+    insert_repartition: bool = False  # gamma-gated extra phase (Algorithm 3)
+
+
+def get_stage_input(db: WorkloadDB, workload: str, signature: str, d_total: float) -> float:
+    """Estimate a stage's input size for workload input ``d_total``.
+
+    Uses the input fraction recorded in the DAG summary (the reference
+    run's stage input / workload input ratio) — the paper's
+    ``getStageInput(w, s, D)``.
+    """
+    stage = db.dag(workload).stage(signature)
+    return max(1.0, stage.input_fraction * d_total)
+
+
+def get_stage_par(
+    db: WorkloadDB,
+    workload: str,
+    signature: str,
+    d: float,
+    weights: CostWeights,
+) -> Tuple[PartitionScheme, float]:
+    """Algorithm 1: best (partitioner, numPar, cost) for one stage.
+
+    Tries the range model and the hash model; returns whichever
+    minimizes Eq. 3. Ties go to hash (the cheaper partitioner to build).
+    """
+    t_default, s_default = default_baselines(db, workload, signature, d, weights)
+    best: Optional[Tuple[PartitionScheme, float]] = None
+    # Evaluate range first so that on an exact tie the later hash wins,
+    # matching the paper's `if rCost < hCost ... else hash` ordering.
+    for kind in (RANGE, HASH):
+        if not db.has_model(workload, signature, kind):
+            continue
+        model = db.model(workload, signature, kind)
+        p, cost = get_min_par(
+            model, d, weights, t_default=t_default, s_default=s_default
+        )
+        if best is None or cost <= best[1]:
+            best = (PartitionScheme(kind, p), cost)
+    if best is None:
+        raise ModelError(
+            f"no trained models for stage {signature!r} of {workload!r}"
+        )
+    return best
+
+
+def get_workload_par(
+    db: WorkloadDB,
+    workload: str,
+    d_total: float,
+    weights: CostWeights,
+) -> List[StageScheme]:
+    """Algorithm 2: independent per-stage schemes over the whole DAG."""
+    schemes: List[StageScheme] = []
+    for stage in db.dag(workload).stages:
+        d = get_stage_input(db, workload, stage.signature, d_total)
+        scheme, cost = get_stage_par(db, workload, stage.signature, d, weights)
+        schemes.append(
+            StageScheme(signature=stage.signature, scheme=scheme, cost=cost)
+        )
+    return schemes

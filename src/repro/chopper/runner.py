@@ -1,0 +1,218 @@
+"""The CHOPPER orchestration loop: profile → train → optimize → run.
+
+Mirrors the paper's system flow (§III, Fig. 5):
+
+1. **Profile** — lightweight test runs sweep partition counts and both
+   partitioner kinds (ProfilingAdvisor) at one or more sampled input
+   scales; the statistics collector feeds every stage execution into the
+   workload DB. A vanilla reference run records the DAG summary.
+2. **Train** — per (stage signature, partitioner kind), fit the Eq. 1-2
+   models. Offline, "not in the critical path of workload execution".
+3. **Optimize** — Algorithm 3 (or Algorithm 2 for the ablation) computes
+   the per-stage schemes and the config generator writes the workload
+   config file.
+4. **Run** — the production run installs a :class:`ChopperAdvisor` built
+   from the config plus co-partition-aware scheduling, and is compared
+   against the vanilla default (300 partitions, hash, no advisor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.chopper.advisor import ChopperAdvisor, ProfilingAdvisor
+from repro.chopper.config_gen import WorkloadConfig
+from repro.chopper.cost import CostWeights
+from repro.chopper.global_opt import GAMMA_DEFAULT, get_global_par
+from repro.chopper.model import fit_models_by_partitioner
+from repro.chopper.optimizer import get_workload_par
+from repro.chopper.stats import RunRecord, StatisticsCollector
+from repro.chopper.workload_db import WorkloadDB, WorkloadDag
+from repro.cluster.cluster import Cluster, paper_cluster
+from repro.common.errors import ModelError
+from repro.engine.context import AnalyticsContext, EngineConf
+from repro.workloads.base import Workload, WorkloadResult
+
+
+@dataclass
+class RunOutcome:
+    """One measured workload run (vanilla or CHOPPER)."""
+
+    label: str
+    record: RunRecord
+    result: WorkloadResult
+    ctx: AnalyticsContext
+
+    @property
+    def total_time(self) -> float:
+        return self.record.total_time
+
+    @property
+    def total_shuffle_bytes(self) -> float:
+        return sum(o.shuffle_bytes for o in self.record.observations)
+
+
+@dataclass
+class ChopperRunner:
+    """Drives the full CHOPPER pipeline for one workload."""
+
+    workload: Workload
+    cluster_factory: Callable[[], Cluster] = paper_cluster
+    base_conf: EngineConf = field(default_factory=lambda: EngineConf())
+    db: WorkloadDB = field(default_factory=WorkloadDB)
+    weights: Optional[CostWeights] = None
+    gamma: float = GAMMA_DEFAULT
+
+    def __post_init__(self) -> None:
+        if self.weights is None:
+            self.weights = CostWeights(
+                default_parallelism=self.base_conf.default_parallelism
+            )
+
+    # ------------------------------------------------------------------
+    # Step 1: profiling test runs
+    # ------------------------------------------------------------------
+
+    def profile(
+        self,
+        p_grid: Sequence[int] = (100, 200, 300, 500, 800),
+        kinds: Sequence[str] = ("hash", "range"),
+        scales: Sequence[float] = (0.25, 1.0),
+    ) -> int:
+        """Run the (kind, P, scale) sweep; returns the number of test runs.
+
+        Also performs one vanilla reference run per scale to record the
+        DAG summary with the default scheme (needed by Algorithm 3's
+        fixed-stage test and by ``get_stage_input``).
+        """
+        runs = 0
+        for scale in scales:
+            record = self._measured_run(
+                advisor=None, scale=scale, label=f"reference@{scale}"
+            ).record
+            self.db.add_run(record)
+            if scale == max(scales):
+                self.db.set_dag(self.workload.name, WorkloadDag.from_run(record))
+            runs += 1
+            for kind in kinds:
+                for p in p_grid:
+                    outcome = self._measured_run(
+                        advisor=ProfilingAdvisor(kind, p, override_fixed=True),
+                        scale=scale,
+                        label=f"profile-{kind}-{p}@{scale}",
+                    )
+                    self.db.add_run(outcome.record)
+                    runs += 1
+        return runs
+
+    # ------------------------------------------------------------------
+    # Step 2: model training
+    # ------------------------------------------------------------------
+
+    def train(self) -> int:
+        """Fit Eq. 1-2 models for every stage; returns models trained."""
+        if not self.db.has_dag(self.workload.name):
+            raise ModelError("profile() must run before train()")
+        trained = 0
+        for stage in self.db.dag(self.workload.name).stages:
+            observations = self.db.observations(
+                self.workload.name, signature=stage.signature
+            )
+            try:
+                models = fit_models_by_partitioner(observations)
+            except ModelError:
+                continue
+            for kind, model in models.items():
+                self.db.set_model(self.workload.name, stage.signature, kind, model)
+                trained += 1
+        if trained == 0:
+            raise ModelError("training produced no models; profile more")
+        return trained
+
+    # ------------------------------------------------------------------
+    # Step 3: optimization / config generation
+    # ------------------------------------------------------------------
+
+    def optimize(self, mode: str = "global", scale: float = 1.0) -> WorkloadConfig:
+        """Generate the workload config file (Algorithm 3 or 2)."""
+        d_total = self.workload.virtual_bytes(scale)
+        assert self.weights is not None
+        if mode == "global":
+            schemes = get_global_par(
+                self.db, self.workload.name, d_total, self.weights,
+                gamma=self.gamma,
+                cluster_parallelism=self.cluster_factory().total_cores,
+            )
+        elif mode == "per-stage":
+            schemes = get_workload_par(
+                self.db, self.workload.name, d_total, self.weights
+            )
+        else:
+            raise ModelError(f"unknown optimization mode {mode!r}")
+        return WorkloadConfig.from_schemes(self.workload.name, schemes)
+
+    # ------------------------------------------------------------------
+    # Step 4: measured runs
+    # ------------------------------------------------------------------
+
+    def run_vanilla(self, scale: float = 1.0) -> RunOutcome:
+        """The paper's baseline: fixed default parallelism, hash, no advisor."""
+        return self._measured_run(advisor=None, scale=scale, label="vanilla")
+
+    def run_chopper(
+        self,
+        config: Optional[WorkloadConfig] = None,
+        mode: str = "global",
+        scale: float = 1.0,
+    ) -> RunOutcome:
+        """The CHOPPER run: config-driven advisor + co-partition scheduling."""
+        if config is None:
+            config = self.optimize(mode=mode, scale=scale)
+        advisor = ChopperAdvisor(config)
+        return self._measured_run(
+            advisor=advisor, scale=scale, label="chopper", copartition=True
+        )
+
+    def compare(
+        self, mode: str = "global", scale: float = 1.0
+    ) -> Tuple[RunOutcome, RunOutcome]:
+        """(vanilla, chopper) outcomes at the same scale."""
+        return self.run_vanilla(scale), self.run_chopper(mode=mode, scale=scale)
+
+    # ------------------------------------------------------------------
+
+    def _measured_run(
+        self,
+        advisor,
+        scale: float,
+        label: str,
+        copartition: bool = False,
+    ) -> RunOutcome:
+        conf = replace(self.base_conf, copartition_scheduling=copartition)
+        ctx = AnalyticsContext(self.cluster_factory(), conf)
+        if advisor is not None:
+            ctx.set_advisor(advisor)
+        collector = StatisticsCollector(
+            self.workload.name, self.workload.virtual_bytes(scale)
+        )
+        with collector.attached(ctx):
+            result = self.workload.run(ctx, scale=scale)
+        record = collector.record
+        record.total_time = ctx.now
+        return RunOutcome(label=label, record=record, result=result, ctx=ctx)
+
+
+def improvement(vanilla: RunOutcome, chopper: RunOutcome) -> float:
+    """Fractional execution-time improvement of CHOPPER over vanilla."""
+    if vanilla.total_time <= 0:
+        return 0.0
+    return 1.0 - chopper.total_time / vanilla.total_time
+
+
+def stage_table(outcome: RunOutcome) -> List[Tuple[int, str, float, float, int]]:
+    """(stage idx, name-ish signature, duration, shuffle bytes, partitions)."""
+    return [
+        (o.order, o.signature, o.duration, o.shuffle_bytes, o.num_partitions)
+        for o in outcome.record.observations
+    ]

@@ -1,0 +1,149 @@
+"""Statistics collector: CHOPPER's tap into the engine's listener bus.
+
+The paper's collector "communicates with Spark to gather runtime
+information and statistics" (§III). Here it subscribes to the engine's
+listener bus and condenses every completed stage into a
+:class:`StageObservation` — the row format the workload DB stores and the
+models train on: input size ``D``, partition count ``P``, partitioner
+kind, execution time, and shuffle volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.engine.context import AnalyticsContext
+from repro.engine.listener import Listener, StageStats
+
+
+@dataclass(frozen=True)
+class StageObservation:
+    """One training sample for a stage's performance models."""
+
+    signature: str
+    kind: str
+    partitioner_kind: Optional[str]
+    input_bytes: float  # D
+    num_partitions: int  # P
+    duration: float  # t_exe
+    shuffle_bytes: float  # s_shuffle (max of read/write, as in the paper)
+    order: int  # position of the stage within the workload run
+    parent_signatures: tuple = ()
+    cogroup_sides: int = 0
+    user_fixed: bool = False
+    source_signatures: tuple = ()
+
+    @classmethod
+    def from_stage_stats(cls, stats: StageStats, order: int) -> "StageObservation":
+        return cls(
+            signature=stats.signature,
+            kind=stats.kind,
+            partitioner_kind=stats.partitioner_kind,
+            input_bytes=stats.input_bytes,
+            num_partitions=stats.num_partitions,
+            duration=stats.duration,
+            shuffle_bytes=stats.shuffle_bytes,
+            order=order,
+            parent_signatures=tuple(stats.parent_signatures),
+            cogroup_sides=stats.cogroup_sides,
+            user_fixed=stats.user_fixed,
+            source_signatures=tuple(stats.source_signatures),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "signature": self.signature,
+            "kind": self.kind,
+            "partitioner_kind": self.partitioner_kind,
+            "input_bytes": self.input_bytes,
+            "num_partitions": self.num_partitions,
+            "duration": self.duration,
+            "shuffle_bytes": self.shuffle_bytes,
+            "order": self.order,
+            "parent_signatures": list(self.parent_signatures),
+            "cogroup_sides": self.cogroup_sides,
+            "user_fixed": self.user_fixed,
+            "source_signatures": list(self.source_signatures),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StageObservation":
+        payload = dict(payload)
+        payload["parent_signatures"] = tuple(payload.get("parent_signatures", ()))
+        payload["source_signatures"] = tuple(payload.get("source_signatures", ()))
+        return cls(**payload)
+
+
+@dataclass
+class RunRecord:
+    """All observations of one workload run, plus the run's totals."""
+
+    workload: str
+    input_bytes: float
+    observations: List[StageObservation] = field(default_factory=list)
+    total_time: float = 0.0
+
+    @property
+    def stage_count(self) -> int:
+        return len(self.observations)
+
+    def by_signature(self) -> Dict[str, List[StageObservation]]:
+        grouped: Dict[str, List[StageObservation]] = {}
+        for obs in self.observations:
+            grouped.setdefault(obs.signature, []).append(obs)
+        return grouped
+
+
+class StatisticsCollector(Listener):
+    """Records stage completions for the duration of one workload run.
+
+    Usage::
+
+        collector = StatisticsCollector("kmeans", input_bytes=D)
+        with collector.attached(ctx):
+            workload.run(ctx)
+        record = collector.finish(ctx)
+    """
+
+    def __init__(self, workload: str, input_bytes: float) -> None:
+        self.record = RunRecord(workload=workload, input_bytes=input_bytes)
+        self._order = 0
+        self._started_at: Optional[float] = None
+        self._ctx: Optional[AnalyticsContext] = None
+
+    def on_stage_completed(self, stage_stats: StageStats) -> None:
+        self.record.observations.append(
+            StageObservation.from_stage_stats(stage_stats, self._order)
+        )
+        self._order += 1
+
+    def attach(self, ctx: AnalyticsContext) -> "StatisticsCollector":
+        ctx.listener_bus.add(self)
+        self._ctx = ctx
+        self._started_at = ctx.now
+        return self
+
+    def finish(self, ctx: Optional[AnalyticsContext] = None) -> RunRecord:
+        ctx = ctx or self._ctx
+        assert ctx is not None, "finish() before attach()"
+        ctx.listener_bus.remove(self)
+        self.record.total_time = ctx.now - (self._started_at or 0.0)
+        self._ctx = None
+        return self.record
+
+    def attached(self, ctx: AnalyticsContext) -> "_CollectorScope":
+        return _CollectorScope(self, ctx)
+
+
+class _CollectorScope:
+    def __init__(self, collector: StatisticsCollector, ctx: AnalyticsContext) -> None:
+        self.collector = collector
+        self.ctx = ctx
+
+    def __enter__(self) -> StatisticsCollector:
+        return self.collector.attach(self.ctx)
+
+    def __exit__(self, *exc) -> None:
+        if self.collector._ctx is not None:
+            self.collector.finish(self.ctx)

@@ -1,0 +1,110 @@
+"""Config validation: check a workload config against a real job graph.
+
+Configs are keyed by structural stage signatures, so they silently stop
+matching when the workload's code changes (a new transformation shifts
+every downstream signature). :func:`validate_config` dry-runs the
+signature lookup against a provisional stage graph and reports:
+
+* **matched** — entries that will apply;
+* **stale** — entries whose signature no longer exists in the graph
+  (the workload changed since profiling; re-profile);
+* **uncovered** — stages with no entry (they will run with defaults);
+* **warnings** — schemes that look pathological for the cluster
+  (partition counts far below the core count, or far beyond the
+  engine's task-dispatch comfort zone).
+
+Use before a production run::
+
+    report = validate_config(config, final_rdd, ctx)
+    if not report.ok:
+        print(report.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List
+
+from repro.chopper.config_gen import WorkloadConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.context import AnalyticsContext
+    from repro.engine.rdd import RDD
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a config-vs-graph dry run."""
+
+    matched: List[str] = field(default_factory=list)
+    stale: List[str] = field(default_factory=list)
+    uncovered: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every entry matches and nothing looks pathological."""
+        return not self.stale and not self.warnings
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of graph stages the config covers."""
+        total = len(self.matched) + len(self.uncovered)
+        return len(self.matched) / total if total else 1.0
+
+    def summary(self) -> str:
+        lines = [
+            f"config validation: {len(self.matched)} matched, "
+            f"{len(self.stale)} stale, {len(self.uncovered)} uncovered "
+            f"({self.coverage:.0%} coverage)"
+        ]
+        for sig in self.stale:
+            lines.append(f"  STALE   {sig} (workload changed? re-profile)")
+        for sig in self.uncovered:
+            lines.append(f"  default {sig}")
+        for warning in self.warnings:
+            lines.append(f"  WARN    {warning}")
+        return "\n".join(lines)
+
+
+def validate_config(
+    config: WorkloadConfig,
+    final_rdd: "RDD",
+    ctx: "AnalyticsContext",
+    max_tasks_per_core: int = 40,
+) -> ValidationReport:
+    """Dry-run ``config`` against the job graph rooted at ``final_rdd``.
+
+    Does not mutate the graph — only the signature lookup and sanity
+    checks run. Note this inspects one job's graph; iterative workloads
+    submit several jobs, so entries for later iterations may legitimately
+    show as stale for the first job (check against the last job's graph,
+    or accept partial coverage).
+    """
+    report = ValidationReport()
+    stages = ctx.dag_scheduler.provisional_stages(final_rdd)
+    graph_signatures = {stage.signature for stage in stages}
+
+    for stage in stages:
+        if config.entry(stage.signature) is not None:
+            report.matched.append(stage.signature)
+        else:
+            report.uncovered.append(stage.signature)
+    for signature in config.entries:
+        if signature not in graph_signatures:
+            report.stale.append(signature)
+
+    total_cores = ctx.cluster.total_cores
+    for entry in config.entries.values():
+        n = entry.scheme.num_partitions
+        if n < max(1, total_cores // 4):
+            report.warnings.append(
+                f"{entry.signature}: {n} partitions on {total_cores} cores "
+                f"leaves most of the cluster idle"
+            )
+        elif n > total_cores * max_tasks_per_core:
+            report.warnings.append(
+                f"{entry.signature}: {n} partitions is >{max_tasks_per_core} "
+                f"tasks per core; driver dispatch will dominate"
+            )
+    return report

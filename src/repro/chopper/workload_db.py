@@ -1,0 +1,250 @@
+"""Workload DB: CHOPPER's persistent store of observations, models, DAGs.
+
+Per the paper (§III): "Workload DB stores the observed information
+including the input and intermediate data size, the number of stages, the
+number of tasks per stage, and the resource utilization information" and
+the partition optimizer "retrieves application statistics, trains models"
+from it.
+
+Layout: per workload name,
+
+* ``runs`` — every :class:`RunRecord`'s observations (training samples);
+* ``dag`` — a :class:`WorkloadDag` distilled from a reference run: the
+  per-stage structure Algorithm 3 walks (order, parents, join grouping,
+  fixed flags, input-size fractions);
+* trained :class:`StagePerfModel` pairs, keyed by
+  ``(stage signature, partitioner kind)`` — filled by the runner.
+
+The DB round-trips to JSON so benchmarks can profile once and reuse.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ModelError
+from repro.chopper.model import StagePerfModel
+from repro.chopper.stats import RunRecord, StageObservation
+
+
+@dataclass
+class DagStage:
+    """One stage of a workload's (regroup-able) DAG summary."""
+
+    signature: str
+    kind: str
+    order: int
+    parent_signatures: Tuple[str, ...]
+    cogroup_sides: int
+    user_fixed: bool
+    # Average stage input size as a fraction of the workload input size,
+    # used to estimate D for a new input size (get_stage_input).
+    input_fraction: float
+    repeats: int = 1  # how many times this signature executed in the run
+    # Scheme observed in the reference run (Algorithm 3's "current" scheme
+    # for user-fixed stages).
+    observed_partitioner_kind: Optional[str] = None
+    observed_num_partitions: int = 0
+    # Sources whose granularity this stage inherits (Algorithm 3 groups).
+    source_signatures: Tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "signature": self.signature,
+            "kind": self.kind,
+            "order": self.order,
+            "parent_signatures": list(self.parent_signatures),
+            "cogroup_sides": self.cogroup_sides,
+            "user_fixed": self.user_fixed,
+            "input_fraction": self.input_fraction,
+            "repeats": self.repeats,
+            "observed_partitioner_kind": self.observed_partitioner_kind,
+            "observed_num_partitions": self.observed_num_partitions,
+            "source_signatures": list(self.source_signatures),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DagStage":
+        payload = dict(payload)
+        payload["parent_signatures"] = tuple(payload["parent_signatures"])
+        payload["source_signatures"] = tuple(payload.get("source_signatures", ()))
+        return cls(**payload)
+
+
+@dataclass
+class WorkloadDag:
+    """Ordered stage summary of one workload (Algorithm 3's input)."""
+
+    stages: List[DagStage] = field(default_factory=list)
+
+    def stage(self, signature: str) -> DagStage:
+        for stage in self.stages:
+            if stage.signature == signature:
+                return stage
+        raise ModelError(f"no DAG stage with signature {signature!r}")
+
+    def signatures(self) -> List[str]:
+        return [s.signature for s in self.stages]
+
+    @classmethod
+    def from_run(cls, record: RunRecord) -> "WorkloadDag":
+        """Distill the DAG summary from a reference run's observations.
+
+        Repeated signatures (iterative stages, the paper's KMeans 12-17)
+        collapse into one DagStage with ``repeats`` counting executions
+        and ``input_fraction`` averaging over them.
+        """
+        dag = cls()
+        seen: Dict[str, DagStage] = {}
+        total = max(record.input_bytes, 1.0)
+        for obs in record.observations:
+            frac = obs.input_bytes / total
+            existing = seen.get(obs.signature)
+            if existing is None:
+                stage = DagStage(
+                    signature=obs.signature,
+                    kind=obs.kind,
+                    order=obs.order,
+                    parent_signatures=obs.parent_signatures,
+                    cogroup_sides=obs.cogroup_sides,
+                    user_fixed=obs.user_fixed,
+                    input_fraction=frac,
+                    observed_partitioner_kind=obs.partitioner_kind,
+                    observed_num_partitions=obs.num_partitions,
+                    source_signatures=obs.source_signatures,
+                )
+                seen[obs.signature] = stage
+                dag.stages.append(stage)
+            else:
+                existing.input_fraction = (
+                    existing.input_fraction * existing.repeats + frac
+                ) / (existing.repeats + 1)
+                existing.repeats += 1
+        return dag
+
+    def to_dict(self) -> dict:
+        return {"stages": [s.to_dict() for s in self.stages]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WorkloadDag":
+        return cls(stages=[DagStage.from_dict(s) for s in payload["stages"]])
+
+
+class WorkloadDB:
+    """Observations + DAGs + trained models, per workload name."""
+
+    def __init__(self) -> None:
+        self._observations: Dict[str, List[StageObservation]] = {}
+        self._dags: Dict[str, WorkloadDag] = {}
+        self._models: Dict[Tuple[str, str, str], StagePerfModel] = {}
+
+    # -- observations ---------------------------------------------------
+
+    def add_run(self, record: RunRecord) -> None:
+        self._observations.setdefault(record.workload, []).extend(
+            record.observations
+        )
+
+    def add_observation(self, workload: str, observation: StageObservation) -> None:
+        """Append a single production observation (online adaptation)."""
+        self._observations.setdefault(workload, []).append(observation)
+
+    def observations(
+        self,
+        workload: str,
+        signature: Optional[str] = None,
+        partitioner_kind: Optional[str] = None,
+    ) -> List[StageObservation]:
+        rows = self._observations.get(workload, [])
+        if signature is not None:
+            rows = [o for o in rows if o.signature == signature]
+        if partitioner_kind is not None:
+            rows = [
+                o for o in rows
+                if o.partitioner_kind in (partitioner_kind, None)
+            ]
+        return rows
+
+    def workloads(self) -> List[str]:
+        return sorted(self._observations)
+
+    # -- DAG summaries ---------------------------------------------------
+
+    def set_dag(self, workload: str, dag: WorkloadDag) -> None:
+        self._dags[workload] = dag
+
+    def dag(self, workload: str) -> WorkloadDag:
+        try:
+            return self._dags[workload]
+        except KeyError:
+            raise ModelError(
+                f"no DAG recorded for workload {workload!r}; run a reference "
+                f"profile first"
+            ) from None
+
+    def has_dag(self, workload: str) -> bool:
+        return workload in self._dags
+
+    # -- models ------------------------------------------------------------
+
+    def set_model(
+        self, workload: str, signature: str, partitioner_kind: str,
+        model: StagePerfModel,
+    ) -> None:
+        self._models[(workload, signature, partitioner_kind)] = model
+
+    def model(
+        self, workload: str, signature: str, partitioner_kind: str
+    ) -> StagePerfModel:
+        try:
+            return self._models[(workload, signature, partitioner_kind)]
+        except KeyError:
+            raise ModelError(
+                f"no trained {partitioner_kind} model for stage "
+                f"{signature!r} of {workload!r}"
+            ) from None
+
+    def has_model(
+        self, workload: str, signature: str, partitioner_kind: str
+    ) -> bool:
+        return (workload, signature, partitioner_kind) in self._models
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "observations": {
+                w: [o.to_dict() for o in rows]
+                for w, rows in self._observations.items()
+            },
+            "dags": {w: d.to_dict() for w, d in self._dags.items()},
+            "models": [
+                {
+                    "workload": w,
+                    "signature": sig,
+                    "partitioner_kind": kind,
+                    "model": model.to_dict(),
+                }
+                for (w, sig, kind), model in self._models.items()
+            ],
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "WorkloadDB":
+        payload = json.loads(Path(path).read_text())
+        db = cls()
+        for workload, rows in payload["observations"].items():
+            db._observations[workload] = [
+                StageObservation.from_dict(r) for r in rows
+            ]
+        for workload, dag in payload["dags"].items():
+            db._dags[workload] = WorkloadDag.from_dict(dag)
+        for entry in payload["models"]:
+            db._models[
+                (entry["workload"], entry["signature"], entry["partitioner_kind"])
+            ] = StagePerfModel.from_dict(entry["model"])
+        return db

@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Sub-commands:
+
+* ``run`` — execute one workload (vanilla or CHOPPER) and print the
+  per-stage table;
+* ``compare`` — the full profile → train → optimize → vanilla-vs-CHOPPER
+  loop, printing the Fig. 7-style summary;
+* ``profile`` — run the test-run sweep and save the workload DB to JSON;
+* ``optimize`` — load a workload DB and emit the workload config file;
+* ``workloads`` — list the available workloads and their defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Type
+
+from repro.chopper import ChopperAdvisor, ChopperRunner, WorkloadConfig, improvement
+from repro.chopper.workload_db import WorkloadDB
+from repro.cluster import paper_cluster
+from repro.common.units import fmt_bytes, fmt_duration
+from repro.engine import AnalyticsContext, EngineConf
+from repro.workloads import (
+    KMeansWorkload,
+    LogisticRegressionWorkload,
+    PCAWorkload,
+    PageRankWorkload,
+    SQLWorkload,
+    Workload,
+    WordCountWorkload,
+)
+
+WORKLOADS: Dict[str, Type[Workload]] = {
+    "kmeans": KMeansWorkload,
+    "pca": PCAWorkload,
+    "sql": SQLWorkload,
+    "wordcount": WordCountWorkload,
+    "logistic": LogisticRegressionWorkload,
+    "pagerank": PageRankWorkload,
+}
+
+
+def build_workload(args: argparse.Namespace) -> Workload:
+    cls = WORKLOADS[args.workload]
+    kwargs = {}
+    if args.virtual_gb is not None:
+        kwargs["virtual_gb"] = args.virtual_gb
+    if args.physical_records is not None:
+        kwargs["physical_records"] = args.physical_records
+    return cls(**kwargs)
+
+
+def make_runner(args: argparse.Namespace) -> ChopperRunner:
+    return ChopperRunner(
+        build_workload(args),
+        base_conf=EngineConf(default_parallelism=args.parallelism),
+    )
+
+
+def print_stage_table(out, observations) -> None:
+    out.write(
+        f"{'stage':>5s} {'kind':>12s} {'P':>6s} {'time':>10s} {'shuffle':>10s}\n"
+    )
+    for obs in observations:
+        out.write(
+            f"{obs.order:5d} {obs.kind:>12s} {obs.num_partitions:6d}"
+            f" {fmt_duration(obs.duration):>10s}"
+            f" {fmt_bytes(obs.shuffle_bytes):>10s}\n"
+        )
+
+
+# ----------------------------------------------------------------------
+# Sub-commands
+# ----------------------------------------------------------------------
+
+
+def cmd_workloads(args: argparse.Namespace, out) -> int:
+    out.write(f"{'name':>10s} {'default input':>14s}\n")
+    for name, cls in WORKLOADS.items():
+        workload = cls()
+        out.write(f"{name:>10s} {fmt_bytes(workload.input_bytes):>14s}\n")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace, out) -> int:
+    workload = build_workload(args)
+    ctx = AnalyticsContext(
+        paper_cluster(), EngineConf(default_parallelism=args.parallelism)
+    )
+    if args.config:
+        ctx.conf.copartition_scheduling = True
+        ctx.set_advisor(ChopperAdvisor(WorkloadConfig.load(args.config)))
+    from repro.chopper import HistoryLogger, StatisticsCollector
+
+    logger = HistoryLogger.attach(ctx, args.history) if args.history else None
+    collector = StatisticsCollector(workload.name, workload.virtual_bytes(args.scale))
+    with collector.attached(ctx):
+        workload.run(ctx, scale=args.scale)
+    if logger is not None:
+        logger.detach()
+        out.write(f"history -> {args.history}\n")
+    record = collector.record
+    print_stage_table(out, record.observations)
+    out.write(f"total: {fmt_duration(ctx.now)} (simulated)\n")
+    if args.gantt:
+        from repro.reporting import gantt
+
+        out.write(gantt(ctx, width=72) + "\n")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace, out) -> int:
+    """Render a history file as a per-stage table."""
+    from repro.chopper import load_history_record
+
+    record = load_history_record(args.history, workload="history", input_bytes=1.0)
+    print_stage_table(out, record.observations)
+    out.write(f"total stage span: {fmt_duration(record.total_time)}\n")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace, out) -> int:
+    runner = make_runner(args)
+    runs = runner.profile(
+        p_grid=tuple(args.grid), scales=tuple(args.scales)
+    )
+    trained = runner.train()
+    runner.db.save(args.db)
+    out.write(
+        f"profiled {runs} runs, trained {trained} models -> {args.db}\n"
+    )
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace, out) -> int:
+    runner = make_runner(args)
+    runner.db = WorkloadDB.load(args.db)
+    config = runner.optimize(mode=args.mode)
+    if args.output:
+        config.save(args.output)
+        out.write(f"wrote {len(config)} entries -> {args.output}\n")
+    else:
+        out.write(config.to_json() + "\n")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace, out) -> int:
+    runner = make_runner(args)
+    out.write("profiling...\n")
+    runner.profile(p_grid=tuple(args.grid), scales=tuple(args.scales))
+    runner.train()
+    vanilla, chopper = runner.compare(mode=args.mode)
+    out.write(f"vanilla: {fmt_duration(vanilla.total_time)}\n")
+    out.write(f"chopper: {fmt_duration(chopper.total_time)}\n")
+    out.write(f"improvement: {improvement(vanilla, chopper) * 100:.1f}%\n")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("workload", choices=sorted(WORKLOADS))
+    parser.add_argument("--virtual-gb", type=float, default=None,
+                        help="virtual input size in GiB (default: paper's)")
+    parser.add_argument("--physical-records", type=int, default=None,
+                        help="physical sample size (speed knob)")
+    parser.add_argument("--parallelism", type=int, default=300,
+                        help="vanilla default parallelism (paper: 300)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CHOPPER reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list available workloads")
+
+    p_run = sub.add_parser("run", help="run one workload")
+    _add_workload_args(p_run)
+    p_run.add_argument("--config", default=None,
+                       help="CHOPPER workload config file to apply")
+    p_run.add_argument("--scale", type=float, default=1.0)
+    p_run.add_argument("--history", default=None,
+                       help="write a JSONL history file of the run")
+    p_run.add_argument("--gantt", action="store_true",
+                       help="print an ASCII task timeline after the run")
+
+    p_report = sub.add_parser("report", help="render a history file")
+    p_report.add_argument("history", help="history JSONL produced by run --history")
+
+    p_profile = sub.add_parser("profile", help="test-run sweep -> workload DB")
+    _add_workload_args(p_profile)
+    p_profile.add_argument("--db", required=True, help="output DB path (JSON)")
+    p_profile.add_argument("--grid", type=int, nargs="+",
+                           default=[100, 200, 300, 500, 800])
+    p_profile.add_argument("--scales", type=float, nargs="+", default=[0.33, 1.0])
+
+    p_opt = sub.add_parser("optimize", help="workload DB -> config file")
+    _add_workload_args(p_opt)
+    p_opt.add_argument("--db", required=True, help="workload DB path (JSON)")
+    p_opt.add_argument("--output", default=None, help="config output path")
+    p_opt.add_argument("--mode", choices=("global", "per-stage"), default="global")
+
+    p_cmp = sub.add_parser("compare", help="vanilla vs CHOPPER end to end")
+    _add_workload_args(p_cmp)
+    p_cmp.add_argument("--grid", type=int, nargs="+",
+                       default=[100, 200, 300, 500, 800])
+    p_cmp.add_argument("--scales", type=float, nargs="+", default=[0.33, 1.0])
+    p_cmp.add_argument("--mode", choices=("global", "per-stage"), default="global")
+    return parser
+
+
+COMMANDS = {
+    "workloads": cmd_workloads,
+    "report": cmd_report,
+    "run": cmd_run,
+    "profile": cmd_profile,
+    "optimize": cmd_optimize,
+    "compare": cmd_compare,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

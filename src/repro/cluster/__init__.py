@@ -1,0 +1,7 @@
+"""Cluster topology model: nodes, links, and the paper's 6-node testbed."""
+
+from repro.cluster.node import NodeSpec
+from repro.cluster.topology import Topology
+from repro.cluster.cluster import Cluster, paper_cluster, uniform_cluster
+
+__all__ = ["NodeSpec", "Topology", "Cluster", "paper_cluster", "uniform_cluster"]

@@ -1,0 +1,45 @@
+"""Shared utilities: errors, units, deterministic RNG, size accounting.
+
+These helpers are deliberately dependency-light; every other subpackage
+(`repro.simul`, `repro.engine`, `repro.chopper`, ...) builds on them.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ConfigurationError,
+    SchedulingError,
+    ShuffleError,
+    ModelError,
+    WorkloadError,
+)
+from repro.common.units import (
+    KB,
+    MB,
+    GB,
+    MINUTE,
+    HOUR,
+    fmt_bytes,
+    fmt_duration,
+)
+from repro.common.rng import seeded_rng, derive_seed
+from repro.common.sizing import estimate_size, Sized
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SchedulingError",
+    "ShuffleError",
+    "ModelError",
+    "WorkloadError",
+    "KB",
+    "MB",
+    "GB",
+    "MINUTE",
+    "HOUR",
+    "fmt_bytes",
+    "fmt_duration",
+    "seeded_rng",
+    "derive_seed",
+    "estimate_size",
+    "Sized",
+]

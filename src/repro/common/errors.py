@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid engine, cluster, or CHOPPER configuration was supplied."""
+
+
+class SchedulingError(ReproError):
+    """The DAG or task scheduler reached an inconsistent state."""
+
+
+class ShuffleError(ReproError):
+    """Shuffle data was requested that was never registered or written."""
+
+
+class ModelError(ReproError):
+    """A CHOPPER performance model could not be fitted or evaluated."""
+
+
+class WorkloadError(ReproError):
+    """A workload was driven with invalid parameters or data."""

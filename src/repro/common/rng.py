@@ -1,0 +1,41 @@
+"""Deterministic random-number management.
+
+Everything random in the library (data generation, range-partitioner
+sampling, cost-model jitter) flows through :func:`seeded_rng` /
+:func:`derive_seed` so a whole simulated workload run is reproducible from
+a single integer seed — a hard requirement for the benchmark harness, which
+asserts qualitative shapes against the paper.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+DEFAULT_SEED = 0x5EED
+
+
+def seeded_rng(seed: int = DEFAULT_SEED) -> np.random.Generator:
+    """Return a NumPy :class:`~numpy.random.Generator` for ``seed``."""
+    return np.random.default_rng(seed)
+
+
+def derive_seed(base: int, *labels: object) -> int:
+    """Derive a child seed from ``base`` and a sequence of labels.
+
+    Uses a stable hash (BLAKE2) over the label reprs so the same labels
+    always yield the same child seed across processes and Python versions
+    (unlike built-in ``hash`` which is salted per process).
+
+    >>> derive_seed(1, "a") == derive_seed(1, "a")
+    True
+    >>> derive_seed(1, "a") != derive_seed(1, "b")
+    True
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(base).encode())
+    for label in labels:
+        h.update(b"\x00")
+        h.update(repr(label).encode())
+    return int.from_bytes(h.digest(), "big") & 0x7FFFFFFFFFFFFFFF

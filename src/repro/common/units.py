@@ -1,0 +1,55 @@
+"""Byte and time unit constants plus human-readable formatters.
+
+All sizes in the library are plain ``float`` byte counts and all times are
+plain ``float`` seconds of *simulated* time; these helpers keep call sites
+readable (``21.8 * GB``) and log output legible.
+"""
+
+from __future__ import annotations
+
+KB: float = 1024.0
+MB: float = 1024.0 * KB
+GB: float = 1024.0 * MB
+TB: float = 1024.0 * GB
+
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+
+_BYTE_STEPS = ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB"))
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary-unit suffix.
+
+    >>> fmt_bytes(1536)
+    '1.50 KB'
+    >>> fmt_bytes(0)
+    '0 B'
+    """
+    if n < 0:
+        return "-" + fmt_bytes(-n)
+    for step, suffix in _BYTE_STEPS:
+        if n >= step:
+            return f"{n / step:.2f} {suffix}"
+    return f"{n:.0f} B"
+
+
+def fmt_duration(seconds: float) -> str:
+    """Format a duration in seconds as a compact h/m/s string.
+
+    >>> fmt_duration(75)
+    '1m15.0s'
+    >>> fmt_duration(0.5)
+    '0.500s'
+    """
+    if seconds < 0:
+        return "-" + fmt_duration(-seconds)
+    if seconds < MINUTE:
+        return f"{seconds:.3f}s"
+    if seconds < HOUR:
+        minutes = int(seconds // MINUTE)
+        return f"{minutes}m{seconds - minutes * MINUTE:.1f}s"
+    hours = int(seconds // HOUR)
+    rem = seconds - hours * HOUR
+    minutes = int(rem // MINUTE)
+    return f"{hours}h{minutes}m{rem - minutes * MINUTE:.0f}s"

@@ -1,0 +1,72 @@
+"""Accumulators: write-only shared counters, as in Spark.
+
+Tasks add to an accumulator during execution; the driver reads the total
+afterwards. Two Spark behaviours are kept:
+
+* adds from **failed** attempts are discarded (the attempt produced no
+  side effects);
+* adds from **speculative duplicate** attempts do double-count, exactly
+  like pre-2.x Spark's well-known caveat for transformations — the
+  docstring warns, and :attr:`Accumulator.exact` is False once any task
+  was re-executed in the owning context.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Optional, TypeVar
+
+from repro.common.errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+class Accumulator(Generic[T]):
+    """A commutative, associative shared counter.
+
+    Create through :meth:`AnalyticsContext.accumulator`; call ``add``
+    from task code (closures), read ``value`` at the driver.
+    """
+
+    def __init__(
+        self,
+        zero: T,
+        add_op: Optional[Callable[[T, T], T]] = None,
+        name: str = "accumulator",
+    ) -> None:
+        self._zero = zero
+        self._value = zero
+        self._add_op = add_op or (lambda a, b: a + b)
+        self.name = name
+        self.adds = 0
+
+    def add(self, amount: T) -> None:
+        """Fold ``amount`` into the accumulator (called from tasks)."""
+        self._value = self._add_op(self._value, amount)
+        self.adds += 1
+
+    def __iadd__(self, amount: T) -> "Accumulator[T]":
+        self.add(amount)
+        return self
+
+    @property
+    def value(self) -> T:
+        """Driver-side read of the accumulated total."""
+        return self._value
+
+    def reset(self) -> None:
+        self._value = self._zero
+        self.adds = 0
+
+    def __repr__(self) -> str:
+        return f"Accumulator({self.name}={self._value!r})"
+
+
+def make_accumulator(
+    zero: T, add_op: Optional[Callable[[T, T], T]] = None, name: str = "acc"
+) -> Accumulator[T]:
+    """Validated constructor (used by the context)."""
+    if add_op is None and not isinstance(zero, (int, float)):
+        raise ConfigurationError(
+            "non-numeric accumulators need an explicit add_op"
+        )
+    return Accumulator(zero, add_op, name)

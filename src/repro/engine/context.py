@@ -1,0 +1,251 @@
+"""AnalyticsContext: the SparkContext of the simulated engine.
+
+Owns the cluster model, the simulation clock, the shuffle manager, block
+store, schedulers, metrics, and collected statistics. Workloads create
+RDDs through it and run actions; CHOPPER attaches to it via
+:meth:`set_advisor` (the dynamic-partitioning DAGScheduler extension) and
+via the listener bus (the statistics collector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster, paper_cluster
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DEFAULT_SEED
+from repro.common.sizing import estimate_size
+from repro.engine.costmodel import CostModelConfig
+from repro.engine.dag_scheduler import DAGScheduler
+from repro.engine.listener import JobStats, ListenerBus, StageStats
+from repro.engine.rdd import RDD, SourceRDD, parallelize_generator
+from repro.engine.shuffle import ShuffleManager
+from repro.engine.storage import BlockStore
+from repro.engine.task_scheduler import TaskScheduler
+from repro.simul.engine import SimEngine
+from repro.simul.metrics import MetricsRecorder
+
+
+@dataclass
+class EngineConf:
+    """Engine configuration knobs.
+
+    ``default_parallelism`` is the paper's vanilla baseline (300
+    partitions for all workloads, §IV). ``copartition_scheduling`` turns
+    on CHOPPER's co-partition-aware task placement.
+    """
+
+    default_parallelism: int = 300
+    cost: CostModelConfig = field(default_factory=CostModelConfig)
+    copartition_scheduling: bool = False
+    task_failure_rate: float = 0.0
+    max_task_attempts: int = 4
+    seed: int = DEFAULT_SEED
+    # Delay scheduling (Spark's spark.locality.wait): a queued task with
+    # locality preferences refuses non-preferred cores for this many
+    # seconds before spreading anywhere. 0 (default) = greedy spread.
+    locality_wait: float = 0.0
+    # Fraction of each executor's memory available for cached blocks
+    # (Spark's storage memory). Cached partitions past the bound evict
+    # LRU and recompute on the next read; <= 0 disables the bound.
+    cache_memory_fraction: float = 0.5
+    # Speculative execution (Spark's spark.speculation): once
+    # `speculation_quantile` of a stage's tasks have finished, a running
+    # task whose elapsed time exceeds `speculation_multiplier` x the
+    # median completed duration gets a duplicate attempt on another node;
+    # the first finisher wins.
+    speculation: bool = False
+    speculation_multiplier: float = 1.5
+    speculation_quantile: float = 0.75
+    # Keys sampled per partition when building range partitioners.
+    range_sample_per_partition: int = 20
+    # Simulated driver-side cost of a range-bounds sampling pass.
+    range_sampling_base_delay: float = 0.2
+    range_sampling_per_partition_delay: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.default_parallelism < 1:
+            raise ConfigurationError("default_parallelism must be >= 1")
+        if not 0.0 <= self.task_failure_rate < 1.0:
+            raise ConfigurationError("task_failure_rate must be in [0, 1)")
+
+
+class Broadcast:
+    """Read-only value shipped once to every executor (e.g. KMeans centers)."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class AnalyticsContext:
+    """Driver-side entry point for building and running workloads."""
+
+    def __init__(
+        self,
+        cluster: Optional[Cluster] = None,
+        conf: Optional[EngineConf] = None,
+    ) -> None:
+        self.cluster = cluster or paper_cluster()
+        self.conf = conf or EngineConf()
+        self.sim = SimEngine()
+        self.metrics = MetricsRecorder()
+        self.shuffle_manager = ShuffleManager(
+            block_header=self.conf.cost.shuffle_block_header
+        )
+        if self.conf.cache_memory_fraction > 0:
+            fraction = self.conf.cache_memory_fraction
+            topology = self.cluster.topology
+
+            def cache_capacity(node_name: str) -> float:
+                return topology.node(node_name).executor_memory * fraction
+
+            self.block_store = BlockStore(capacity_for=cache_capacity)
+        else:
+            self.block_store = BlockStore()
+        self.listener_bus = ListenerBus()
+        self.task_scheduler = TaskScheduler(self)
+        self.dag_scheduler = DAGScheduler(self)
+        self.advisor: Optional[Any] = None
+
+        self.stage_stats: List[StageStats] = []
+        self.job_stats: List[JobStats] = []
+
+        self._rdd_counter = 0
+        self._job_counter = 0
+        self._stage_counter = 0
+        self._stage_run_counter = 0
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+
+    def next_rdd_id(self) -> int:
+        self._rdd_counter += 1
+        return self._rdd_counter
+
+    def next_job_id(self) -> int:
+        self._job_counter += 1
+        return self._job_counter
+
+    def next_stage_id(self) -> int:
+        self._stage_counter += 1
+        return self._stage_counter
+
+    def next_stage_run_id(self) -> int:
+        self._stage_run_counter += 1
+        return self._stage_run_counter
+
+    # ------------------------------------------------------------------
+    # RDD creation
+    # ------------------------------------------------------------------
+
+    @property
+    def default_parallelism(self) -> int:
+        return self.conf.default_parallelism
+
+    def parallelize(
+        self,
+        data: Sequence,
+        num_partitions: Optional[int] = None,
+        size_scale: float = 1.0,
+        op_name: str = "parallelize",
+    ) -> SourceRDD:
+        """Distribute an in-memory sequence as a source RDD."""
+        data = list(data)
+        n = num_partitions or min(self.default_parallelism, max(1, len(data)))
+        return SourceRDD(
+            self,
+            lambda split, splits: parallelize_generator(data, split, splits),
+            n,
+            size_scale=size_scale,
+            op_name=op_name,
+        )
+
+    def source(
+        self,
+        generator: Callable[[int, int], List],
+        num_partitions: int,
+        size_scale: float = 1.0,
+        op_name: str = "source",
+        cost: float = 1.0,
+    ) -> SourceRDD:
+        """A re-splittable generated source (see :class:`SourceRDD`).
+
+        Give each distinct dataset a distinct ``op_name`` — it is the
+        source's structural signature.
+        """
+        return SourceRDD(
+            self, generator, num_partitions,
+            size_scale=size_scale, op_name=op_name, cost=cost,
+        )
+
+    def union(self, rdds: Sequence[RDD]) -> RDD:
+        from repro.engine.rdd import UnionRDD
+
+        return UnionRDD(self, list(rdds))
+
+    def accumulator(self, zero: Any = 0, add_op=None, name: str = "acc"):
+        """Create a write-only shared counter (see engine.accumulators)."""
+        from repro.engine.accumulators import make_accumulator
+
+        return make_accumulator(zero, add_op, name)
+
+    def broadcast(self, value: Any) -> Broadcast:
+        """Ship a value to every worker, recording the network traffic."""
+        nbytes = estimate_size(value)
+        now = self.sim.now
+        for worker in self.cluster.workers:
+            self.metrics.record_event("net_bytes", worker.name, now, nbytes)
+        return Broadcast(value)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run_job(
+        self, rdd: RDD, result_fn: Optional[Callable] = None
+    ) -> List[Any]:
+        return self.dag_scheduler.run_job(rdd, result_fn)
+
+    def sample_keys(self, rdd: RDD, max_partitions: int = 0) -> List:
+        """Collect a key sample of a pair RDD via a lightweight job.
+
+        Used to build range partitioners (Spark's sketch pass). Runs a
+        real job, so any un-run parent shuffles execute — and are then
+        reused by the main job, exactly like Spark's sampling jobs.
+        ``max_partitions`` of 0 samples every partition.
+        """
+        per_part = self.conf.range_sample_per_partition
+
+        def _sample(split: int, recs: List) -> List:
+            if max_partitions and split >= max_partitions:
+                return []
+            if not recs:
+                return []
+            stride = max(1, len(recs) // per_part)
+            return [r[0] for r in recs[::stride][:per_part]]
+
+        sampled = rdd.map_partitions(_sample, op_name="keySample")
+        return sampled.collect()
+
+    # ------------------------------------------------------------------
+    # CHOPPER hook
+    # ------------------------------------------------------------------
+
+    def set_advisor(self, advisor: Optional[Any]) -> None:
+        """Install a partition advisor (``rewrite(final_rdd, ctx)``)."""
+        self.advisor = advisor
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Total simulated time elapsed in this context."""
+        return self.sim.now
+
+    def reset_stats(self) -> None:
+        self.stage_stats.clear()
+        self.job_stats.clear()

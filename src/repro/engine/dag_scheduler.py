@@ -1,0 +1,342 @@
+"""The DAGScheduler: jobs → stages → tasks, with the CHOPPER hooks.
+
+Faithful to the structure in the paper's Fig. 1: an action submits a job;
+the lineage is cut at shuffle dependencies into ShuffleMapStages plus one
+ResultStage; a stage launches when all its parents have completed; map
+outputs persist, so a shuffle already computed by an earlier job is
+skipped (Spark's stage-skipping).
+
+The two CHOPPER integration points (§III-A — "the scheduler checks the
+Spark configuration file before a stage is executed"):
+
+1. ``ctx.advisor.rewrite(final_rdd, ctx)`` runs at job submission, before
+   stages are built — the advisor mutates shuffle-dependency partitioners
+   / source partition counts per the workload config file and re-aligns
+   co-partitioned joins;
+2. pending schemes left by the rewrite (range partitioners that need real
+   key samples) are resolved just before the map stage that writes them
+   launches, charging a sampling delay.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set
+
+from repro.common.errors import SchedulingError
+from repro.engine.dependencies import NarrowDependency, ShuffleDependency
+from repro.engine.listener import JobStats, StageStats
+from repro.engine.shuffled import CogroupRDD, ShuffledRDD
+from repro.engine.stage import RESULT, SHUFFLE_MAP, Stage
+from repro.engine.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.context import AnalyticsContext
+    from repro.engine.rdd import RDD
+
+
+class StageRun:
+    """Execution state of one stage within one job."""
+
+    def __init__(
+        self,
+        stage: Stage,
+        stats: StageStats,
+        result_fn: Optional[Callable],
+        on_complete: Callable[["StageRun"], None],
+    ) -> None:
+        self.stage = stage
+        self.stats = stats
+        self.result_fn = result_fn
+        self.tasks: List[Task] = []
+        self.results: Dict[int, Any] = {}
+        self._remaining = 0
+        self._on_complete = on_complete
+
+    def set_tasks(self, tasks: List[Task]) -> None:
+        self.tasks = tasks
+        self._remaining = len(tasks)
+
+    def task_finished(self, task: Task, metrics, result: Any) -> None:
+        self.stats.tasks.append(metrics)
+        self.stats.input_bytes += (
+            metrics.input_bytes + metrics.cache_read_bytes + metrics.shuffle_read
+        )
+        self.stats.shuffle_read_bytes += metrics.shuffle_read
+        self.stats.shuffle_write_bytes += metrics.shuffle_write
+        if self.stage.kind == RESULT:
+            self.results[task.partition] = result
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._on_complete(self)
+
+
+class _JobState:
+    def __init__(self, job_id: int, final_stage: Stage, submitted_at: float) -> None:
+        self.stats = JobStats(job_id=job_id, submitted_at=submitted_at)
+        self.final_stage = final_stage
+        self.results: Optional[List[Any]] = None
+        self.waiting: List[Stage] = []
+        self.running: Set[int] = set()
+
+    @property
+    def done(self) -> bool:
+        return self.results is not None
+
+
+class DAGScheduler:
+    """Builds and drives the stage graph of each job."""
+
+    def __init__(self, ctx: "AnalyticsContext") -> None:
+        self.ctx = ctx
+        self._completed_shuffles: Set[int] = set()
+        self._job: Optional[_JobState] = None
+
+    # ------------------------------------------------------------------
+    # Job entry point
+    # ------------------------------------------------------------------
+
+    def run_job(
+        self, final_rdd: "RDD", result_fn: Optional[Callable] = None
+    ) -> List[Any]:
+        """Execute an action: returns the per-partition results in order."""
+        if self._job is not None:
+            raise SchedulingError("nested run_job is not supported")
+        if self.ctx.advisor is not None:
+            self.ctx.advisor.rewrite(final_rdd, self.ctx)
+        final_stage = self._build_stages(final_rdd)
+        job = _JobState(self.ctx.next_job_id(), final_stage, self.ctx.sim.now)
+        self._job = job
+        self._result_fn = result_fn
+        try:
+            self._submit_stage(final_stage)
+            self.ctx.sim.run()
+            if not job.done:
+                raise SchedulingError(
+                    f"job {job.stats.job_id} stalled: event queue drained with "
+                    f"stages still waiting"
+                )
+        finally:
+            self._job = None
+        job.stats.completed_at = self.ctx.sim.now
+        self.ctx.job_stats.append(job.stats)
+        self.ctx.listener_bus.job_end(job.stats)
+        assert job.results is not None
+        return job.results
+
+    # ------------------------------------------------------------------
+    # Stage graph construction
+    # ------------------------------------------------------------------
+
+    def provisional_stages(self, final_rdd: "RDD") -> List[Stage]:
+        """Build the stage graph without executing — the advisor's view.
+
+        Returns every stage of the would-be job in dependency order
+        (parents before children), final stage last. Stages already
+        satisfied by completed shuffles are included (marked completed).
+        """
+        final_stage = self._build_stages(final_rdd)
+        ordered: List[Stage] = []
+        seen: Set[int] = set()
+
+        def visit(stage: Stage) -> None:
+            if stage.stage_id in seen:
+                return
+            seen.add(stage.stage_id)
+            for parent in stage.parents:
+                visit(parent)
+            ordered.append(stage)
+
+        visit(final_stage)
+        return ordered
+
+    def _build_stages(self, final_rdd: "RDD") -> Stage:
+        stage_by_shuffle: Dict[int, Stage] = {}
+
+        def parent_stages(rdd: "RDD") -> List[Stage]:
+            parents: List[Stage] = []
+            seen: Set[int] = set()
+
+            def visit(node: "RDD") -> None:
+                if node.id in seen:
+                    return
+                seen.add(node.id)
+                for dep in node.deps:
+                    if isinstance(dep, ShuffleDependency):
+                        stage = stage_for(dep)
+                        if stage not in parents:
+                            parents.append(stage)
+                    elif isinstance(dep, NarrowDependency):
+                        visit(dep.parent)
+
+            visit(rdd)
+            return parents
+
+        def stage_for(dep: ShuffleDependency) -> Stage:
+            existing = stage_by_shuffle.get(dep.shuffle_id)
+            if existing is not None:
+                return existing
+            stage = Stage(
+                self.ctx.next_stage_id(),
+                dep.parent,
+                parent_stages(dep.parent),
+                SHUFFLE_MAP,
+                shuffle_dep=dep,
+            )
+            if dep.shuffle_id in self._completed_shuffles:
+                stage.completed = True
+            stage_by_shuffle[dep.shuffle_id] = stage
+            return stage
+
+        return Stage(
+            self.ctx.next_stage_id(), final_rdd, parent_stages(final_rdd), RESULT
+        )
+
+    # ------------------------------------------------------------------
+    # Stage submission
+    # ------------------------------------------------------------------
+
+    def _submit_stage(self, stage: Stage) -> None:
+        job = self._job
+        assert job is not None
+        if stage.completed or stage.stage_id in job.running or stage in job.waiting:
+            return
+        missing = [p for p in stage.parents if not p.completed]
+        if missing:
+            job.waiting.append(stage)
+            for parent in missing:
+                self._submit_stage(parent)
+            return
+        self._run_stage(stage)
+
+    def _run_stage(self, stage: Stage) -> None:
+        job = self._job
+        assert job is not None
+        job.running.add(stage.stage_id)
+
+        delay = 0.0
+        dep = stage.shuffle_dep
+        if dep is not None and dep.pending_scheme is not None:
+            partitioner, sampling_delay = dep.pending_scheme.resolve(self.ctx, stage)
+            dep.partitioner = partitioner
+            dep.pending_scheme = None
+            delay += sampling_delay
+
+        if dep is not None:
+            self.ctx.shuffle_manager.register(
+                dep.shuffle_id, stage.num_tasks, dep.num_reduce_partitions
+            )
+
+        stats = StageStats(
+            stage_run_id=self.ctx.next_stage_run_id(),
+            job_id=job.stats.job_id,
+            signature=stage.signature,
+            name=stage.name,
+            kind=stage.kind,
+            num_partitions=stage.num_tasks,
+            partitioner_kind=self._input_partitioner_kind(stage),
+            submitted_at=self.ctx.sim.now + delay,
+            parent_signatures=[p.signature for p in stage.parents],
+            cogroup_sides=self._cogroup_sides(stage),
+            user_fixed=any(
+                d.user_fixed for d in stage.incoming_shuffle_deps()
+            ),
+            source_signatures=self._source_signatures(stage),
+        )
+        result_fn = self._result_fn if stage.kind == RESULT else None
+        run = StageRun(stage, stats, result_fn, self._on_stage_complete)
+        run.set_tasks(
+            [
+                Task(stage, i, preferred_nodes=self._task_preferences(stage, i))
+                for i in range(stage.num_tasks)
+            ]
+        )
+        self.ctx.listener_bus.stage_submitted(stats)
+        if delay > 0:
+            self.ctx.sim.schedule(delay, self.ctx.task_scheduler.submit_stage, run)
+        else:
+            self.ctx.task_scheduler.submit_stage(run)
+
+    def _on_stage_complete(self, run: StageRun) -> None:
+        job = self._job
+        assert job is not None
+        stage = run.stage
+        stage.completed = True
+        job.running.discard(stage.stage_id)
+        run.stats.completed_at = self.ctx.sim.now
+        self.ctx.stage_stats.append(run.stats)
+        job.stats.stages.append(run.stats)
+        self.ctx.listener_bus.stage_completed(run.stats)
+
+        if stage.kind == SHUFFLE_MAP:
+            assert stage.shuffle_dep is not None
+            self._completed_shuffles.add(stage.shuffle_dep.shuffle_id)
+            self._wake_waiting()
+        else:
+            job.results = [run.results[i] for i in range(stage.num_tasks)]
+
+    def _wake_waiting(self) -> None:
+        job = self._job
+        assert job is not None
+        ready = [
+            s for s in job.waiting if all(p.completed for p in s.parents)
+        ]
+        for stage in ready:
+            job.waiting.remove(stage)
+            self._run_stage(stage)
+
+    # ------------------------------------------------------------------
+    # Locality preferences
+    # ------------------------------------------------------------------
+
+    def _task_preferences(self, stage: Stage, split: int) -> List[str]:
+        prefs: List[str] = []
+        # 1. Cached blocks of pipeline RDDs with the same partition space.
+        for rdd in stage.cached_rdds():
+            if rdd.num_partitions != stage.num_tasks:
+                continue
+            loc = self.ctx.block_store.location(rdd.id, split)
+            if loc is not None and loc not in prefs:
+                prefs.append(loc)
+        # 2. Co-partition-aware placement (CHOPPER mode): rank nodes by
+        # how many incoming shuffle bytes for this partition they host.
+        if self.ctx.conf.copartition_scheduling:
+            by_node: Dict[str, float] = {}
+            for dep in stage.incoming_shuffle_deps():
+                if not self.ctx.shuffle_manager.is_registered(dep.shuffle_id):
+                    continue
+                for node, nbytes in self.ctx.shuffle_manager.map_output_nodes(
+                    dep.shuffle_id, split
+                ).items():
+                    by_node[node] = by_node.get(node, 0.0) + nbytes
+            for node in sorted(by_node, key=lambda n: (-by_node[n], n))[:2]:
+                if node not in prefs:
+                    prefs.append(node)
+        return prefs
+
+    @staticmethod
+    def _source_signatures(stage: Stage) -> List[str]:
+        from repro.engine.rdd import SourceRDD
+
+        return [
+            rdd.signature
+            for rdd in stage.input_rdds()
+            if isinstance(rdd, SourceRDD)
+        ]
+
+    @staticmethod
+    def _cogroup_sides(stage: Stage) -> int:
+        """Number of sides if the stage's base is a cogroup, else 0."""
+        for rdd in stage.input_rdds():
+            if isinstance(rdd, CogroupRDD):
+                return len(rdd.deps)
+        return 0
+
+    @staticmethod
+    def _input_partitioner_kind(stage: Stage) -> Optional[str]:
+        """Partitioner kind governing this stage's input distribution."""
+        for rdd in stage.input_rdds():
+            if isinstance(rdd, (ShuffledRDD, CogroupRDD)):
+                partitioner = rdd.partitioner
+                if partitioner is not None:
+                    return partitioner.kind
+        return None

@@ -1,0 +1,109 @@
+"""Task execution: run the real computation, price it with the cost model.
+
+The :class:`TaskRunner` is called by the task scheduler the moment a task
+is granted a core. It executes the task's RDD pipeline *physically*
+(producing correct records / results), collects the measurable side
+effects in a :class:`TaskContext`, and converts them into a simulated
+duration via the :class:`CostModel`. Map tasks additionally partition
+their output by the shuffle dependency's partitioner and register the
+blocks with the shuffle manager — including optional map-side combining,
+which is where aggregation shuffles get their small, `P_map`-proportional
+volume (paper Fig. 4).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple
+
+from repro.common.errors import SchedulingError
+from repro.common.sizing import estimate_size
+from repro.engine.costmodel import CostModel, TaskCostBreakdown
+from repro.engine.stage import RESULT, SHUFFLE_MAP, Stage
+from repro.engine.task import Task, TaskContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.node import NodeSpec
+    from repro.engine.context import AnalyticsContext
+
+
+class TaskRunner:
+    """Executes tasks and prices their duration."""
+
+    def __init__(self, ctx: "AnalyticsContext") -> None:
+        self.ctx = ctx
+        self.cost_model = CostModel(ctx.conf.cost)
+
+    def execute(
+        self, stage: Stage, task: Task, node: "NodeSpec", result_fn=None
+    ) -> Tuple[TaskCostBreakdown, TaskContext, Any]:
+        """Run one task on ``node``; returns (cost breakdown, ctx, result)."""
+        tctx = TaskContext(node=node.name, task_index=task.partition)
+        if stage.kind == SHUFFLE_MAP:
+            result = self._run_map_task(stage, task.partition, tctx)
+        elif stage.kind == RESULT:
+            records = stage.rdd.materialize(task.partition, tctx)
+            result = result_fn(task.partition, records) if result_fn else records
+        else:  # pragma: no cover - defensive
+            raise SchedulingError(f"unknown stage kind {stage.kind!r}")
+        return self.price(tctx, node), tctx, result
+
+    def _run_map_task(self, stage: Stage, split: int, tctx: TaskContext) -> None:
+        dep = stage.shuffle_dep
+        assert dep is not None, "map task on a stage without a shuffle dep"
+        records = stage.rdd.materialize(split, tctx)
+
+        if dep.map_side_combine:
+            assert dep.aggregator is not None
+            agg = dep.aggregator
+            combined: Dict[Any, Any] = {}
+            for record in records:
+                k = dep.key_fn(record)
+                v = record[1]
+                if k in combined:
+                    combined[k] = agg.merge_value(combined[k], v)
+                else:
+                    combined[k] = agg.create_combiner(v)
+            out_records: List = list(combined.items())
+            write_scale = 1.0
+        else:
+            out_records = records
+            write_scale = stage.rdd.size_scale
+
+        partitioner = dep.partitioner
+        buckets: Dict[int, Tuple[List, float]] = {}
+        for record in out_records:
+            rid = partitioner.partition(dep.key_fn(record))
+            if rid not in buckets:
+                buckets[rid] = ([], 0.0)
+            recs, nbytes = buckets[rid]
+            recs.append(record)
+            buckets[rid] = (recs, nbytes + estimate_size(record) * write_scale)
+
+        written = self.ctx.shuffle_manager.put_map_output(
+            dep.shuffle_id, split, tctx.node, buckets
+        )
+        tctx.note_shuffle_write(written)
+
+    def price(self, tctx: TaskContext, node: "NodeSpec") -> TaskCostBreakdown:
+        """Convert a task's measured side effects into time components."""
+        cm = self.cost_model
+        topo = self.ctx.cluster.topology
+        fetch = cm.shuffle_fetch_time(
+            node,
+            tctx.shuffle_read_local,
+            tctx.shuffle_read_remote_by_src,
+            tctx.shuffle_blocks_fetched,
+            topo.bandwidth,
+        )
+        # Remote cache reads travel over the same links as shuffle blocks.
+        for src, nbytes in tctx.cache_remote_by_src.items():
+            fetch += nbytes / topo.bandwidth(src, node.name)
+        return TaskCostBreakdown(
+            overhead=cm.config.task_overhead,
+            compute=cm.compute_time(
+                node, tctx.compute_bytes, tctx.records_out, tctx.max_partition_bytes
+            ),
+            input_io=cm.input_io_time(node, tctx.input_bytes),
+            shuffle_fetch=fetch,
+            shuffle_write=cm.shuffle_write_time(node, tctx.shuffle_write),
+        )

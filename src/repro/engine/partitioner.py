@@ -1,0 +1,177 @@
+"""Partitioners: how key-value records map to reduce partitions.
+
+Mirrors Spark's two built-in partitioners (§II-A of the paper):
+
+* :class:`HashPartitioner` — stable hash of the key modulo the partition
+  count. Insensitive to data content, but hot keys pile into one
+  partition.
+* :class:`RangePartitioner` — split points estimated by sampling the key
+  distribution; keys fall into approximately equal-*count* ranges. Robust
+  to hot-key skew of distinct keys, but a range scheme tuned on one RDD
+  can skew another (§III-B).
+
+Equality is structural (type + parameters) because co-partitioning
+decisions — "these two RDDs can be joined without a shuffle" — hinge on
+partitioner equality, exactly as in Spark.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from typing import Any, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import seeded_rng
+
+
+def stable_hash(key: Any) -> int:
+    """Process-independent hash used by :class:`HashPartitioner`.
+
+    Python's builtin ``hash`` is salted per process for str/bytes; CRC32
+    over a canonical encoding gives identical partition assignment across
+    runs, which the deterministic benchmarks rely on.
+    """
+    if isinstance(key, (int, np.integer)):
+        value = int(key)
+        # Variable-length encoding: arbitrary-precision ints must not
+        # overflow a fixed width (hypothesis found 2**127 keys).
+        width = max((value.bit_length() + 8) // 8, 1)
+        return zlib.crc32(value.to_bytes(width, "little", signed=True))
+    if isinstance(key, bytes):
+        return zlib.crc32(key)
+    if isinstance(key, str):
+        return zlib.crc32(key.encode("utf-8"))
+    if isinstance(key, float):
+        return zlib.crc32(repr(key).encode("utf-8"))
+    if isinstance(key, tuple):
+        acc = 0x9E3779B9
+        for part in key:
+            acc = zlib.crc32(acc.to_bytes(8, "little") + stable_hash(part).to_bytes(8, "little"))
+        return acc
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+class Partitioner:
+    """Maps record keys to partition indices in ``[0, num_partitions)``."""
+
+    kind: str = "custom"
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ConfigurationError(
+                f"num_partitions must be >= 1, got {num_partitions}"
+            )
+        self.num_partitions = int(num_partitions)
+
+    def partition(self, key: Any) -> int:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__  # type: ignore[union-attr]
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:  # pragma: no cover - dict key usage only
+        return hash((type(self).__name__, self.num_partitions))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.num_partitions})"
+
+
+class HashPartitioner(Partitioner):
+    """Spark's default partitioner: ``stable_hash(key) % n``."""
+
+    kind = "hash"
+
+    def partition(self, key: Any) -> int:
+        return stable_hash(key) % self.num_partitions
+
+
+class RangePartitioner(Partitioner):
+    """Range partitioner with sampled split points.
+
+    ``bounds`` has ``num_partitions - 1`` ascending keys; a key lands in
+    the first range whose upper bound is >= the key (binary search, like
+    Spark's ``RangePartitioner`` for small partition counts).
+    """
+
+    kind = "range"
+
+    def __init__(self, num_partitions: int, bounds: Sequence[Any]) -> None:
+        super().__init__(num_partitions)
+        bounds = list(bounds)
+        if len(bounds) > num_partitions - 1:
+            raise ConfigurationError(
+                f"too many bounds ({len(bounds)}) for {num_partitions} partitions"
+            )
+        if any(bounds[i] > bounds[i + 1] for i in range(len(bounds) - 1)):
+            raise ConfigurationError("range bounds must be ascending")
+        self.bounds: List[Any] = bounds
+
+    def partition(self, key: Any) -> int:
+        try:
+            return bisect.bisect_left(self.bounds, key)
+        except TypeError:
+            # A range scheme built on one RDD's keys can meet another
+            # RDD with an incomparable key type (a shared CHOPPER group,
+            # or Spark's own mis-use); degrade to hashing rather than
+            # failing the stage.
+            return stable_hash(key) % self.num_partitions
+
+    @classmethod
+    def from_sample(
+        cls,
+        keys: Iterable[Any],
+        num_partitions: int,
+        sample_size: int = 1000,
+        seed: int = 0,
+    ) -> "RangePartitioner":
+        """Build split points by sampling ``keys``, as Spark does.
+
+        Draws up to ``sample_size`` keys (uniform without replacement),
+        sorts them, and picks equally spaced quantiles as bounds. With
+        fewer distinct sampled keys than partitions, the trailing
+        partitions simply stay empty — the same degenerate behaviour real
+        range partitioning exhibits on low-cardinality keys.
+        """
+        all_keys = list(keys)
+        if not all_keys:
+            return cls(num_partitions, [])
+        rng = seeded_rng(seed)
+        if len(all_keys) > sample_size:
+            idx = rng.choice(len(all_keys), size=sample_size, replace=False)
+            sample = sorted(all_keys[i] for i in idx)
+        else:
+            sample = sorted(all_keys)
+        bounds = []
+        for i in range(1, num_partitions):
+            pos = int(round(i * len(sample) / num_partitions))
+            pos = min(max(pos, 0), len(sample) - 1)
+            bound = sample[pos]
+            if not bounds or bound > bounds[-1]:
+                bounds.append(bound)
+        return cls(num_partitions, bounds)
+
+
+def make_partitioner(
+    kind: str,
+    num_partitions: int,
+    sample_keys: Optional[Iterable[Any]] = None,
+    seed: int = 0,
+) -> Partitioner:
+    """Factory used when applying a CHOPPER config tuple.
+
+    ``kind`` is ``"hash"`` or ``"range"``; range construction requires
+    ``sample_keys`` to estimate split points from.
+    """
+    if kind == "hash":
+        return HashPartitioner(num_partitions)
+    if kind == "range":
+        if sample_keys is None:
+            raise ConfigurationError("range partitioner requires sample keys")
+        return RangePartitioner.from_sample(sample_keys, num_partitions, seed=seed)
+    raise ConfigurationError(f"unknown partitioner kind {kind!r}")

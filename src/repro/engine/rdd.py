@@ -1,0 +1,848 @@
+"""Resilient Distributed Datasets: the engine's user-facing data API.
+
+Faithful to Spark's RDD semantics at the granularity the paper cares
+about:
+
+* transformations are **lazy** and build a lineage DAG of narrow and
+  shuffle dependencies;
+* actions submit a job to the DAGScheduler, which cuts the lineage into
+  stages at shuffle boundaries;
+* a partition is the unit of parallelism — one task per partition;
+* ``partitioner`` metadata propagates through partitioning-preserving ops
+  so joins/aggregations over co-partitioned RDDs skip the shuffle.
+
+Computations run for real on the (physically small) records; only *time*
+is simulated. Each RDD carries a ``size_scale`` converting physical bytes
+to the virtual dataset size it represents (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+from repro.common.errors import ConfigurationError, WorkloadError
+from repro.common.rng import derive_seed, seeded_rng
+from repro.common.sizing import estimate_partition_size
+from repro.engine.dependencies import (
+    Aggregator,
+    CoalesceDependency,
+    Dependency,
+    NarrowDependency,
+    OneToOneDependency,
+    RangeNarrowDependency,
+    ShuffleDependency,
+)
+from repro.engine.partitioner import HashPartitioner, Partitioner
+from repro.engine.task import TaskContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.context import AnalyticsContext
+
+
+class RDD:
+    """Base class: lineage node with lazy transformations and actions."""
+
+    def __init__(
+        self,
+        ctx: "AnalyticsContext",
+        deps: List[Dependency],
+        op_name: str,
+        compute_factor: float = 1.0,
+    ) -> None:
+        self.ctx = ctx
+        self.id = ctx.next_rdd_id()
+        self.deps = deps
+        self.op_name = op_name
+        self.compute_factor = compute_factor
+        self._cached = False
+        self._signature: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Structural properties
+    # ------------------------------------------------------------------
+
+    @property
+    def num_partitions(self) -> int:
+        """Partition count; narrow RDDs inherit their (first) parent's."""
+        return self.deps[0].parent.num_partitions
+
+    @property
+    def partitioner(self) -> Optional[Partitioner]:
+        """How this RDD's records are known to be partitioned, if at all."""
+        return None
+
+    @property
+    def size_scale(self) -> float:
+        """Multiplier from physical record bytes to virtual bytes."""
+        return max(dep.parent.size_scale for dep in self.deps)
+
+    @property
+    def signature(self) -> str:
+        """Structural stage signature (paper §III-A).
+
+        A stable hash over the operation name and the parents' signatures
+        — *not* over partition counts or RDD ids — so the repeated stages
+        of an iterative workload (KMeans stages 12-17) share one
+        signature and one CHOPPER config entry / trained model.
+        """
+        if self._signature is None:
+            h = hashlib.blake2b(digest_size=8)
+            h.update(self.op_name.encode())
+            for dep in self.deps:
+                tag = b"S" if isinstance(dep, ShuffleDependency) else b"N"
+                h.update(tag)
+                h.update(dep.parent.signature.encode())
+            self._signature = h.hexdigest()
+        return self._signature
+
+    def shuffle_deps(self) -> List[ShuffleDependency]:
+        return [d for d in self.deps if isinstance(d, ShuffleDependency)]
+
+    def narrow_deps(self) -> List[NarrowDependency]:
+        return [d for d in self.deps if isinstance(d, NarrowDependency)]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def compute(self, split: int, task: TaskContext) -> List:
+        """Produce this RDD's records for one partition (subclass hook)."""
+        raise NotImplementedError
+
+    def materialize(self, split: int, task: TaskContext) -> List:
+        """Compute (or fetch from cache) one partition, with accounting.
+
+        The step's compute is priced on ``max(input, output)`` virtual
+        bytes: a step that expands data pays for its output, a step that
+        collapses a big partition into a small aggregate still pays for
+        scanning the partition.
+        """
+        if self._cached:
+            block = self.ctx.block_store.get(self.id, split)
+            if block is not None:
+                task.note_cache_read(block.nbytes, src_node=block.node)
+                task.rdd_bytes[self.id] = block.nbytes
+                return block.records
+        records = self.compute(split, task)
+        raw_bytes = estimate_partition_size(records) * self.size_scale
+        input_bytes = task.input_hints.get(self.id, 0.0)
+        for dep in self.narrow_deps():
+            input_bytes = max(input_bytes, task.rdd_bytes.get(dep.parent.id, 0.0))
+        work_bytes = max(raw_bytes, input_bytes)
+        task.note_compute(work_bytes * self.compute_factor, len(records), work_bytes)
+        task.rdd_bytes[self.id] = raw_bytes
+        if self._cached and not task.probe:
+            self.ctx.block_store.put(self.id, split, records, raw_bytes, task.node)
+        return records
+
+    # ------------------------------------------------------------------
+    # Caching
+    # ------------------------------------------------------------------
+
+    def cache(self) -> "RDD":
+        """Keep computed partitions in the block store."""
+        self._cached = True
+        return self
+
+    persist = cache
+
+    def unpersist(self) -> "RDD":
+        self._cached = False
+        self.ctx.block_store.evict_rdd(self.id)
+        return self
+
+    @property
+    def is_cached(self) -> bool:
+        return self._cached
+
+    # ------------------------------------------------------------------
+    # Narrow transformations
+    # ------------------------------------------------------------------
+
+    def map_partitions(
+        self,
+        fn: Callable[[int, List], List],
+        op_name: str = "mapPartitions",
+        preserves_partitioning: bool = False,
+        cost: float = 1.0,
+        out_scale: Optional[float] = None,
+    ) -> "RDD":
+        """Apply ``fn(split_index, records) -> records`` per partition.
+
+        ``cost`` is this step's compute weight (seconds per virtual byte
+        relative to the engine baseline) — workloads use it to declare
+        that e.g. a distance computation is heavier than a projection.
+
+        ``out_scale`` overrides the output's virtual-size multiplier. By
+        default the parent's ``size_scale`` is inherited (right for 1:1
+        record transforms); an *aggregating* step whose output is
+        physically true-sized (per-partition sums, sketches) must pass
+        ``out_scale=1.0`` or its few output records would be billed as
+        gigabytes.
+        """
+        return MapPartitionsRDD(
+            self, fn, op_name, preserves_partitioning, cost, out_scale
+        )
+
+    def map(self, f: Callable, cost: float = 1.0) -> "RDD":
+        return self.map_partitions(
+            lambda _s, recs: [f(r) for r in recs], op_name="map", cost=cost
+        )
+
+    def flat_map(self, f: Callable, cost: float = 1.0) -> "RDD":
+        return self.map_partitions(
+            lambda _s, recs: [y for r in recs for y in f(r)],
+            op_name="flatMap",
+            cost=cost,
+        )
+
+    def filter(self, pred: Callable, cost: float = 1.0) -> "RDD":
+        return self.map_partitions(
+            lambda _s, recs: [r for r in recs if pred(r)],
+            op_name="filter",
+            preserves_partitioning=True,
+            cost=cost,
+        )
+
+    def glom(self) -> "RDD":
+        return self.map_partitions(lambda _s, recs: [recs], op_name="glom")
+
+    def key_by(self, f: Callable) -> "RDD":
+        return self.map_partitions(
+            lambda _s, recs: [(f(r), r) for r in recs], op_name="keyBy"
+        )
+
+    def keys(self) -> "RDD":
+        # NOT partitioning-preserving: the records change from (k, v) to
+        # k, so a downstream op keying on record[0] would mis-read the
+        # inherited partitioner and skip a needed shuffle (caught by the
+        # oracle property tests). Matches Spark, where keys() is a map.
+        return self.map_partitions(
+            lambda _s, recs: [k for k, _v in recs],
+            op_name="keys",
+        )
+
+    def values(self) -> "RDD":
+        return self.map_partitions(
+            lambda _s, recs: [v for _k, v in recs], op_name="values"
+        )
+
+    def map_values(self, f: Callable, cost: float = 1.0) -> "RDD":
+        return self.map_partitions(
+            lambda _s, recs: [(k, f(v)) for k, v in recs],
+            op_name="mapValues",
+            preserves_partitioning=True,
+            cost=cost,
+        )
+
+    def flat_map_values(self, f: Callable, cost: float = 1.0) -> "RDD":
+        return self.map_partitions(
+            lambda _s, recs: [(k, y) for k, v in recs for y in f(v)],
+            op_name="flatMapValues",
+            preserves_partitioning=True,
+            cost=cost,
+        )
+
+    def sample(self, fraction: float, seed: int = 0) -> "RDD":
+        """Bernoulli sample of each partition (deterministic per split)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise WorkloadError(f"sample fraction must be in [0, 1], got {fraction}")
+
+        def _sample(split: int, recs: List) -> List:
+            rng = seeded_rng(derive_seed(seed, "sample", split))
+            mask = rng.random(len(recs)) < fraction
+            return [r for r, keep in zip(recs, mask) if keep]
+
+        return self.map_partitions(_sample, op_name="sample", preserves_partitioning=True)
+
+    def union(self, other: "RDD") -> "RDD":
+        return UnionRDD(self.ctx, [self, other])
+
+    def zip_with_index(self) -> "RDD":
+        """Pair each record with its global index (Spark's zipWithIndex).
+
+        Like Spark, this runs a lightweight counting job first to learn
+        the per-partition offsets.
+        """
+        counts = self.ctx.run_job(self, lambda _s, recs: len(recs))
+        offsets = [0]
+        for count in counts[:-1]:
+            offsets.append(offsets[-1] + count)
+
+        return self.map_partitions(
+            lambda s, recs: [
+                (r, offsets[s] + i) for i, r in enumerate(recs)
+            ],
+            op_name="zipWithIndex",
+        )
+
+    def subtract(self, other: "RDD", num_partitions: Optional[int] = None) -> "RDD":
+        """Records of self that do not appear in ``other``."""
+        left = self.map_partitions(
+            lambda _s, recs: [(r, True) for r in recs], op_name="subtractLeft"
+        )
+        right = other.map_partitions(
+            lambda _s, recs: [(r, False) for r in recs], op_name="subtractRight"
+        )
+        grouped = left.cogroup(right, num_partitions=num_partitions)
+        return grouped.map_partitions(
+            lambda _s, recs: [
+                k for k, (mine, theirs) in recs for _ in mine if not theirs
+            ],
+            op_name="subtract",
+        )
+
+    def intersection(
+        self, other: "RDD", num_partitions: Optional[int] = None
+    ) -> "RDD":
+        """Distinct records present in both RDDs."""
+        left = self.map_partitions(
+            lambda _s, recs: [(r, True) for r in recs], op_name="intersectLeft"
+        )
+        right = other.map_partitions(
+            lambda _s, recs: [(r, True) for r in recs], op_name="intersectRight"
+        )
+        grouped = left.cogroup(right, num_partitions=num_partitions)
+        return grouped.map_partitions(
+            lambda _s, recs: [
+                k for k, (mine, theirs) in recs if mine and theirs
+            ],
+            op_name="intersection",
+        )
+
+    def coalesce(self, num_partitions: int, shuffle: bool = False) -> "RDD":
+        """Reduce the partition count, without (default) or with a shuffle."""
+        if shuffle:
+            return self.repartition(num_partitions)
+        if num_partitions >= self.num_partitions:
+            return self
+        return CoalescedRDD(self, num_partitions)
+
+    def repartition(self, num_partitions: int) -> "RDD":
+        """Round-robin reshuffle into ``num_partitions`` partitions."""
+        from repro.engine.shuffled import ShuffledRDD
+
+        def _tag(split: int, recs: List) -> List:
+            return [((split + i) % num_partitions, r) for i, r in enumerate(recs)]
+
+        tagged = self.map_partitions(_tag, op_name="repartitionTag")
+        shuffled = ShuffledRDD(
+            tagged,
+            HashPartitioner(num_partitions),
+            mode="identity",
+            op_name="repartition",
+        )
+        return shuffled.values()
+
+    # ------------------------------------------------------------------
+    # Shuffle transformations (delegate to repro.engine.shuffled)
+    # ------------------------------------------------------------------
+
+    def _default_partitioner(self, num_partitions: Optional[int]) -> Partitioner:
+        """Spark's defaultPartitioner: reuse a parent partitioner if any."""
+        if num_partitions is None:
+            if self.partitioner is not None:
+                return self.partitioner
+            return HashPartitioner(self.ctx.default_parallelism)
+        return HashPartitioner(num_partitions)
+
+    def combine_by_key(
+        self,
+        create_combiner: Callable,
+        merge_value: Callable,
+        merge_combiners: Callable,
+        num_partitions: Optional[int] = None,
+        partitioner: Optional[Partitioner] = None,
+        map_side_combine: bool = True,
+        op_name: str = "combineByKey",
+    ) -> "RDD":
+        from repro.engine.shuffled import ShuffledRDD
+
+        part = partitioner or self._default_partitioner(num_partitions)
+        agg = Aggregator(create_combiner, merge_value, merge_combiners)
+        return ShuffledRDD(
+            self,
+            part,
+            mode="aggregate",
+            aggregator=agg,
+            map_side_combine=map_side_combine,
+            op_name=op_name,
+            user_fixed=(partitioner is not None or num_partitions is not None),
+        )
+
+    def reduce_by_key(
+        self,
+        fn: Callable,
+        num_partitions: Optional[int] = None,
+        partitioner: Optional[Partitioner] = None,
+    ) -> "RDD":
+        return self.combine_by_key(
+            lambda v: v, fn, fn,
+            num_partitions=num_partitions,
+            partitioner=partitioner,
+            op_name="reduceByKey",
+        )
+
+    def aggregate_by_key(
+        self,
+        zero: Any,
+        seq_op: Callable,
+        comb_op: Callable,
+        num_partitions: Optional[int] = None,
+        partitioner: Optional[Partitioner] = None,
+    ) -> "RDD":
+        def _create(v: Any) -> Any:
+            return seq_op(_copy_zero(zero), v)
+
+        return self.combine_by_key(
+            _create, seq_op, comb_op,
+            num_partitions=num_partitions,
+            partitioner=partitioner,
+            op_name="aggregateByKey",
+        )
+
+    def group_by_key(
+        self,
+        num_partitions: Optional[int] = None,
+        partitioner: Optional[Partitioner] = None,
+    ) -> "RDD":
+        from repro.engine.shuffled import ShuffledRDD
+
+        part = partitioner or self._default_partitioner(num_partitions)
+        return ShuffledRDD(
+            self, part, mode="group", op_name="groupByKey",
+            user_fixed=(partitioner is not None or num_partitions is not None),
+        )
+
+    def group_by(self, f: Callable, num_partitions: Optional[int] = None) -> "RDD":
+        return self.key_by(f).group_by_key(num_partitions=num_partitions)
+
+    def distinct(self, num_partitions: Optional[int] = None) -> "RDD":
+        paired = self.map_partitions(
+            lambda _s, recs: [(r, None) for r in recs], op_name="distinctPair"
+        )
+        return paired.reduce_by_key(
+            lambda a, _b: a, num_partitions=num_partitions
+        ).keys()
+
+    def partition_by(self, partitioner: Partitioner) -> "RDD":
+        from repro.engine.shuffled import ShuffledRDD
+
+        if self.partitioner is not None and self.partitioner == partitioner:
+            return self
+        return ShuffledRDD(
+            self, partitioner, mode="identity", op_name="partitionBy",
+            user_fixed=True,
+        )
+
+    def sort_by_key(
+        self, num_partitions: Optional[int] = None, sample_seed: int = 0
+    ) -> "RDD":
+        from repro.engine.partitioner import RangePartitioner
+        from repro.engine.shuffled import ShuffledRDD
+
+        n = num_partitions or self.ctx.default_parallelism
+        sample = self.ctx.sample_keys(self, max_partitions=4)
+        part = RangePartitioner.from_sample(sample, n, seed=sample_seed)
+        return ShuffledRDD(
+            self, part, mode="identity", sort=True, op_name="sortByKey",
+            user_fixed=(num_partitions is not None),
+        )
+
+    def cogroup(
+        self,
+        other: "RDD",
+        num_partitions: Optional[int] = None,
+        partitioner: Optional[Partitioner] = None,
+    ) -> "RDD":
+        from repro.engine.shuffled import CogroupRDD
+
+        part = partitioner or self._cogroup_default_partitioner(other, num_partitions)
+        return CogroupRDD(
+            self.ctx, [self, other], part,
+            user_fixed=(partitioner is not None or num_partitions is not None),
+        )
+
+    def _cogroup_default_partitioner(
+        self, other: "RDD", num_partitions: Optional[int]
+    ) -> Partitioner:
+        if num_partitions is None:
+            for rdd in (self, other):
+                if rdd.partitioner is not None:
+                    return rdd.partitioner
+            return HashPartitioner(self.ctx.default_parallelism)
+        return HashPartitioner(num_partitions)
+
+    def join(
+        self,
+        other: "RDD",
+        num_partitions: Optional[int] = None,
+        partitioner: Optional[Partitioner] = None,
+    ) -> "RDD":
+        grouped = self.cogroup(other, num_partitions, partitioner)
+        return grouped.map_partitions(
+            lambda _s, recs: [
+                (k, (a, b)) for k, (left, right) in recs for a in left for b in right
+            ],
+            op_name="join",
+            preserves_partitioning=True,
+        )
+
+    def left_outer_join(
+        self,
+        other: "RDD",
+        num_partitions: Optional[int] = None,
+        partitioner: Optional[Partitioner] = None,
+    ) -> "RDD":
+        grouped = self.cogroup(other, num_partitions, partitioner)
+
+        def _expand(_s: int, recs: List) -> List:
+            out = []
+            for k, (left, right) in recs:
+                for a in left:
+                    if right:
+                        out.extend((k, (a, b)) for b in right)
+                    else:
+                        out.append((k, (a, None)))
+            return out
+
+        return grouped.map_partitions(
+            _expand, op_name="leftOuterJoin", preserves_partitioning=True
+        )
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+
+    def collect(self) -> List:
+        parts = self.ctx.run_job(self, lambda _s, recs: recs)
+        return [r for part in parts for r in part]
+
+    def count(self) -> int:
+        return sum(self.ctx.run_job(self, lambda _s, recs: len(recs)))
+
+    def first(self) -> Any:
+        for part in self.ctx.run_job(self, lambda _s, recs: recs[:1]):
+            if part:
+                return part[0]
+        raise WorkloadError("first() on an empty RDD")
+
+    def take(self, n: int) -> List:
+        out: List = []
+        for part in self.ctx.run_job(self, lambda _s, recs: recs[: max(n, 0)]):
+            out.extend(part)
+            if len(out) >= n:
+                return out[:n]
+        return out
+
+    def reduce(self, fn: Callable) -> Any:
+        sentinel = object()
+
+        def _part(_s: int, recs: List) -> Any:
+            acc: Any = sentinel
+            for r in recs:
+                acc = r if acc is sentinel else fn(acc, r)
+            return acc
+
+        partials = [p for p in self.ctx.run_job(self, _part) if p is not sentinel]
+        if not partials:
+            raise WorkloadError("reduce() on an empty RDD")
+        acc = partials[0]
+        for p in partials[1:]:
+            acc = fn(acc, p)
+        return acc
+
+    def aggregate(self, zero: Any, seq_op: Callable, comb_op: Callable) -> Any:
+        def _part(_s: int, recs: List) -> Any:
+            acc = _copy_zero(zero)
+            for r in recs:
+                acc = seq_op(acc, r)
+            return acc
+
+        acc = _copy_zero(zero)
+        for p in self.ctx.run_job(self, _part):
+            acc = comb_op(acc, p)
+        return acc
+
+    def tree_aggregate(
+        self, zero: Any, seq_op: Callable, comb_op: Callable, scale: int = 8
+    ) -> Any:
+        """Aggregate with an intermediate shuffle level (Spark's treeAggregate).
+
+        Partials are combined into ``scale`` groups by a shuffle before the
+        driver merge — the pattern PCA uses, and a shuffle CHOPPER can tune.
+        """
+        if scale < 1:
+            raise WorkloadError("tree_aggregate scale must be >= 1")
+
+        def _part(split: int, recs: List) -> List:
+            acc = _copy_zero(zero)
+            for r in recs:
+                acc = seq_op(acc, r)
+            return [(split % scale, acc)]
+
+        partials = self.map_partitions(_part, op_name="treeAggregatePartials")
+        combined = partials.reduce_by_key(comb_op, num_partitions=scale)
+        acc = _copy_zero(zero)
+        for _k, v in combined.collect():
+            acc = comb_op(acc, v)
+        return acc
+
+    def fold(self, zero: Any, fn: Callable) -> Any:
+        """Aggregate with a zero value and one associative function."""
+        return self.aggregate(zero, fn, fn)
+
+    def take_ordered(self, n: int, key: Optional[Callable] = None) -> List:
+        """The ``n`` smallest records (by ``key``), globally ordered."""
+        key = key or (lambda r: r)
+
+        def _part(_s: int, recs: List) -> List:
+            return sorted(recs, key=key)[: max(n, 0)]
+
+        candidates: List = []
+        for part in self.ctx.run_job(self, _part):
+            candidates.extend(part)
+        return sorted(candidates, key=key)[:n]
+
+    def top(self, n: int, key: Optional[Callable] = None) -> List:
+        """The ``n`` largest records (by ``key``), descending."""
+        key = key or (lambda r: r)
+
+        def _part(_s: int, recs: List) -> List:
+            return sorted(recs, key=key, reverse=True)[: max(n, 0)]
+
+        candidates: List = []
+        for part in self.ctx.run_job(self, _part):
+            candidates.extend(part)
+        return sorted(candidates, key=key, reverse=True)[:n]
+
+    def max(self) -> Any:
+        return self.reduce(lambda a, b: a if a >= b else b)
+
+    def min(self) -> Any:
+        return self.reduce(lambda a, b: a if a <= b else b)
+
+    def stats(self) -> Dict[str, float]:
+        """Count/mean/min/max/stdev of a numeric RDD in one pass."""
+
+        def _part(_s: int, recs: List):
+            if not recs:
+                return (0, 0.0, 0.0, float("inf"), float("-inf"))
+            total = float(sum(recs))
+            sq = float(sum(r * r for r in recs))
+            return (len(recs), total, sq, float(min(recs)), float(max(recs)))
+
+        count, total, sq = 0, 0.0, 0.0
+        lo, hi = float("inf"), float("-inf")
+        for n, t, s, p_lo, p_hi in self.ctx.run_job(self, _part):
+            count += n
+            total += t
+            sq += s
+            lo = min(lo, p_lo)
+            hi = max(hi, p_hi)
+        if count == 0:
+            raise WorkloadError("stats() on an empty RDD")
+        mean = total / count
+        variance = max(sq / count - mean * mean, 0.0)
+        return {
+            "count": float(count),
+            "mean": mean,
+            "min": lo,
+            "max": hi,
+            "stdev": variance**0.5,
+        }
+
+    def sum(self) -> float:
+        return float(
+            sum(self.ctx.run_job(self, lambda _s, recs: sum(recs) if recs else 0))
+        )
+
+    def mean(self) -> float:
+        total, count = 0.0, 0
+        for part_sum, part_n in self.ctx.run_job(
+            self, lambda _s, recs: (sum(recs), len(recs))
+        ):
+            total += part_sum
+            count += part_n
+        if count == 0:
+            raise WorkloadError("mean() on an empty RDD")
+        return total / count
+
+    def count_by_key(self) -> Dict:
+        counts: Dict = {}
+        for part in self.ctx.run_job(
+            self, lambda _s, recs: [(k, 1) for k, _v in recs]
+        ):
+            for k, n in part:
+                counts[k] = counts.get(k, 0) + n
+        return counts
+
+    def collect_as_map(self) -> Dict:
+        return dict(self.collect())
+
+    def take_sample(self, n: int, seed: int = 0) -> List:
+        """Uniform sample of ``n`` records without replacement."""
+        records = self.collect()
+        if n >= len(records):
+            return records
+        rng = seeded_rng(derive_seed(seed, "takeSample"))
+        idx = rng.choice(len(records), size=n, replace=False)
+        return [records[i] for i in sorted(idx)]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self.id}, op={self.op_name!r})"
+
+
+def _copy_zero(zero: Any) -> Any:
+    """Fresh copy of an aggregation zero value (guards mutable zeros)."""
+    import copy
+
+    return copy.deepcopy(zero)
+
+
+class SourceRDD(RDD):
+    """A re-splittable source: records generated per (split, num_splits).
+
+    ``generator(split, num_splits)`` must deterministically return the
+    records of one partition. Because partition contents are a pure
+    function of the split count, CHOPPER can change a source stage's
+    parallelism (``set_num_partitions``) without changing the dataset —
+    the engine-side hook for tuning stage-0 granularity.
+    """
+
+    def __init__(
+        self,
+        ctx: "AnalyticsContext",
+        generator: Callable[[int, int], List],
+        num_partitions: int,
+        size_scale: float = 1.0,
+        op_name: str = "source",
+        cost: float = 1.0,
+    ) -> None:
+        super().__init__(ctx, [], op_name, compute_factor=cost)
+        if num_partitions < 1:
+            raise ConfigurationError("source needs at least one partition")
+        self._generator = generator
+        self._num_partitions = num_partitions
+        self._size_scale = size_scale
+
+    @property
+    def num_partitions(self) -> int:
+        return self._num_partitions
+
+    @property
+    def size_scale(self) -> float:
+        return self._size_scale
+
+    @property
+    def signature(self) -> str:
+        if self._signature is None:
+            h = hashlib.blake2b(digest_size=8)
+            h.update(b"source:")
+            h.update(self.op_name.encode())
+            self._signature = h.hexdigest()
+        return self._signature
+
+    def set_num_partitions(self, num_partitions: int) -> None:
+        """Re-split the source (CHOPPER stage-0 tuning hook)."""
+        if num_partitions < 1:
+            raise ConfigurationError("source needs at least one partition")
+        if self._cached:
+            self.ctx.block_store.evict_rdd(self.id)
+        self._num_partitions = num_partitions
+
+    def compute(self, split: int, task: TaskContext) -> List:
+        records = list(self._generator(split, self._num_partitions))
+        nbytes = estimate_partition_size(records) * self._size_scale
+        task.note_input(nbytes)
+        return records
+
+
+class MapPartitionsRDD(RDD):
+    """Narrow one-to-one transformation of the parent's partitions."""
+
+    def __init__(
+        self,
+        parent: RDD,
+        fn: Callable[[int, List], List],
+        op_name: str,
+        preserves_partitioning: bool = False,
+        cost: float = 1.0,
+        out_scale: Optional[float] = None,
+    ) -> None:
+        super().__init__(
+            parent.ctx, [OneToOneDependency(parent)], op_name, compute_factor=cost
+        )
+        self._fn = fn
+        self._preserves = preserves_partitioning
+        self._out_scale = out_scale
+
+    @property
+    def partitioner(self) -> Optional[Partitioner]:
+        return self.deps[0].parent.partitioner if self._preserves else None
+
+    @property
+    def size_scale(self) -> float:
+        if self._out_scale is not None:
+            return self._out_scale
+        return self.deps[0].parent.size_scale
+
+    def compute(self, split: int, task: TaskContext) -> List:
+        parent_records = self.deps[0].parent.materialize(split, task)
+        return list(self._fn(split, parent_records))
+
+
+class UnionRDD(RDD):
+    """Concatenation of several RDDs' partition lists (narrow)."""
+
+    def __init__(self, ctx: "AnalyticsContext", parents: List[RDD]) -> None:
+        if not parents:
+            raise ConfigurationError("union needs at least one parent")
+        deps: List[Dependency] = []
+        offset = 0
+        for parent in parents:
+            deps.append(RangeNarrowDependency(parent, offset, parent.num_partitions))
+            offset += parent.num_partitions
+        super().__init__(ctx, deps, "union")
+        self._num_partitions = offset
+
+    @property
+    def num_partitions(self) -> int:
+        return self._num_partitions
+
+    def compute(self, split: int, task: TaskContext) -> List:
+        for dep in self.deps:
+            locals_ = dep.parent_partitions(split)
+            if locals_:
+                return dep.parent.materialize(locals_[0], task)
+        raise ConfigurationError(f"union split {split} out of range")
+
+
+class CoalescedRDD(RDD):
+    """Merge contiguous groups of parent partitions without a shuffle."""
+
+    def __init__(self, parent: RDD, num_partitions: int) -> None:
+        super().__init__(
+            parent.ctx, [CoalesceDependency(parent, num_partitions)], "coalesce"
+        )
+        self._num_partitions = num_partitions
+
+    @property
+    def num_partitions(self) -> int:
+        return self._num_partitions
+
+    def compute(self, split: int, task: TaskContext) -> List:
+        dep = self.deps[0]
+        records: List = []
+        for parent_split in dep.parent_partitions(split):
+            records.extend(dep.parent.materialize(parent_split, task))
+        return records
+
+
+def parallelize_generator(data: List, split: int, num_splits: int) -> List:
+    """Slice ``data`` into ``num_splits`` nearly equal contiguous chunks."""
+    n = len(data)
+    start = (split * n) // num_splits
+    end = ((split + 1) * n) // num_splits
+    return data[start:end]

@@ -1,0 +1,163 @@
+"""Shuffle manager: map-output registry and reduce-side fetch accounting.
+
+Map tasks partition their output by the shuffle dependency's partitioner
+and register per-reduce blocks here (records + virtual bytes + the node
+that produced them). Reduce tasks fetch all blocks for their partition and
+get back the records plus a :class:`FetchStats` describing how many bytes
+were local vs remote per source node — which the cost model converts into
+fetch time and the metrics recorder into network traffic.
+
+Byte accounting uses *virtual* bytes (physical estimate x the writing
+RDD's ``size_scale``) plus a per-non-empty-block header, so shuffle volume
+reproduces the paper's Fig. 4 behaviour: for map-side-combined
+aggregations the payload grows linearly with the map partition count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.common.errors import ShuffleError
+
+
+@dataclass
+class ShuffleBlock:
+    """One (map partition, reduce partition) output block."""
+
+    records: List
+    nbytes: float
+    node: str
+
+
+@dataclass
+class FetchStats:
+    """Accounting for one reduce task's shuffle read."""
+
+    local_bytes: float = 0.0
+    remote_bytes_by_src: Dict[str, float] = field(default_factory=dict)
+    n_blocks: int = 0
+
+    @property
+    def remote_bytes(self) -> float:
+        return sum(self.remote_bytes_by_src.values())
+
+    @property
+    def total_bytes(self) -> float:
+        return self.local_bytes + self.remote_bytes
+
+
+@dataclass
+class _ShuffleState:
+    num_maps: int
+    num_reduces: int
+    # blocks[map_id][reduce_id] -> ShuffleBlock (only non-empty stored)
+    blocks: Dict[int, Dict[int, ShuffleBlock]] = field(default_factory=dict)
+    bytes_written: float = 0.0
+
+
+class ShuffleManager:
+    """Registry of all shuffles of one context."""
+
+    def __init__(self, block_header: float = 64.0) -> None:
+        self._shuffles: Dict[int, _ShuffleState] = {}
+        self.block_header = block_header
+
+    def register(self, shuffle_id: int, num_maps: int, num_reduces: int) -> None:
+        """(Re-)declare a shuffle's dimensions before its map stage runs."""
+        self._shuffles[shuffle_id] = _ShuffleState(num_maps, num_reduces)
+
+    def is_registered(self, shuffle_id: int) -> bool:
+        return shuffle_id in self._shuffles
+
+    def put_map_output(
+        self,
+        shuffle_id: int,
+        map_id: int,
+        node: str,
+        partitioned: Dict[int, Tuple[List, float]],
+    ) -> float:
+        """Store one map task's output blocks.
+
+        ``partitioned`` maps reduce partition id -> (records, payload
+        bytes). Returns the total bytes written (payload + headers), which
+        the caller charges as shuffle write.
+        """
+        state = self._state(shuffle_id)
+        if not 0 <= map_id < state.num_maps:
+            raise ShuffleError(
+                f"map id {map_id} out of range for shuffle {shuffle_id} "
+                f"({state.num_maps} maps)"
+            )
+        previous = state.blocks.get(map_id)
+        if previous is not None:
+            # A re-executed (retried or speculative) map task replaces its
+            # output; don't double-count the bytes.
+            state.bytes_written -= sum(b.nbytes for b in previous.values())
+        blocks: Dict[int, ShuffleBlock] = {}
+        written = 0.0
+        for reduce_id, (records, payload) in partitioned.items():
+            if not 0 <= reduce_id < state.num_reduces:
+                raise ShuffleError(
+                    f"reduce id {reduce_id} out of range for shuffle "
+                    f"{shuffle_id} ({state.num_reduces} reduces)"
+                )
+            if not records:
+                continue
+            nbytes = payload + self.block_header
+            blocks[reduce_id] = ShuffleBlock(records=records, nbytes=nbytes, node=node)
+            written += nbytes
+        state.blocks[map_id] = blocks
+        state.bytes_written += written
+        return written
+
+    def fetch(
+        self, shuffle_id: int, reduce_id: int, dst_node: str
+    ) -> Tuple[List, FetchStats]:
+        """Collect all records for ``reduce_id``, with byte accounting."""
+        state = self._state(shuffle_id)
+        if len(state.blocks) < state.num_maps:
+            raise ShuffleError(
+                f"shuffle {shuffle_id}: fetch before all map outputs ready "
+                f"({len(state.blocks)}/{state.num_maps})"
+            )
+        records: List = []
+        stats = FetchStats()
+        for map_id in range(state.num_maps):
+            block = state.blocks[map_id].get(reduce_id)
+            if block is None:
+                continue
+            records.extend(block.records)
+            stats.n_blocks += 1
+            if block.node == dst_node:
+                stats.local_bytes += block.nbytes
+            else:
+                stats.remote_bytes_by_src[block.node] = (
+                    stats.remote_bytes_by_src.get(block.node, 0.0) + block.nbytes
+                )
+        return records, stats
+
+    def map_output_nodes(self, shuffle_id: int, reduce_id: int) -> Dict[str, float]:
+        """Bytes available per node for one reduce partition (for locality)."""
+        state = self._state(shuffle_id)
+        by_node: Dict[str, float] = {}
+        for blocks in state.blocks.values():
+            block = blocks.get(reduce_id)
+            if block is not None:
+                by_node[block.node] = by_node.get(block.node, 0.0) + block.nbytes
+        return by_node
+
+    def bytes_written(self, shuffle_id: int) -> float:
+        return self._state(shuffle_id).bytes_written
+
+    def num_reduces(self, shuffle_id: int) -> int:
+        return self._state(shuffle_id).num_reduces
+
+    def clear(self) -> None:
+        self._shuffles.clear()
+
+    def _state(self, shuffle_id: int) -> _ShuffleState:
+        try:
+            return self._shuffles[shuffle_id]
+        except KeyError:
+            raise ShuffleError(f"shuffle {shuffle_id} was never registered") from None

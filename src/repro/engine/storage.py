@@ -1,0 +1,121 @@
+"""Block store: in-memory cache of materialized RDD partitions.
+
+Persisted RDDs (``rdd.cache()``) drop their computed partitions here,
+tagged with the node that produced them. Later tasks that need the same
+partition hit the cache instead of recomputing the lineage — and the task
+scheduler uses :meth:`BlockStore.location` as a locality preference so the
+hit is usually node-local, like Spark's BlockManager.
+
+Like Spark's storage memory, each node's cache capacity is bounded
+(``capacity_for``): inserting past the bound evicts the node's
+least-recently-used blocks. A later read of an evicted partition misses
+and the lineage recomputes it — RDD fault tolerance in miniature, and the
+storage-pressure interaction that makes partition sizing matter for
+cached iterative workloads.
+
+Virtual byte totals per node feed the memory-utilization metric
+(paper Fig. 12).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+@dataclass
+class CachedBlock:
+    records: List
+    nbytes: float
+    node: str
+
+
+class BlockStore:
+    """Cluster-wide cache keyed by ``(rdd_id, partition_index)``.
+
+    ``capacity_for(node) -> bytes`` bounds each node's cache; ``None``
+    (the default) means unbounded. Eviction is LRU per node and never
+    evicts to fit a block larger than the node's whole capacity — such a
+    block is simply not cached (Spark drops it to recompute too).
+    """
+
+    def __init__(
+        self, capacity_for: Optional[Callable[[str], float]] = None
+    ) -> None:
+        # Per-node LRU: node -> OrderedDict[(rdd_id, split) -> CachedBlock]
+        self._by_node: Dict[str, OrderedDict] = {}
+        self._index: Dict[Tuple[int, int], CachedBlock] = {}
+        self._node_bytes: Dict[str, float] = {}
+        self._capacity_for = capacity_for
+        self.evictions = 0
+
+    def put(
+        self, rdd_id: int, split: int, records: List, nbytes: float, node: str
+    ) -> bool:
+        """Insert a block, evicting LRU blocks on the node if needed.
+
+        Returns False when the block exceeds the node's whole capacity
+        and was not cached.
+        """
+        key = (rdd_id, split)
+        old = self._index.get(key)
+        if old is not None:
+            self._remove(key, old)
+        capacity = (
+            self._capacity_for(node) if self._capacity_for is not None else None
+        )
+        if capacity is not None:
+            if nbytes > capacity:
+                return False
+            lru = self._by_node.get(node)
+            while (
+                lru and self._node_bytes.get(node, 0.0) + nbytes > capacity
+            ):
+                evict_key, evict_block = next(iter(lru.items()))
+                self._remove(evict_key, evict_block)
+                self.evictions += 1
+        block = CachedBlock(records=records, nbytes=nbytes, node=node)
+        self._by_node.setdefault(node, OrderedDict())[key] = block
+        self._index[key] = block
+        self._node_bytes[node] = self._node_bytes.get(node, 0.0) + nbytes
+        return True
+
+    def get(self, rdd_id: int, split: int) -> Optional[CachedBlock]:
+        key = (rdd_id, split)
+        block = self._index.get(key)
+        if block is not None:
+            # Touch for LRU recency.
+            lru = self._by_node[block.node]
+            lru.move_to_end(key)
+        return block
+
+    def location(self, rdd_id: int, split: int) -> Optional[str]:
+        block = self._index.get((rdd_id, split))
+        return block.node if block else None
+
+    def contains(self, rdd_id: int, split: int) -> bool:
+        return (rdd_id, split) in self._index
+
+    def evict_rdd(self, rdd_id: int) -> int:
+        """Drop all partitions of one RDD; returns the number evicted."""
+        keys = [k for k in self._index if k[0] == rdd_id]
+        for key in keys:
+            self._remove(key, self._index[key])
+        return len(keys)
+
+    def bytes_on_node(self, node: str) -> float:
+        return self._node_bytes.get(node, 0.0)
+
+    def total_bytes(self) -> float:
+        return sum(self._node_bytes.values())
+
+    def clear(self) -> None:
+        self._by_node.clear()
+        self._index.clear()
+        self._node_bytes.clear()
+
+    def _remove(self, key: Tuple[int, int], block: CachedBlock) -> None:
+        del self._index[key]
+        del self._by_node[block.node][key]
+        self._node_bytes[block.node] -= block.nbytes

@@ -1,0 +1,445 @@
+"""Task scheduling: dispatching stage tasks onto simulated executors.
+
+A pull-style dispatcher over the cluster's worker cores:
+
+* every worker node runs one executor with ``cores`` slots;
+* queued tasks are first matched against their locality preferences
+  (cached blocks, shuffle-output concentration), then spread FIFO onto
+  whichever executor has the most free cores;
+* when a task's simulated duration elapses, the slot frees and the next
+  queued task launches — so fast nodes naturally take more tasks, which
+  is how heterogeneity shapes stage makespan in the paper's testbed.
+
+Optional failure injection (``EngineConf.task_failure_rate``) aborts a
+task partway through its simulated run and requeues it, Spark-style, up
+to ``max_task_attempts`` — the knob behind the paper's future-work
+question about behaviour under failures.
+
+With ``EngineConf.copartition_scheduling`` enabled (CHOPPER mode), task
+preferences additionally rank nodes by how many input bytes (map outputs
+of all incoming shuffles) already sit there, so co-partitioned join sides
+are read locally whenever possible (§III: the co-partitioning-aware
+component).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, Dict, Optional
+
+from repro.common.errors import SchedulingError
+from repro.common.rng import derive_seed, seeded_rng
+from repro.engine.executor import TaskRunner
+from repro.engine.listener import TaskMetrics
+from repro.engine.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.node import NodeSpec
+    from repro.engine.context import AnalyticsContext
+    from repro.engine.dag_scheduler import StageRun
+
+
+@dataclass
+class _ExecutorState:
+    spec: "NodeSpec"
+    free_cores: int
+    running: int = 0
+
+
+@dataclass
+class _Attempt:
+    """One running attempt of a task (speculation may run two)."""
+
+    executor: "_ExecutorState"
+    start: float
+    event: object = None
+    speculative: bool = False
+    working_bytes: float = 0.0
+
+
+@dataclass
+class _QueuedTask:
+    stage_run: "StageRun"
+    task: Task
+    attempts: list = None
+    done: bool = False
+    speculated: bool = False
+    enqueued_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.attempts is None:
+            self.attempts = []
+
+
+class TaskScheduler:
+    """Global FIFO task queue with locality-preferring dispatch."""
+
+    def __init__(self, ctx: "AnalyticsContext") -> None:
+        self.ctx = ctx
+        self.runner = TaskRunner(ctx)
+        self._executors: Dict[str, _ExecutorState] = {
+            worker.name: _ExecutorState(spec=worker, free_cores=worker.cores)
+            for worker in ctx.cluster.workers
+        }
+        self._queue: Deque[_QueuedTask] = deque()
+        # Tasks with at least one running attempt (speculation scans this).
+        self._running_tasks: list = []
+        # Diagnostics: speculative attempts launched / that won their race.
+        self.speculative_launches = 0
+        self.speculative_wins = 0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit_stage(self, stage_run: "StageRun") -> None:
+        """Queue a stage's tasks, staggered by the driver dispatch rate.
+
+        The driver serializes and launches tasks one at a time; task ``i``
+        becomes runnable ``i * driver_dispatch_interval`` after stage
+        start. With thousands of tasks this serial ramp is a real cost —
+        the paper's 2000-partition pathology.
+        """
+        interval = self.ctx.conf.cost.driver_dispatch_interval
+        if interval <= 0:
+            for task in stage_run.tasks:
+                queued = _QueuedTask(stage_run=stage_run, task=task)
+                queued.enqueued_at = self.ctx.sim.now
+                self._queue.append(queued)
+            self._dispatch()
+            return
+        for i, task in enumerate(stage_run.tasks):
+            self.ctx.sim.schedule(
+                i * interval, self._enqueue, _QueuedTask(stage_run=stage_run, task=task)
+            )
+
+    def _enqueue(self, queued: "_QueuedTask") -> None:
+        queued.enqueued_at = self.ctx.sim.now
+        self._queue.append(queued)
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        if not self._queue:
+            return
+        # Pass 1: honor locality preferences where a core is free.
+        deferred: Deque[_QueuedTask] = deque()
+        while self._queue:
+            queued = self._queue.popleft()
+            executor = self._match_preference(queued.task)
+            if executor is not None:
+                self._launch(queued, executor)
+            else:
+                deferred.append(queued)
+        self._queue = deferred
+        # Pass 2: FIFO spread onto the executor with the most free cores.
+        # Delay scheduling (Spark's locality wait): a task with locality
+        # preferences holds out for a preferred core for up to
+        # ``locality_wait`` seconds before accepting any slot.
+        wait = self.ctx.conf.locality_wait
+        now = self.ctx.sim.now
+        held: Deque[_QueuedTask] = deque()
+        while self._queue:
+            executor = self._most_free_executor()
+            if executor is None:
+                break
+            queued = self._queue.popleft()
+            if (
+                wait > 0
+                and queued.task.preferred_nodes
+                and now - queued.enqueued_at < wait
+            ):
+                if not queued.attempts and not self._wait_timer_set(queued):
+                    deadline = queued.enqueued_at + wait
+                    queued._wait_timer = self.ctx.sim.schedule_at(
+                        deadline, self._dispatch
+                    )
+                held.append(queued)
+                continue
+            self._launch(queued, executor)
+        self._queue.extend(held)
+
+    @staticmethod
+    def _wait_timer_set(queued: "_QueuedTask") -> bool:
+        return getattr(queued, "_wait_timer", None) is not None
+
+    def _match_preference(self, task: Task) -> Optional[_ExecutorState]:
+        for pref in task.preferred_nodes:
+            executor = self._executors.get(pref)
+            if executor is not None and executor.free_cores > 0:
+                return executor
+        return None
+
+    def _most_free_executor(
+        self, exclude: Optional[str] = None
+    ) -> Optional[_ExecutorState]:
+        best: Optional[_ExecutorState] = None
+        for name in sorted(self._executors):
+            if name == exclude:
+                continue
+            executor = self._executors[name]
+            if executor.free_cores <= 0:
+                continue
+            if best is None or executor.free_cores > best.free_cores:
+                best = executor
+        return best
+
+    # ------------------------------------------------------------------
+    # Task lifecycle
+    # ------------------------------------------------------------------
+
+    def _launch(
+        self,
+        queued: _QueuedTask,
+        executor: _ExecutorState,
+        speculative: bool = False,
+    ) -> None:
+        executor.free_cores -= 1
+        executor.running += 1
+        sim = self.ctx.sim
+        start = sim.now
+        task = queued.task
+        stage_run = queued.stage_run
+        attempt = _Attempt(executor=executor, start=start, speculative=speculative)
+        queued.attempts.append(attempt)
+        if queued not in self._running_tasks:
+            self._running_tasks.append(queued)
+
+        if self._should_fail(stage_run, task, speculative):
+            # The attempt dies partway through: burn some simulated time
+            # on the core, produce no side effects, then retry (unless a
+            # sibling attempt is still running).
+            fail_after = self._failure_delay(stage_run, task)
+            attempt.event = sim.schedule(
+                fail_after, self._on_attempt_failed, queued, attempt
+            )
+            return
+
+        breakdown, tctx, result = self.runner.execute(
+            stage_run.stage, task, executor.spec, stage_run.result_fn
+        )
+        if self.ctx.conf.cost.network_contention:
+            # The NIC is shared: remote fetch slows with the node's
+            # concurrency at launch (a coarse fair-share model).
+            sharers = min(executor.running, executor.spec.cores)
+            breakdown.shuffle_fetch *= max(1, sharers)
+        duration = breakdown.total * self._jitter(stage_run, task, speculative)
+        attempt.working_bytes = tctx.max_partition_bytes
+        metrics = TaskMetrics(
+            stage_run_id=stage_run.stats.stage_run_id,
+            task_index=task.partition,
+            node=executor.spec.name,
+            start=start,
+            end=start + duration,
+            input_bytes=tctx.input_bytes,
+            cache_read_bytes=tctx.cache_read_bytes,
+            compute_bytes=tctx.compute_bytes,
+            records_out=tctx.records_out,
+            shuffle_read_local=tctx.shuffle_read_local,
+            shuffle_read_remote=tctx.shuffle_read_remote,
+            shuffle_write=tctx.shuffle_write,
+        )
+        self._record_io_events(tctx, executor.spec, start)
+        attempt.event = sim.schedule(
+            duration, self._on_attempt_done, queued, attempt, metrics, result
+        )
+
+    def _release(self, attempt: _Attempt) -> None:
+        attempt.executor.free_cores += 1
+        attempt.executor.running -= 1
+
+    def _on_attempt_done(
+        self,
+        queued: _QueuedTask,
+        attempt: _Attempt,
+        metrics: TaskMetrics,
+        result: object,
+    ) -> None:
+        self._release(attempt)
+        queued.attempts.remove(attempt)
+        if queued.done:  # pragma: no cover - losers are cancelled, not run
+            self._dispatch()
+            return
+        queued.done = True
+        if attempt.speculative:
+            self.speculative_wins += 1
+        self._record_busy_span(attempt)
+        # Kill the losing sibling attempt(s): cancel their completion and
+        # free their cores now; their partial busy time is recorded.
+        for loser in list(queued.attempts):
+            if loser.event is not None:
+                loser.event.cancel()
+            self._release(loser)
+            self._record_busy_span(loser)
+        queued.attempts.clear()
+        self._running_tasks.remove(queued)
+        queued.stage_run.task_finished(queued.task, metrics, result)
+        self.ctx.listener_bus.task_end(metrics)
+        self._maybe_speculate(queued.stage_run)
+        self._dispatch()
+
+    def _on_attempt_failed(self, queued: _QueuedTask, attempt: _Attempt) -> None:
+        self._release(attempt)
+        queued.attempts.remove(attempt)
+        task = queued.task
+        self.ctx.metrics.record_interval(
+            "cpu", attempt.executor.spec.name, attempt.start, self.ctx.sim.now, 1.0
+        )
+        if queued.attempts:
+            # A sibling (speculative) attempt is still running; let it win.
+            self._dispatch()
+            return
+        self._running_tasks.remove(queued)
+        task.attempt += 1
+        if task.attempt >= self.ctx.conf.max_task_attempts:
+            raise SchedulingError(
+                f"task {task.label} failed {task.attempt} times; aborting stage "
+                f"{queued.stage_run.stage.name}"
+            )
+        queued.speculated = False
+        self._queue.append(queued)
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Speculative execution
+    # ------------------------------------------------------------------
+
+    def _maybe_speculate(self, stage_run: "StageRun") -> None:
+        """Launch duplicate attempts for stragglers (Spark speculation).
+
+        Both attempts execute the real computation, so a speculative map
+        task re-registers identical shuffle blocks (the registry replaces
+        them); the simulated cost of the duplicate work is charged.
+        """
+        conf = self.ctx.conf
+        if not conf.speculation:
+            return
+        completed = stage_run.stats.tasks
+        total = len(stage_run.tasks)
+        if total == 0 or len(completed) < conf.speculation_quantile * total:
+            return
+        durations = sorted(t.duration for t in completed)
+        median = durations[len(durations) // 2]
+        threshold = conf.speculation_multiplier * max(median, 1e-9)
+        now = self.ctx.sim.now
+        for queued in list(self._running_tasks):
+            if queued.stage_run is not stage_run or queued.done:
+                continue
+            if queued.speculated or not queued.attempts:
+                continue
+            if now - queued.attempts[0].start <= threshold:
+                continue
+            executor = self._most_free_executor(
+                exclude=queued.attempts[0].executor.spec.name
+            )
+            if executor is None:
+                continue
+            queued.speculated = True
+            self.speculative_launches += 1
+            self._launch(queued, executor, speculative=True)
+
+    def _jitter(
+        self, stage_run: "StageRun", task: Task, speculative: bool = False
+    ) -> float:
+        """Deterministic lognormal duration noise (stragglers)."""
+        sigma = self.ctx.conf.cost.jitter_sigma
+        if sigma <= 0:
+            return 1.0
+        rng = seeded_rng(
+            derive_seed(
+                self.ctx.conf.seed,
+                "jitter",
+                stage_run.stats.stage_run_id,
+                task.partition,
+                task.attempt,
+                "spec" if speculative else "main",
+            )
+        )
+        return float(rng.lognormal(mean=0.0, sigma=sigma))
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+
+    def _should_fail(
+        self, stage_run: "StageRun", task: Task, speculative: bool = False
+    ) -> bool:
+        rate = self.ctx.conf.task_failure_rate
+        if rate <= 0.0:
+            return False
+        rng = seeded_rng(
+            derive_seed(
+                self.ctx.conf.seed,
+                "task-failure",
+                stage_run.stats.stage_run_id,
+                task.partition,
+                task.attempt,
+                "spec" if speculative else "main",
+            )
+        )
+        return bool(rng.random() < rate)
+
+    def _failure_delay(self, stage_run: "StageRun", task: Task) -> float:
+        rng = seeded_rng(
+            derive_seed(
+                self.ctx.conf.seed,
+                "task-failure-delay",
+                stage_run.stats.stage_run_id,
+                task.partition,
+                task.attempt,
+            )
+        )
+        # Die somewhere in the first few seconds of the attempt.
+        return float(0.1 + rng.random() * 2.0)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def _record_busy_span(self, attempt: _Attempt) -> None:
+        """Record an attempt's actual busy span (winner full, loser partial)."""
+        metrics = self.ctx.metrics
+        name = attempt.executor.spec.name
+        end = self.ctx.sim.now
+        metrics.record_interval("cpu", name, attempt.start, end, 1.0)
+        metrics.record_interval(
+            "mem_working", name, attempt.start, end, attempt.working_bytes
+        )
+
+    def _record_io_events(self, tctx, node: "NodeSpec", start: float) -> None:
+        metrics = self.ctx.metrics
+        name = node.name
+        remote_in = tctx.shuffle_read_remote + sum(
+            tctx.cache_remote_by_src.values()
+        )
+        if remote_in > 0:
+            metrics.record_event("net_bytes", name, start, remote_in)
+        for src, nbytes in tctx.shuffle_read_remote_by_src.items():
+            metrics.record_event("net_bytes", src, start, nbytes)
+        for src, nbytes in tctx.cache_remote_by_src.items():
+            metrics.record_event("net_bytes", src, start, nbytes)
+        disk_bytes = (
+            tctx.input_bytes + tctx.shuffle_write + tctx.shuffle_read_local
+        )
+        if disk_bytes > 0:
+            metrics.record_event(
+                "disk_transactions",
+                name,
+                start,
+                self.runner.cost_model.disk_transactions(disk_bytes),
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, utilization accounting)
+    # ------------------------------------------------------------------
+
+    @property
+    def queued_tasks(self) -> int:
+        return len(self._queue)
+
+    def free_cores(self, node: str) -> int:
+        return self._executors[node].free_cores

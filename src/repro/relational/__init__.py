@@ -1,0 +1,49 @@
+"""A schema'd relational layer over the RDD engine.
+
+The DataFrame-flavored API the paper's SQL workload presumes: tables of
+tuple rows with column expressions, compiled down to the same RDD
+lineage CHOPPER profiles and retunes. See :mod:`repro.relational.table`.
+
+Quick taste::
+
+    from repro.relational import Table, col, sum_
+
+    t = Table.from_rows(ctx, rows, ["cust", "amount"])
+    revenue = (
+        t.where(col("amount") > 0)
+         .group_by("cust")
+         .agg(sum_(col("amount")).alias("revenue"))
+         .order_by("revenue")
+    )
+"""
+
+from repro.relational.expr import (
+    Agg,
+    Col,
+    Expr,
+    Lit,
+    avg,
+    col,
+    count_,
+    lit,
+    max_,
+    min_,
+    sum_,
+)
+from repro.relational.table import GroupedTable, Table
+
+__all__ = [
+    "Table",
+    "GroupedTable",
+    "Expr",
+    "Col",
+    "Lit",
+    "Agg",
+    "col",
+    "lit",
+    "sum_",
+    "count_",
+    "min_",
+    "max_",
+    "avg",
+]

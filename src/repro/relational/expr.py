@@ -1,0 +1,273 @@
+"""Column expressions for the relational layer.
+
+A tiny expression tree — columns, literals, arithmetic, comparisons,
+boolean logic — evaluated per row (a tuple) against a schema. This is
+what lets queries be written as ``col("amount") * 0.9 > lit(100)`` and
+compiled into the engine's map/filter closures.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Sequence, Tuple
+
+
+class Expr:
+    """Base expression; evaluate with :meth:`bind` against a schema."""
+
+    def bind(self, schema: Sequence[str]) -> Callable[[Tuple], Any]:
+        """Compile to a ``row -> value`` callable for the given schema."""
+        raise NotImplementedError
+
+    def references(self) -> set:
+        """Column names this expression reads."""
+        return set()
+
+    @property
+    def label(self) -> str:
+        return repr(self)
+
+    # -- operators ---------------------------------------------------------
+
+    def _binary(self, other: Any, op: Callable, symbol: str) -> "Expr":
+        return BinaryExpr(self, _as_expr(other), op, symbol)
+
+    def __add__(self, other):
+        return self._binary(other, operator.add, "+")
+
+    def __radd__(self, other):
+        return _as_expr(other)._binary(self, operator.add, "+")
+
+    def __sub__(self, other):
+        return self._binary(other, operator.sub, "-")
+
+    def __rsub__(self, other):
+        return _as_expr(other)._binary(self, operator.sub, "-")
+
+    def __mul__(self, other):
+        return self._binary(other, operator.mul, "*")
+
+    def __rmul__(self, other):
+        return _as_expr(other)._binary(self, operator.mul, "*")
+
+    def __truediv__(self, other):
+        return self._binary(other, operator.truediv, "/")
+
+    def __mod__(self, other):
+        return self._binary(other, operator.mod, "%")
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._binary(other, operator.eq, "==")
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._binary(other, operator.ne, "!=")
+
+    def __lt__(self, other):
+        return self._binary(other, operator.lt, "<")
+
+    def __le__(self, other):
+        return self._binary(other, operator.le, "<=")
+
+    def __gt__(self, other):
+        return self._binary(other, operator.gt, ">")
+
+    def __ge__(self, other):
+        return self._binary(other, operator.ge, ">=")
+
+    def __and__(self, other):
+        return self._binary(other, lambda a, b: bool(a) and bool(b), "and")
+
+    def __or__(self, other):
+        return self._binary(other, lambda a, b: bool(a) or bool(b), "or")
+
+    def __invert__(self):
+        return UnaryExpr(self, lambda v: not v, "not")
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def alias(self, name: str) -> "Expr":
+        return AliasExpr(self, name)
+
+
+class Col(Expr):
+    """A reference to a column by name."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def bind(self, schema: Sequence[str]) -> Callable[[Tuple], Any]:
+        try:
+            index = list(schema).index(self.name)
+        except ValueError:
+            raise KeyError(
+                f"column {self.name!r} not in schema {list(schema)}"
+            ) from None
+        return lambda row: row[index]
+
+    def references(self) -> set:
+        return {self.name}
+
+    @property
+    def label(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+class Lit(Expr):
+    """A literal constant."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def bind(self, schema: Sequence[str]) -> Callable[[Tuple], Any]:
+        value = self.value
+        return lambda _row: value
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+class BinaryExpr(Expr):
+    def __init__(self, left: Expr, right: Expr, op: Callable, symbol: str) -> None:
+        self.left = left
+        self.right = right
+        self.op = op
+        self.symbol = symbol
+
+    def bind(self, schema: Sequence[str]) -> Callable[[Tuple], Any]:
+        lf, rf, op = self.left.bind(schema), self.right.bind(schema), self.op
+        return lambda row: op(lf(row), rf(row))
+
+    def references(self) -> set:
+        return self.left.references() | self.right.references()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class UnaryExpr(Expr):
+    def __init__(self, inner: Expr, op: Callable, symbol: str) -> None:
+        self.inner = inner
+        self.op = op
+        self.symbol = symbol
+
+    def bind(self, schema: Sequence[str]) -> Callable[[Tuple], Any]:
+        f, op = self.inner.bind(schema), self.op
+        return lambda row: op(f(row))
+
+    def references(self) -> set:
+        return self.inner.references()
+
+    def __repr__(self) -> str:
+        return f"{self.symbol}({self.inner!r})"
+
+
+class AliasExpr(Expr):
+    def __init__(self, inner: Expr, name: str) -> None:
+        self.inner = inner
+        self.name = name
+
+    def bind(self, schema: Sequence[str]) -> Callable[[Tuple], Any]:
+        return self.inner.bind(schema)
+
+    def references(self) -> set:
+        return self.inner.references()
+
+    @property
+    def label(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"{self.inner!r}.alias({self.name!r})"
+
+
+def col(name: str) -> Col:
+    """Reference a column."""
+    return Col(name)
+
+
+def lit(value: Any) -> Lit:
+    """A constant."""
+    return Lit(value)
+
+
+def _as_expr(value: Any) -> Expr:
+    return value if isinstance(value, Expr) else Lit(value)
+
+
+# ----------------------------------------------------------------------
+# Aggregates
+# ----------------------------------------------------------------------
+
+
+class Agg:
+    """An aggregate over an expression: (create, merge_value, merge, finish)."""
+
+    def __init__(
+        self,
+        expr: Expr,
+        create: Callable,
+        merge_value: Callable,
+        merge: Callable,
+        finish: Callable,
+        name: str,
+    ) -> None:
+        self.expr = expr
+        self.create = create
+        self.merge_value = merge_value
+        self.merge = merge
+        self.finish = finish
+        self.name = name
+
+    @property
+    def label(self) -> str:
+        return f"{self.name}({self.expr.label})"
+
+    def alias(self, name: str) -> "Agg":
+        clone = Agg(
+            self.expr, self.create, self.merge_value, self.merge,
+            self.finish, self.name,
+        )
+        clone.label_override = name
+        return clone
+
+
+def _agg_label(agg: Agg) -> str:
+    return getattr(agg, "label_override", agg.label)
+
+
+def sum_(expr: Expr) -> Agg:
+    return Agg(expr, lambda v: v, operator.add, operator.add, lambda c: c, "sum")
+
+
+def count_(expr: Expr = None) -> Agg:  # type: ignore[assignment]
+    return Agg(
+        expr if expr is not None else Lit(1),
+        lambda _v: 1,
+        lambda c, _v: c + 1,
+        operator.add,
+        lambda c: c,
+        "count",
+    )
+
+
+def min_(expr: Expr) -> Agg:
+    return Agg(expr, lambda v: v, min, min, lambda c: c, "min")
+
+
+def max_(expr: Expr) -> Agg:
+    return Agg(expr, lambda v: v, max, max, lambda c: c, "max")
+
+
+def avg(expr: Expr) -> Agg:
+    return Agg(
+        expr,
+        lambda v: (v, 1),
+        lambda c, v: (c[0] + v, c[1] + 1),
+        lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        lambda c: c[0] / c[1] if c[1] else None,
+        "avg",
+    )

@@ -1,0 +1,253 @@
+"""Tables: a schema'd relational layer compiled onto the RDD engine.
+
+The thin DataFrame-like API the paper's SQL workload presumes: rows are
+plain tuples, a :class:`Table` pairs an RDD of rows with a column-name
+schema, and every relational operator compiles to engine primitives —
+
+* ``select`` / ``with_column`` / ``where``  → narrow map/filter;
+* ``group_by(...).agg(...)``               → ``combine_by_key`` (one
+  shuffle, map-side combined — CHOPPER-tunable);
+* ``join``                                 → key-by + RDD ``join``
+  (cogroup; co-partition-alignable);
+* ``order_by``                             → ``sort_by_key`` (range
+  partitioner).
+
+Because it bottoms out in ordinary RDD lineage, CHOPPER profiles, models,
+and retunes relational queries exactly like hand-written drivers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.common.errors import WorkloadError
+from repro.engine.context import AnalyticsContext
+from repro.engine.rdd import RDD
+from repro.relational.expr import Agg, Col, Expr, _agg_label, col
+
+
+class Table:
+    """An RDD of tuple rows plus the column names describing them."""
+
+    def __init__(self, rdd: RDD, schema: Sequence[str]) -> None:
+        self.rdd = rdd
+        self.schema: Tuple[str, ...] = tuple(schema)
+        if len(set(self.schema)) != len(self.schema):
+            raise WorkloadError(f"duplicate column names in {self.schema}")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        ctx: AnalyticsContext,
+        rows: Iterable[Tuple],
+        schema: Sequence[str],
+        num_partitions: Optional[int] = None,
+        name: str = "table",
+    ) -> "Table":
+        rows = [tuple(r) for r in rows]
+        width = len(tuple(schema))
+        for row in rows:
+            if len(row) != width:
+                raise WorkloadError(
+                    f"row arity {len(row)} != schema arity {width}"
+                )
+        rdd = ctx.parallelize(rows, num_partitions, op_name=name)
+        return cls(rdd, schema)
+
+    @classmethod
+    def from_rdd(cls, rdd: RDD, schema: Sequence[str]) -> "Table":
+        return cls(rdd, schema)
+
+    # ------------------------------------------------------------------
+    # Row-wise operators (narrow)
+    # ------------------------------------------------------------------
+
+    def select(self, *columns: Union[str, Expr]) -> "Table":
+        """Project columns / expressions into a new table."""
+        exprs = [col(c) if isinstance(c, str) else c for c in columns]
+        if not exprs:
+            raise WorkloadError("select() needs at least one column")
+        schema = self.schema
+        fns = [e.bind(schema) for e in exprs]
+        out_schema = [e.label for e in exprs]
+
+        projected = self.rdd.map_partitions(
+            lambda _s, rows: [tuple(fn(row) for fn in fns) for row in rows],
+            op_name=f"select[{','.join(out_schema)}]",
+        )
+        return Table(projected, out_schema)
+
+    def with_column(self, name: str, expr: Expr) -> "Table":
+        """Append (or replace) one computed column."""
+        schema = self.schema
+        fn = expr.bind(schema)
+        if name in schema:
+            index = schema.index(name)
+
+            def rewrite(_s, rows):
+                return [
+                    row[:index] + (fn(row),) + row[index + 1:] for row in rows
+                ]
+
+            return Table(
+                self.rdd.map_partitions(rewrite, op_name=f"withColumn[{name}]"),
+                schema,
+            )
+        appended = self.rdd.map_partitions(
+            lambda _s, rows: [row + (fn(row),) for row in rows],
+            op_name=f"withColumn[{name}]",
+        )
+        return Table(appended, list(schema) + [name])
+
+    def where(self, predicate: Expr) -> "Table":
+        fn = predicate.bind(self.schema)
+        filtered = self.rdd.map_partitions(
+            lambda _s, rows: [row for row in rows if fn(row)],
+            op_name=f"where[{predicate!r}]",
+            preserves_partitioning=True,
+        )
+        return Table(filtered, self.schema)
+
+    # ------------------------------------------------------------------
+    # Aggregation (one shuffle)
+    # ------------------------------------------------------------------
+
+    def group_by(self, *keys: Union[str, Expr]) -> "GroupedTable":
+        key_exprs = [col(k) if isinstance(k, str) else k for k in keys]
+        if not key_exprs:
+            raise WorkloadError("group_by() needs at least one key")
+        return GroupedTable(self, key_exprs)
+
+    # ------------------------------------------------------------------
+    # Join (cogroup)
+    # ------------------------------------------------------------------
+
+    def join(
+        self,
+        other: "Table",
+        on: Union[str, Sequence[str]],
+        num_partitions: Optional[int] = None,
+    ) -> "Table":
+        """Inner equi-join on shared column names.
+
+        Output schema: join keys, then this table's remaining columns,
+        then the other's (suffixed ``_r`` on collisions).
+        """
+        keys = [on] if isinstance(on, str) else list(on)
+        for key in keys:
+            if key not in self.schema or key not in other.schema:
+                raise WorkloadError(f"join key {key!r} missing from a side")
+
+        def keyed(table: "Table", side: str) -> RDD:
+            key_fns = [col(k).bind(table.schema) for k in keys]
+            rest = [i for i, c in enumerate(table.schema) if c not in keys]
+            return table.rdd.map_partitions(
+                lambda _s, rows: [
+                    (
+                        tuple(fn(row) for fn in key_fns),
+                        tuple(row[i] for i in rest),
+                    )
+                    for row in rows
+                ],
+                op_name=f"joinKey[{side}]",
+            )
+
+        left_rest = [c for c in self.schema if c not in keys]
+        right_rest = [c for c in other.schema if c not in keys]
+        out_schema = keys + left_rest + [
+            c + "_r" if c in self.schema else c for c in right_rest
+        ]
+        joined = keyed(self, "left").join(keyed(other, "right"), num_partitions)
+        flat = joined.map_partitions(
+            lambda _s, rows: [k + l + r for k, (l, r) in rows],
+            op_name="joinFlatten",
+        )
+        return Table(flat, out_schema)
+
+    # ------------------------------------------------------------------
+    # Ordering / actions
+    # ------------------------------------------------------------------
+
+    def order_by(
+        self, column: Union[str, Expr], num_partitions: Optional[int] = None
+    ) -> "Table":
+        expr = col(column) if isinstance(column, str) else column
+        fn = expr.bind(self.schema)
+        keyed = self.rdd.map_partitions(
+            lambda _s, rows: [(fn(row), row) for row in rows],
+            op_name="orderKey",
+        )
+        ordered = keyed.sort_by_key(num_partitions).values()
+        return Table(ordered, self.schema)
+
+    def limit(self, n: int) -> List[Tuple]:
+        return self.rdd.take(n)
+
+    def collect(self) -> List[Tuple]:
+        return self.rdd.collect()
+
+    def count(self) -> int:
+        return self.rdd.count()
+
+    def show(self, n: int = 10) -> str:
+        """A small formatted preview (returned, not printed)."""
+        rows = self.limit(n)
+        header = " | ".join(self.schema)
+        lines = [header, "-" * len(header)]
+        lines.extend(" | ".join(str(v) for v in row) for row in rows)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Table(schema={list(self.schema)})"
+
+
+class GroupedTable:
+    """Intermediate of ``group_by``; finish with :meth:`agg`."""
+
+    def __init__(self, table: Table, keys: List[Expr]) -> None:
+        self.table = table
+        self.keys = keys
+
+    def agg(self, *aggs: Agg, num_partitions: Optional[int] = None) -> Table:
+        if not aggs:
+            raise WorkloadError("agg() needs at least one aggregate")
+        schema = self.table.schema
+        key_fns = [k.bind(schema) for k in self.keys]
+        value_fns = [a.expr.bind(schema) for a in aggs]
+        creates = [a.create for a in aggs]
+        merge_values = [a.merge_value for a in aggs]
+        merges = [a.merge for a in aggs]
+        finishes = [a.finish for a in aggs]
+
+        def to_pairs(_s, rows):
+            return [
+                (
+                    tuple(fn(row) for fn in key_fns),
+                    tuple(fn(row) for fn in value_fns),
+                )
+                for row in rows
+            ]
+
+        pairs = self.table.rdd.map_partitions(to_pairs, op_name="groupKey")
+        combined = pairs.combine_by_key(
+            lambda vs: tuple(c(v) for c, v in zip(creates, vs)),
+            lambda acc, vs: tuple(
+                m(a, v) for m, a, v in zip(merge_values, acc, vs)
+            ),
+            lambda a, b: tuple(m(x, y) for m, x, y in zip(merges, a, b)),
+            num_partitions=num_partitions,
+            op_name="groupAgg",
+        )
+        finished = combined.map_partitions(
+            lambda _s, rows: [
+                k + tuple(f(a) for f, a in zip(finishes, acc))
+                for k, acc in rows
+            ],
+            op_name="groupFinish",
+        )
+        out_schema = [k.label for k in self.keys] + [_agg_label(a) for a in aggs]
+        return Table(finished, out_schema)

@@ -1,0 +1,158 @@
+"""Plain-text run reports: stage tables, task Gantt charts, comparisons.
+
+Everything renders to monospace text (no plotting dependencies), which
+is what the benchmark harness saves and what a terminal user reads:
+
+* :func:`stage_report` — one row per executed stage: timing, partitions,
+  shuffle volume/remoteness, skew;
+* :func:`gantt` — an ASCII timeline of task execution per node, the
+  quickest way to *see* wave quantization, stragglers, and idle cores;
+* :func:`utilization_report` — the Figs. 11-14 series summarized per
+  node;
+* :func:`comparison_report` — vanilla-vs-CHOPPER side by side, the
+  Fig. 7/8 view.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.common.units import fmt_bytes, fmt_duration
+from repro.engine.context import AnalyticsContext
+from repro.engine.listener import StageStats
+
+
+def _table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows)) if rows
+        else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    def fmt(row):
+        return "  ".join(str(v).rjust(w) for v, w in zip(row, widths))
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)
+
+
+def stage_report(stages: Sequence[StageStats], title: str = "stages") -> str:
+    """Per-stage summary table for a run's executed stages."""
+    rows = []
+    for i, stage in enumerate(stages):
+        rows.append([
+            i,
+            stage.kind,
+            stage.num_partitions,
+            fmt_duration(stage.duration),
+            fmt_bytes(stage.input_bytes),
+            fmt_bytes(stage.shuffle_bytes),
+            fmt_bytes(stage.remote_shuffle_read),
+            f"{stage.skew():.2f}",
+        ])
+    table = _table(
+        ["stage", "kind", "P", "time", "input", "shuffle", "remote", "skew"],
+        rows,
+    )
+    total = sum(s.duration for s in stages)
+    return f"== {title} ==\n{table}\ntotal stage time: {fmt_duration(total)}"
+
+
+def gantt(
+    ctx: AnalyticsContext,
+    width: int = 80,
+    stages: Optional[Sequence[StageStats]] = None,
+) -> str:
+    """ASCII timeline: per node, the count of running tasks over time.
+
+    Each column is one time bucket; the glyph encodes how many of the
+    node's cores are busy (' ' idle, digits, '#' for >=10). Makes wave
+    boundaries and stragglers visible at a glance.
+    """
+    stages = list(stages if stages is not None else ctx.stage_stats)
+    tasks = [t for s in stages for t in s.tasks]
+    if not tasks:
+        return "(no tasks)"
+    t0 = min(t.start for t in tasks)
+    t1 = max(t.end for t in tasks)
+    span = max(t1 - t0, 1e-9)
+    step = span / width
+
+    lines = [f"t = {fmt_duration(t0)} .. {fmt_duration(t1)} "
+             f"({fmt_duration(span)} span, {fmt_duration(step)}/col)"]
+    for worker in ctx.cluster.workers:
+        counts = [0] * width
+        for task in tasks:
+            if task.node != worker.name:
+                continue
+            first = int((task.start - t0) / step)
+            last = int((task.end - t0) / step)
+            for col in range(max(first, 0), min(last + 1, width)):
+                counts[col] += 1
+        glyphs = "".join(
+            " " if c == 0 else (str(c) if c < 10 else "#") for c in counts
+        )
+        lines.append(f"{worker.name:>8s} |{glyphs}|")
+    return "\n".join(lines)
+
+
+def utilization_report(ctx: AnalyticsContext, buckets: int = 40) -> str:
+    """Per-node averages of the four dstat-style series (Figs. 11-14)."""
+    horizon = max(ctx.now, 1e-9)
+    bucket = horizon / buckets
+    rows = []
+    for worker in ctx.cluster.workers:
+        cpu = ctx.metrics.bucketize("cpu", bucket, node=worker.name, end=horizon)
+        mem = ctx.metrics.bucketize(
+            "mem_working", bucket, node=worker.name, end=horizon
+        )
+        net = ctx.metrics.bucketize(
+            "net_bytes", bucket, node=worker.name, end=horizon
+        )
+        disk = ctx.metrics.bucketize(
+            "disk_transactions", bucket, node=worker.name, end=horizon
+        )
+        rows.append([
+            worker.name,
+            worker.cores,
+            f"{cpu.mean() / worker.cores * 100:.1f}%",
+            fmt_bytes(mem.mean()),
+            f"{net.mean() / 1e6:.2f}",
+            f"{disk.mean():.1f}",
+        ])
+    return _table(
+        ["node", "cores", "cpu", "mem (avg)", "net MB/s", "disk tx/s"], rows
+    )
+
+
+def comparison_report(
+    vanilla_stages: Sequence[StageStats],
+    chopper_stages: Sequence[StageStats],
+) -> str:
+    """Side-by-side per-stage comparison (the Fig. 8 / Fig. 10 view)."""
+    rows: List[List[str]] = []
+    n = max(len(vanilla_stages), len(chopper_stages))
+    for i in range(n):
+        v = vanilla_stages[i] if i < len(vanilla_stages) else None
+        c = chopper_stages[i] if i < len(chopper_stages) else None
+        delta = ""
+        if v and c and v.duration > 0:
+            delta = f"{(1 - c.duration / v.duration) * 100:+.1f}%"
+        rows.append([
+            i,
+            fmt_duration(v.duration) if v else "-",
+            v.num_partitions if v else "-",
+            fmt_duration(c.duration) if c else "-",
+            c.num_partitions if c else "-",
+            delta,
+        ])
+    v_total = sum(s.duration for s in vanilla_stages)
+    c_total = sum(s.duration for s in chopper_stages)
+    table = _table(
+        ["stage", "vanilla", "P", "chopper", "P", "delta"], rows
+    )
+    overall = (1 - c_total / v_total) * 100 if v_total > 0 else 0.0
+    return (
+        f"{table}\n"
+        f"totals: vanilla {fmt_duration(v_total)}, "
+        f"chopper {fmt_duration(c_total)} ({overall:+.1f}%)"
+    )

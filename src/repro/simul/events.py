@@ -1,0 +1,40 @@
+"""Event objects for the discrete-event simulator.
+
+Events order by ``(time, seq)``; ``seq`` is a monotonically increasing
+tie-breaker assigned by the engine, which makes simulation runs fully
+deterministic even when many events share a timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback in simulated time.
+
+    Attributes:
+        time: absolute simulated time at which the event fires.
+        seq: engine-assigned tie-breaker; earlier-scheduled events with the
+            same timestamp fire first.
+        fn: the callback to invoke; compared fields exclude it.
+        args: positional arguments passed to ``fn``.
+        cancelled: set via :meth:`cancel`; cancelled events are skipped by
+            the engine without invoking ``fn``.
+    """
+
+    time: float
+    seq: int
+    fn: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine drops it instead of firing it."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (engine-internal)."""
+        self.fn(*self.args)

@@ -1,0 +1,69 @@
+"""Counted resources with FIFO queueing.
+
+:class:`SlotPool` models a resource with ``capacity`` identical slots —
+executor cores, primarily. Acquisition is callback-based: when a slot is
+(or becomes) free, the waiter's callback fires at the current simulated
+time. FIFO ordering keeps the simulation deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from repro.common.errors import SchedulingError
+from repro.simul.engine import SimEngine
+
+
+class SlotPool:
+    """A pool of ``capacity`` interchangeable slots over a :class:`SimEngine`."""
+
+    def __init__(self, engine: SimEngine, capacity: int, name: str = "pool") -> None:
+        if capacity < 1:
+            raise SchedulingError(f"SlotPool {name!r} needs capacity >= 1, got {capacity}")
+        self._engine = engine
+        self._capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Callable[[], Any]] = deque()
+        self.name = name
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def in_use(self) -> int:
+        """Slots currently held."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self._capacity - self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Waiters not yet granted a slot."""
+        return len(self._waiters)
+
+    def acquire(self, on_granted: Callable[[], Any]) -> None:
+        """Request a slot; ``on_granted`` fires when one is assigned.
+
+        If a slot is free the grant is delivered via a zero-delay event
+        (never synchronously) so acquisition order always matches event
+        order, regardless of load.
+        """
+        self._waiters.append(on_granted)
+        self._dispatch()
+
+    def release(self) -> None:
+        """Return a held slot to the pool, waking the next waiter if any."""
+        if self._in_use <= 0:
+            raise SchedulingError(f"SlotPool {self.name!r}: release without acquire")
+        self._in_use -= 1
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self._waiters and self._in_use < self._capacity:
+            self._in_use += 1
+            waiter = self._waiters.popleft()
+            self._engine.schedule(0.0, waiter)

@@ -1,0 +1,49 @@
+"""Workload abstraction shared by the drivers and the CHOPPER runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.common.errors import WorkloadError
+from repro.engine.context import AnalyticsContext
+
+
+@dataclass
+class WorkloadResult:
+    """What a workload run hands back to the harness."""
+
+    value: Any
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+class Workload:
+    """A runnable, scalable benchmark driver.
+
+    Subclasses set ``name`` and ``input_bytes`` (the virtual dataset size
+    at ``scale=1.0``) and implement :meth:`run`, which drives jobs on the
+    given context. ``scale`` shrinks the *virtual* input (CHOPPER's
+    sampled test runs vary the input size); ``physical_scale`` shrinks the
+    *physical* sample (test-speed knob, orthogonal to the simulation).
+    """
+
+    name: str = "workload"
+    input_bytes: float = 0.0
+
+    def __init__(self, physical_scale: float = 1.0, seed: int = 7) -> None:
+        if physical_scale <= 0:
+            raise WorkloadError("physical_scale must be positive")
+        self.physical_scale = physical_scale
+        self.seed = seed
+
+    def run(self, ctx: AnalyticsContext, scale: float = 1.0) -> WorkloadResult:
+        raise NotImplementedError
+
+    def virtual_bytes(self, scale: float = 1.0) -> float:
+        """Virtual input size for a run at ``scale``."""
+        if scale <= 0:
+            raise WorkloadError("scale must be positive")
+        return self.input_bytes * scale
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

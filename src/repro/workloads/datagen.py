@@ -1,0 +1,291 @@
+"""Synthetic data generators (the SparkBench data-generator stand-ins).
+
+Each generator produces a deterministic *physical* sample — a pure
+function of the global record index, organized in fixed micro-blocks —
+and declares the *virtual* byte size it represents. The returned
+``size_scale`` converts physical record bytes into virtual bytes for the
+cost model and shuffle accounting (see DESIGN.md's substitution table).
+
+Because records are generated per micro-block of the global index space
+(not per split), **the dataset is identical under any partition count** —
+re-splitting a source (CHOPPER's stage-0 tuning) changes granularity,
+never data. This is what lets the benchmark harness assert that vanilla
+and CHOPPER runs compute identical answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.common.errors import WorkloadError
+from repro.common.rng import derive_seed, seeded_rng
+from repro.common.sizing import estimate_size
+from repro.engine.context import AnalyticsContext
+from repro.engine.rdd import SourceRDD
+
+BLOCK = 64  # records per generation micro-block
+
+
+@dataclass
+class _GenBase:
+    """Shared plumbing: micro-block generation and virtual byte accounting.
+
+    ``parse_cost`` is the compute weight of the scan+parse step relative
+    to an in-memory pass — text deserialization dominates load stages, as
+    in the paper's stage 0.
+    """
+
+    virtual_bytes: float
+    physical_records: int
+    seed: int = 7
+    parse_cost: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.virtual_bytes <= 0 or self.physical_records < 1:
+            raise WorkloadError("need positive virtual size and physical records")
+
+    def _split_range(self, split: int, num_splits: int) -> Tuple[int, int]:
+        n = self.physical_records
+        return (split * n) // num_splits, ((split + 1) * n) // num_splits
+
+    def _block_rng(self, label: str, block: int) -> np.random.Generator:
+        return seeded_rng(derive_seed(self.seed, label, block))
+
+    def _block_len(self, block: int) -> int:
+        return min(BLOCK, self.physical_records - block * BLOCK)
+
+    def _gather(
+        self, split: int, num_splits: int, block_fn: Callable[[int], List]
+    ) -> List:
+        """Records of one split, assembled from whole/partial micro-blocks.
+
+        ``block_fn(b)`` must deterministically return block ``b``'s
+        records (length ``_block_len(b)``).
+        """
+        start, end = self._split_range(split, num_splits)
+        if end <= start:
+            return []
+        out: List = []
+        first, last = start // BLOCK, (end - 1) // BLOCK
+        for block in range(first, last + 1):
+            records = block_fn(block)
+            lo = max(start - block * BLOCK, 0)
+            hi = min(end - block * BLOCK, len(records))
+            out.extend(records[lo:hi])
+        return out
+
+    def _size_scale(self, sample_record) -> float:
+        per_record = estimate_size(sample_record)
+        return self.virtual_bytes / (per_record * self.physical_records)
+
+
+@dataclass
+class KMeansDataGen(_GenBase):
+    """Points drawn around ``n_clusters`` Gaussian centers in ``dim`` dims."""
+
+    dim: int = 10
+    n_clusters: int = 20
+    spread: float = 0.5
+
+    def centers(self) -> np.ndarray:
+        rng = seeded_rng(derive_seed(self.seed, "kmeans-centers"))
+        return rng.uniform(-10.0, 10.0, size=(self.n_clusters, self.dim))
+
+    def rdd(self, ctx: AnalyticsContext, num_partitions: int) -> SourceRDD:
+        centers = self.centers()
+
+        def block(b: int) -> List[np.ndarray]:
+            n = self._block_len(b)
+            rng = self._block_rng("kmeans", b)
+            assignments = rng.integers(0, self.n_clusters, size=n)
+            noise = rng.normal(0.0, self.spread, size=(n, self.dim))
+            return list(centers[assignments] + noise)
+
+        scale = self._size_scale(np.zeros(self.dim))
+        return ctx.source(
+            lambda split, splits: self._gather(split, splits, block),
+            num_partitions, size_scale=scale, op_name="kmeans-points",
+            cost=self.parse_cost,
+        )
+
+
+@dataclass
+class PCADataGen(_GenBase):
+    """Rows with correlated features (a few dominant principal directions)."""
+
+    dim: int = 20
+    intrinsic_dim: int = 4
+
+    def _mixing(self) -> np.ndarray:
+        rng = seeded_rng(derive_seed(self.seed, "pca-mixing"))
+        return rng.normal(0.0, 1.0, size=(self.intrinsic_dim, self.dim))
+
+    def rdd(self, ctx: AnalyticsContext, num_partitions: int) -> SourceRDD:
+        mixing = self._mixing()
+
+        def block(b: int) -> List[np.ndarray]:
+            n = self._block_len(b)
+            rng = self._block_rng("pca", b)
+            latent = rng.normal(0.0, 1.0, size=(n, self.intrinsic_dim))
+            noise = rng.normal(0.0, 0.05, size=(n, self.dim))
+            return list(latent @ mixing + noise)
+
+        scale = self._size_scale(np.zeros(self.dim))
+        return ctx.source(
+            lambda split, splits: self._gather(split, splits, block),
+            num_partitions, size_scale=scale, op_name="pca-rows",
+            cost=self.parse_cost,
+        )
+
+
+@dataclass
+class SQLTableGen(_GenBase):
+    """Orders + customers tables with a Zipf-hot customer distribution.
+
+    ``orders`` records: ``(order_id, cust_id, product_id, amount)``;
+    ``customers`` records: ``(cust_id, region)``. The Zipf exponent makes
+    a few customers account for most orders — the hot-key skew that makes
+    partitioner choice matter (§III-B).
+    """
+
+    n_customers: int = 500
+    n_products: int = 100
+    n_regions: int = 8
+    zipf_a: float = 1.4
+    customers_fraction: float = 0.1  # share of virtual bytes in customers
+
+    def orders_rdd(self, ctx: AnalyticsContext, num_partitions: int) -> SourceRDD:
+        def block(b: int) -> List[Tuple]:
+            n = self._block_len(b)
+            rng = self._block_rng("orders", b)
+            cust = (rng.zipf(self.zipf_a, size=n) - 1) % self.n_customers
+            prod = rng.integers(0, self.n_products, size=n)
+            amount = np.round(rng.exponential(50.0, size=n), 2)
+            base = b * BLOCK
+            return [
+                (base + i, int(cust[i]), int(prod[i]), float(amount[i]))
+                for i in range(n)
+            ]
+
+        scale = (
+            self.virtual_bytes
+            * (1.0 - self.customers_fraction)
+            / (estimate_size((0, 0, 0, 0.0)) * self.physical_records)
+        )
+        return ctx.source(
+            lambda split, splits: self._gather(split, splits, block),
+            num_partitions, size_scale=scale, op_name="orders",
+            cost=self.parse_cost,
+        )
+
+    def customers_rdd(self, ctx: AnalyticsContext, num_partitions: int) -> SourceRDD:
+        n_customers = self.n_customers
+        region_seed = derive_seed(self.seed, "regions")
+
+        def generate(split: int, num_splits: int) -> List[Tuple]:
+            start = (split * n_customers) // num_splits
+            end = ((split + 1) * n_customers) // num_splits
+            out = []
+            for cust_id in range(start, end):
+                region = seeded_rng(derive_seed(region_seed, cust_id)).integers(
+                    0, self.n_regions
+                )
+                out.append((cust_id, f"region-{int(region)}"))
+            return out
+
+        scale = (
+            self.virtual_bytes
+            * self.customers_fraction
+            / (estimate_size((0, "region-0")) * n_customers)
+        )
+        return ctx.source(
+            generate, num_partitions, size_scale=scale, op_name="customers",
+            cost=self.parse_cost,
+        )
+
+
+@dataclass
+class LabeledDataGen(_GenBase):
+    """Labeled points for binary classification (logistic regression).
+
+    Records are ``(features: np.ndarray, label: int)`` drawn from a
+    logistic model with a fixed ground-truth weight vector, so the
+    learned weights can be checked against the truth.
+    """
+
+    dim: int = 10
+    noise: float = 0.5
+
+    def true_weights(self) -> np.ndarray:
+        rng = seeded_rng(derive_seed(self.seed, "lr-weights"))
+        w = rng.normal(0.0, 1.0, size=self.dim)
+        return w / np.linalg.norm(w)
+
+    def rdd(self, ctx: AnalyticsContext, num_partitions: int) -> SourceRDD:
+        weights = self.true_weights()
+
+        def block(b: int) -> List[Tuple[np.ndarray, int]]:
+            n = self._block_len(b)
+            rng = self._block_rng("lr", b)
+            x = rng.normal(0.0, 1.0, size=(n, self.dim))
+            logits = x @ weights + rng.normal(0.0, self.noise, size=n)
+            y = (logits > 0).astype(int)
+            return [(x[i], int(y[i])) for i in range(n)]
+
+        scale = self._size_scale((np.zeros(self.dim), 0))
+        return ctx.source(
+            lambda split, splits: self._gather(split, splits, block),
+            num_partitions, size_scale=scale, op_name="labeled-points",
+            cost=self.parse_cost,
+        )
+
+
+@dataclass
+class TextDataGen(_GenBase):
+    """Lines of words with a Zipf vocabulary (WordCount input)."""
+
+    vocabulary: int = 2000
+    words_per_line: int = 8
+
+    def rdd(self, ctx: AnalyticsContext, num_partitions: int) -> SourceRDD:
+        def block(b: int) -> List[str]:
+            n = self._block_len(b)
+            rng = self._block_rng("text", b)
+            ranks = (rng.zipf(1.3, size=(n, self.words_per_line)) - 1) % self.vocabulary
+            return [" ".join(f"w{w}" for w in row) for row in ranks]
+
+        sample = " ".join(["w1000"] * self.words_per_line)
+        scale = self._size_scale(sample)
+        return ctx.source(
+            lambda split, splits: self._gather(split, splits, block),
+            num_partitions, size_scale=scale, op_name="text-lines",
+            cost=self.parse_cost,
+        )
+
+
+@dataclass
+class EdgeDataGen(_GenBase):
+    """Directed edges of a preferential-attachment-ish graph (PageRank)."""
+
+    n_vertices: int = 1000
+
+    def rdd(self, ctx: AnalyticsContext, num_partitions: int) -> SourceRDD:
+        n_vertices = self.n_vertices
+
+        def block(b: int) -> List[Tuple[int, int]]:
+            n = self._block_len(b)
+            rng = self._block_rng("edges", b)
+            src = rng.integers(0, n_vertices, size=n)
+            # Popular destinations: quadratic skew toward low vertex ids.
+            dst = (rng.random(size=n) ** 2 * n_vertices).astype(int)
+            return [(int(s), int(d)) for s, d in zip(src, dst) if s != d]
+
+        scale = self._size_scale((0, 0))
+        return ctx.source(
+            lambda split, splits: self._gather(split, splits, block),
+            num_partitions, size_scale=scale, op_name="edges",
+            cost=self.parse_cost,
+        )

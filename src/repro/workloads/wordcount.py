@@ -1,0 +1,49 @@
+"""WordCount: the classic two-stage aggregation (examples and tests)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.units import GB
+from repro.engine.context import AnalyticsContext
+from repro.workloads.base import Workload, WorkloadResult
+from repro.workloads.datagen import TextDataGen
+
+
+class WordCountWorkload(Workload):
+    """Count word frequencies over Zipf-distributed text."""
+
+    name = "wordcount"
+
+    def __init__(
+        self,
+        virtual_gb: float = 10.0,
+        vocabulary: int = 2000,
+        top_n: int = 20,
+        physical_records: int = 8_000,
+        physical_scale: float = 1.0,
+        seed: int = 7,
+    ) -> None:
+        super().__init__(physical_scale=physical_scale, seed=seed)
+        self.input_bytes = virtual_gb * GB
+        self.vocabulary = vocabulary
+        self.top_n = top_n
+        self.physical_records = max(64, int(physical_records * physical_scale))
+
+    def run(self, ctx: AnalyticsContext, scale: float = 1.0) -> WorkloadResult:
+        gen = TextDataGen(
+            virtual_bytes=self.virtual_bytes(scale),
+            physical_records=self.physical_records,
+            vocabulary=self.vocabulary,
+            seed=self.seed,
+        )
+        lines = gen.rdd(ctx, ctx.default_parallelism)
+
+        def tokenize(_split: int, records: List[str]) -> List[tuple]:
+            return [(word, 1) for line in records for word in line.split()]
+
+        counts = lines.map_partitions(
+            tokenize, op_name="tokenize", cost=1.3
+        ).reduce_by_key(lambda a, b: a + b)
+        top = sorted(counts.collect(), key=lambda kv: (-kv[1], kv[0]))[: self.top_n]
+        return WorkloadResult(value=top, details={"distinct": counts.count()})

@@ -1,0 +1,247 @@
+"""Tests for the CHOPPER advisor: config application, alignment, splicing."""
+
+import pytest
+
+from repro.chopper.advisor import ChopperAdvisor, FixedSchemeAdvisor, ProfilingAdvisor
+from repro.chopper.config_gen import ConfigEntry, WorkloadConfig
+from repro.chopper.schemes import PartitionScheme
+from repro.engine import HashPartitioner
+from repro.engine.stage import RESULT
+
+
+def stage_sig_of(ctx, rdd, base_index=-1):
+    """Signature of the final stage of the would-be job for rdd."""
+    stages = ctx.dag_scheduler.provisional_stages(rdd)
+    return stages[base_index].signature
+
+
+class TestProfilingAdvisor:
+    def test_forces_uniform_parallelism(self, ctx):
+        ctx.set_advisor(ProfilingAdvisor("hash", 5))
+        pairs = ctx.parallelize([(i % 7, 1) for i in range(100)], 3)
+        pairs.reduce_by_key(lambda a, b: a + b).collect()
+        stages = ctx.job_stats[-1].stages
+        assert all(s.num_partitions == 5 for s in stages)
+
+    def test_range_mode_resolves_with_real_keys(self, ctx):
+        ctx.set_advisor(ProfilingAdvisor("range", 4))
+        pairs = ctx.parallelize([(i, 1) for i in range(200)], 3)
+        out = pairs.reduce_by_key(lambda a, b: a + b).collect_as_map()
+        assert len(out) == 200
+        result = ctx.job_stats[-1].stages[-1]
+        assert result.partitioner_kind == "range"
+        assert result.num_partitions == 4
+
+    def test_user_fixed_left_alone(self, ctx):
+        ctx.set_advisor(ProfilingAdvisor("hash", 5))
+        pairs = ctx.parallelize([(1, 1)], 2)
+        pairs.reduce_by_key(lambda a, b: a + b, num_partitions=7).collect()
+        result = ctx.job_stats[-1].stages[-1]
+        assert result.num_partitions == 7
+
+    def test_source_resplit_only_once(self, ctx):
+        ctx.set_advisor(ProfilingAdvisor("hash", 5))
+        src = ctx.parallelize(range(100), 3).cache()
+        src.count()
+        assert src.num_partitions == 5
+        src.set_num_partitions(9)  # simulate later drift
+        src.count()
+        assert src.num_partitions == 9  # advisor did not re-split
+
+
+class TestChopperAdvisor:
+    def test_applies_scheme_to_reduce_stage(self, ctx):
+        pairs = ctx.parallelize([(i % 5, 1) for i in range(100)], 4)
+        reduced = pairs.reduce_by_key(lambda a, b: a + b)
+        sig = stage_sig_of(ctx, reduced)
+        config = WorkloadConfig(workload="t")
+        config.add(ConfigEntry(signature=sig, scheme=PartitionScheme("hash", 11)))
+        ctx.set_advisor(ChopperAdvisor(config))
+        assert reduced.collect_as_map() == {i: 20 for i in range(5)}
+        result = ctx.job_stats[-1].stages[-1]
+        assert result.num_partitions == 11
+
+    def test_applies_range_scheme_lazily(self, ctx):
+        pairs = ctx.parallelize([(i, 1) for i in range(100)], 4)
+        reduced = pairs.reduce_by_key(lambda a, b: a + b)
+        sig = stage_sig_of(ctx, reduced)
+        config = WorkloadConfig(workload="t")
+        config.add(ConfigEntry(signature=sig, scheme=PartitionScheme("range", 6)))
+        ctx.set_advisor(ChopperAdvisor(config))
+        assert len(reduced.collect()) == 100
+        result = ctx.job_stats[-1].stages[-1]
+        assert result.partitioner_kind == "range"
+        assert result.num_partitions == 6
+
+    def test_resplits_source_stage(self, ctx):
+        src = ctx.parallelize(range(100), 4)
+        sig = stage_sig_of(ctx, src)
+        config = WorkloadConfig(workload="t")
+        config.add(ConfigEntry(signature=sig, scheme=PartitionScheme("hash", 9)))
+        ctx.set_advisor(ChopperAdvisor(config))
+        assert src.count() == 100
+        assert ctx.job_stats[-1].stages[0].num_partitions == 9
+
+    def test_group_members_share_partitioner_and_align_join(self, ctx):
+        """A shared group ref makes the cogroup's parents co-partitioned,
+        converting the join-side shuffles to narrow deps."""
+        left = ctx.parallelize([(i % 10, i) for i in range(100)], 4).reduce_by_key(
+            lambda a, b: a + b
+        )
+        right = ctx.parallelize([(i % 10, -i) for i in range(80)], 4).reduce_by_key(
+            lambda a, b: a + b
+        )
+        joined = left.join(right)
+        stages = ctx.dag_scheduler.provisional_stages(joined)
+        # Identify stage signatures: the two agg-feeding stages and the join.
+        config = WorkloadConfig(workload="t")
+        for stage in stages:
+            config.add(
+                ConfigEntry(
+                    signature=stage.signature,
+                    scheme=PartitionScheme("hash", 6),
+                    group="g0",
+                )
+            )
+        advisor = ChopperAdvisor(config)
+        ctx.set_advisor(advisor)
+        out = joined.collect_as_map()
+        assert len(out) == 10
+        assert advisor.aligned_shuffles >= 1
+        # The fused job runs fewer shuffle-map stages than the un-aligned
+        # version would (2 scans instead of 2 scans + 2 agg outputs).
+        kinds = [s.kind for s in ctx.job_stats[-1].stages]
+        assert kinds.count("shuffle_map") == 2
+
+    def test_user_fixed_without_flag_untouched(self, ctx):
+        pairs = ctx.parallelize([(1, 1)], 2)
+        fixed = pairs.reduce_by_key(lambda a, b: a + b, num_partitions=7)
+        sig = stage_sig_of(ctx, fixed)
+        config = WorkloadConfig(workload="t")
+        config.add(ConfigEntry(signature=sig, scheme=PartitionScheme("hash", 3)))
+        ctx.set_advisor(ChopperAdvisor(config))
+        fixed.collect()
+        assert ctx.job_stats[-1].stages[-1].num_partitions == 7
+
+    def test_insert_repartition_for_fixed_dep(self, ctx):
+        pairs = ctx.parallelize([(i % 5, 1) for i in range(100)], 4)
+        fixed = pairs.reduce_by_key(lambda a, b: a + b, num_partitions=7)
+        sig = stage_sig_of(ctx, fixed)
+        config = WorkloadConfig(workload="t")
+        config.add(
+            ConfigEntry(
+                signature=sig,
+                scheme=PartitionScheme("hash", 3),
+                insert_repartition=True,
+            )
+        )
+        advisor = ChopperAdvisor(config)
+        ctx.set_advisor(advisor)
+        out = fixed.collect_as_map()
+        assert out == {i: 20 for i in range(5)}
+        assert advisor.inserted_repartitions == 1
+        # The user's parallelism is preserved on the fixed stage itself...
+        assert ctx.job_stats[-1].stages[-1].num_partitions == 7
+        # ...but an extra shuffle-map stage (the repartition) ran.
+        kinds = [s.kind for s in ctx.job_stats[-1].stages]
+        assert kinds.count("shuffle_map") == 2
+
+    def test_iterations_reuse_resolved_ref(self, ctx):
+        """Repeated same-signature jobs share one resolved partitioner."""
+        base = ctx.parallelize([(i % 4, 1) for i in range(80)], 4).cache()
+        reduced0 = base.reduce_by_key(lambda a, b: a + b)
+        sig = stage_sig_of(ctx, reduced0)
+        config = WorkloadConfig(workload="t")
+        config.add(ConfigEntry(signature=sig, scheme=PartitionScheme("range", 3)))
+        advisor = ChopperAdvisor(config)
+        ctx.set_advisor(advisor)
+        first = base.reduce_by_key(lambda a, b: a + b).collect_as_map()
+        second = base.reduce_by_key(lambda a, b: a + b).collect_as_map()
+        assert first == second
+        refs = list(advisor._entry_refs.values())
+        assert len(refs) == 1 and refs[0].resolved
+
+
+class TestFixedSchemeAdvisor:
+    def test_pins_scheme(self, ctx):
+        pairs = ctx.parallelize([(i % 3, 1) for i in range(30)], 3)
+        reduced = pairs.reduce_by_key(lambda a, b: a + b)
+        sig = stage_sig_of(ctx, reduced)
+        ctx.set_advisor(FixedSchemeAdvisor({sig: PartitionScheme("hash", 4)}))
+        reduced.collect()
+        assert ctx.job_stats[-1].stages[-1].num_partitions == 4
+
+
+class TestOrderedShuffles:
+    def test_sort_keeps_range_partitioner_under_hash_config(self, ctx):
+        """A config that says hash for a sort stage gets range instead —
+        global order is a correctness property."""
+        pairs = ctx.parallelize([(i % 17, i) for i in range(150)], 4)
+        sorted_rdd = pairs.sort_by_key(num_partitions=None)
+        sig = stage_sig_of(ctx, sorted_rdd)
+        config = WorkloadConfig(workload="t")
+        config.add(ConfigEntry(signature=sig, scheme=PartitionScheme("hash", 5)))
+        ctx.set_advisor(ChopperAdvisor(config))
+        out = sorted_rdd.collect()
+        assert [k for k, _v in out] == sorted(k for k, _v in out)
+        result = ctx.job_stats[-1].stages[-1]
+        assert result.partitioner_kind == "range"
+        assert result.num_partitions == 5
+
+    def test_profiling_advisor_preserves_sort_order(self, ctx):
+        from repro.chopper.advisor import ProfilingAdvisor
+
+        ctx.set_advisor(ProfilingAdvisor("hash", 6))
+        pairs = ctx.parallelize([(i % 23, i) for i in range(200)], 4)
+        out = pairs.sort_by_key().collect()
+        assert [k for k, _v in out] == sorted(k for k, _v in out)
+
+
+class TestFixedParentPinning:
+    def _fixed_join(self, ctx):
+        a = ctx.parallelize([(i % 6, i) for i in range(120)], 4).reduce_by_key(
+            lambda x, y: x + y, num_partitions=6  # user-fixed
+        )
+        b = ctx.parallelize([(i % 6, -i) for i in range(60)], 4)
+        return a.join(b)
+
+    def test_without_insert_flag_join_follows_fixed_scheme(self, ctx):
+        joined = self._fixed_join(ctx)
+        stages = ctx.dag_scheduler.provisional_stages(joined)
+        config = WorkloadConfig(workload="t")
+        for stage in stages:
+            config.add(
+                ConfigEntry(
+                    signature=stage.signature,
+                    scheme=PartitionScheme("hash", 3),
+                )
+            )
+        advisor = ChopperAdvisor(config)
+        ctx.set_advisor(advisor)
+        out = joined.collect_as_map()
+        assert len(out) == 6
+        # The fused join stage keeps the user's 6 partitions: the advisor
+        # pinned the cogroup dep to the fixed parent's partitioner.
+        assert ctx.job_stats[-1].stages[-1].num_partitions == 6
+        assert advisor.inserted_repartitions == 0
+
+    def test_with_insert_flag_join_is_repartitioned(self, ctx):
+        joined = self._fixed_join(ctx)
+        stages = ctx.dag_scheduler.provisional_stages(joined)
+        config = WorkloadConfig(workload="t")
+        for stage in stages:
+            config.add(
+                ConfigEntry(
+                    signature=stage.signature,
+                    scheme=PartitionScheme("hash", 3),
+                    insert_repartition=True,
+                )
+            )
+        advisor = ChopperAdvisor(config)
+        ctx.set_advisor(advisor)
+        out = joined.collect_as_map()
+        assert len(out) == 6
+        # The consumer-side retune becomes the inserted repartition phase:
+        # the join now runs at the optimized width.
+        assert advisor.inserted_repartitions >= 1
+        assert ctx.job_stats[-1].stages[-1].num_partitions == 3

@@ -1,0 +1,60 @@
+"""Tests for the workload configuration file."""
+
+from repro.chopper.config_gen import ConfigEntry, WorkloadConfig
+from repro.chopper.optimizer import StageScheme
+from repro.chopper.schemes import PartitionScheme
+
+
+def entry(sig="s1", kind="hash", n=100, **kw):
+    return ConfigEntry(signature=sig, scheme=PartitionScheme(kind, n), **kw)
+
+
+class TestWorkloadConfig:
+    def test_add_and_lookup(self):
+        config = WorkloadConfig(workload="wl")
+        config.add(entry())
+        assert config.entry("s1").scheme.num_partitions == 100
+        assert config.entry("missing") is None
+        assert len(config) == 1
+
+    def test_add_overwrites_same_signature(self):
+        config = WorkloadConfig(workload="wl")
+        config.add(entry(n=100))
+        config.add(entry(n=200))
+        assert len(config) == 1
+        assert config.entry("s1").scheme.num_partitions == 200
+
+    def test_from_schemes(self):
+        schemes = [
+            StageScheme("a", PartitionScheme("hash", 10), 0.5, group="g0"),
+            StageScheme("b", PartitionScheme("range", 20), 0.7,
+                        insert_repartition=True),
+        ]
+        config = WorkloadConfig.from_schemes("wl", schemes)
+        assert config.entry("a").group == "g0"
+        assert config.entry("b").insert_repartition
+
+    def test_json_roundtrip(self):
+        config = WorkloadConfig(workload="wl")
+        config.add(entry("s1", "hash", 100, group="g0", cost=0.42))
+        config.add(entry("s2", "range", 250, insert_repartition=True))
+        clone = WorkloadConfig.from_json(config.to_json())
+        assert clone.workload == "wl"
+        assert clone.entry("s1").group == "g0"
+        assert clone.entry("s1").cost == 0.42
+        assert clone.entry("s2").scheme == PartitionScheme("range", 250)
+        assert clone.entry("s2").insert_repartition
+
+    def test_file_roundtrip(self, tmp_path):
+        config = WorkloadConfig(workload="wl")
+        config.add(entry())
+        path = tmp_path / "config.json"
+        config.save(path)
+        assert WorkloadConfig.load(path).entry("s1") is not None
+
+    def test_json_is_human_readable(self):
+        config = WorkloadConfig(workload="wl")
+        config.add(entry())
+        text = config.to_json()
+        assert '"signature"' in text
+        assert '"num_partitions": 100' in text

@@ -1,0 +1,75 @@
+"""Tests for model cross-validation."""
+
+import pytest
+
+from repro.chopper.crossval import cross_validate, cross_validate_stage
+from repro.chopper.stats import StageObservation
+from repro.common.errors import ModelError
+from tests.chopper.test_model import synth_obs
+
+
+class TestCrossValidateStage:
+    def test_smooth_landscape_validates_well(self):
+        rows = synth_obs(
+            [1e9, 2e9, 4e9], [100, 200, 300, 500, 800],
+            time_fn=lambda d, p: d * 1e-9 * (300.0 / p) ** 0.5 + 0.01 * p,
+            shuffle_fn=lambda d, p: 0.0,
+        )
+        mape, folds = cross_validate_stage(rows, k=4)
+        assert folds == 4
+        assert mape < 0.25
+
+    def test_pure_noise_validates_poorly(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        rows = [
+            StageObservation(
+                signature="s", kind="result", partitioner_kind="hash",
+                input_bytes=d, num_partitions=p,
+                duration=float(rng.uniform(1, 1000)), shuffle_bytes=0.0, order=0,
+            )
+            for d in (1e9, 2e9, 4e9) for p in (100, 300, 800)
+        ]
+        noisy_mape, _ = cross_validate_stage(rows, k=3)
+        assert noisy_mape > 0.35
+
+    def test_needs_enough_cells(self):
+        rows = synth_obs([1e9], [100, 200], lambda d, p: 1.0, lambda d, p: 0.0)
+        with pytest.raises(ModelError):
+            cross_validate_stage(rows)
+
+    def test_repeated_measurements_stay_in_one_fold(self):
+        """Duplicated (D, P) rows must not leak into the training set."""
+        base = synth_obs(
+            [1e9, 2e9], [100, 300, 800],
+            time_fn=lambda d, p: d * 1e-9 + 0.1 * p,
+            shuffle_fn=lambda d, p: 0.0,
+        )
+        duplicated = base * 3
+        mape_dup, _ = cross_validate_stage(duplicated, k=3)
+        mape_base, _ = cross_validate_stage(base, k=3)
+        # With cell grouping, duplication cannot fake a better score.
+        assert mape_dup == pytest.approx(mape_base, rel=0.2)
+
+
+class TestCrossValidateWorkload:
+    def test_end_to_end_on_runner_db(self):
+        from repro.chopper import ChopperRunner
+        from repro.cluster import uniform_cluster
+        from repro.engine import EngineConf
+        from repro.workloads import WordCountWorkload
+
+        runner = ChopperRunner(
+            WordCountWorkload(virtual_gb=2.0, physical_records=600),
+            cluster_factory=lambda: uniform_cluster(n_workers=3, cores=8),
+            base_conf=EngineConf(default_parallelism=48),
+        )
+        runner.profile(p_grid=(16, 32, 64, 128), scales=(0.5, 1.0))
+        report = cross_validate(runner.db, "wordcount")
+        assert report.results
+        assert 0.0 <= report.median_mape < 1.0
+        text = report.summary()
+        assert "median held-out error" in text
+        # The smooth simulated landscape should validate decently.
+        assert report.median_mape < 0.35

@@ -1,0 +1,118 @@
+"""Tests for run-history logging and offline training from history."""
+
+import json
+
+import pytest
+
+from repro.chopper import (
+    ChopperRunner,
+    HistoryLogger,
+    load_history_record,
+    read_history,
+)
+from repro.cluster import uniform_cluster
+from repro.common.errors import ConfigurationError
+from repro.engine import AnalyticsContext, EngineConf
+from repro.workloads import WordCountWorkload
+
+
+def run_logged(tmp_path, name="run.jsonl"):
+    ctx = AnalyticsContext(
+        uniform_cluster(n_workers=2, cores=4), EngineConf(default_parallelism=8)
+    )
+    path = tmp_path / name
+    logger = HistoryLogger.attach(ctx, path)
+    pairs = ctx.parallelize([(i % 3, 1) for i in range(60)], 4)
+    pairs.reduce_by_key(lambda a, b: a + b, 3).collect()
+    logger.detach()
+    return ctx, path
+
+
+class TestHistoryLogger:
+    def test_logs_header_stages_and_jobs(self, tmp_path):
+        _ctx, path = run_logged(tmp_path)
+        events = read_history(path)
+        kinds = [e["event"] for e in events]
+        assert kinds.count("stage") == 2
+        assert kinds.count("job") == 1
+
+    def test_stage_events_carry_metrics(self, tmp_path):
+        _ctx, path = run_logged(tmp_path)
+        stage_events = [e for e in read_history(path) if e["event"] == "stage"]
+        map_stage = stage_events[0]
+        assert map_stage["kind"] == "shuffle_map"
+        assert map_stage["shuffle_bytes"] > 0
+        assert map_stage["duration"] > 0
+        assert "skew" in map_stage
+        assert "remote_shuffle_read" in map_stage
+
+    def test_detach_stops_logging(self, tmp_path):
+        ctx, path = run_logged(tmp_path)
+        n_before = len(read_history(path))
+        ctx.parallelize(range(10), 2).count()
+        assert len(read_history(path)) == n_before
+
+    def test_rejects_non_history_file(self, tmp_path):
+        bad = tmp_path / "junk.jsonl"
+        bad.write_text(json.dumps({"event": "stage"}) + "\n")
+        with pytest.raises(ConfigurationError):
+            read_history(bad)
+
+    def test_rejects_empty_file(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ConfigurationError):
+            read_history(empty)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        f = tmp_path / "v999.jsonl"
+        f.write_text(json.dumps({"event": "header", "version": 999}) + "\n")
+        with pytest.raises(ConfigurationError):
+            read_history(f)
+
+
+class TestLoadHistoryRecord:
+    def test_rebuilds_run_record(self, tmp_path):
+        ctx, path = run_logged(tmp_path)
+        record = load_history_record(path, workload="wc", input_bytes=1e9)
+        assert record.workload == "wc"
+        assert record.stage_count == 2
+        assert record.total_time > 0
+        sigs = {o.signature for o in record.observations}
+        assert sigs == {s.signature for s in ctx.stage_stats}
+
+    def test_history_feeds_chopper_training(self, tmp_path):
+        """End to end: log production runs, train CHOPPER from the files."""
+        workload = WordCountWorkload(virtual_gb=2.0, physical_records=500)
+
+        def logged_run(name, parallelism):
+            ctx = AnalyticsContext(
+                uniform_cluster(n_workers=2, cores=4),
+                EngineConf(default_parallelism=parallelism),
+            )
+            path = tmp_path / name
+            logger = HistoryLogger.attach(ctx, path)
+            workload.run(ctx)
+            logger.detach()
+            return path
+
+        paths = [
+            logged_run(f"prod-{p}.jsonl", p) for p in (8, 16, 32, 64)
+        ]
+        runner = ChopperRunner(
+            workload,
+            cluster_factory=lambda: uniform_cluster(n_workers=2, cores=4),
+            base_conf=EngineConf(default_parallelism=16),
+        )
+        from repro.chopper.workload_db import WorkloadDag
+
+        records = [
+            load_history_record(p, workload.name, workload.input_bytes)
+            for p in paths
+        ]
+        for record in records:
+            runner.db.add_run(record)
+        runner.db.set_dag(workload.name, WorkloadDag.from_run(records[0]))
+        assert runner.train() > 0
+        config = runner.optimize()
+        assert len(config) > 0

@@ -1,0 +1,95 @@
+"""Tests for online adaptation (dynamic config updates)."""
+
+import pytest
+from dataclasses import replace
+
+from repro.chopper import ChopperRunner, OnlineChopper, improvement
+from repro.chopper.stats import StatisticsCollector
+from repro.cluster import uniform_cluster
+from repro.common.errors import ModelError
+from repro.engine import AnalyticsContext, EngineConf
+from repro.workloads import KMeansWorkload
+
+
+@pytest.fixture(scope="module")
+def trained():
+    workload = KMeansWorkload(
+        virtual_gb=4.0, physical_records=1000, lloyd_iterations=3, init_rounds=2
+    )
+    runner = ChopperRunner(
+        workload,
+        cluster_factory=lambda: uniform_cluster(n_workers=3, cores=8),
+        base_conf=EngineConf(default_parallelism=48),
+    )
+    runner.profile(p_grid=(16, 48, 96, 160), scales=(1.0,))
+    runner.train()
+    return runner
+
+
+def online_for(runner, **kw):
+    return OnlineChopper(
+        runner.db,
+        runner.workload.name,
+        runner.workload.virtual_bytes(),
+        runner.weights,
+        cluster_parallelism=24,
+        **kw,
+    )
+
+
+class TestOnlineChopper:
+    def test_validation(self, trained):
+        with pytest.raises(ModelError):
+            online_for(trained, refit_every=0)
+
+    def test_collects_and_refits_during_run(self, trained):
+        ctx = AnalyticsContext(
+            uniform_cluster(n_workers=3, cores=8),
+            EngineConf(default_parallelism=48, copartition_scheduling=True),
+        )
+        online = online_for(trained, refit_every=4)
+        before = len(trained.db.observations("kmeans"))
+        with online.attach(ctx):
+            result = trained.workload.run(ctx)
+        after = len(trained.db.observations("kmeans"))
+        stage_count = trained.workload.expected_stage_count()
+        assert after - before == stage_count
+        assert online.refits == stage_count // 4
+        assert result.value is not None
+
+    def test_detach_restores_context(self, trained):
+        ctx = AnalyticsContext(
+            uniform_cluster(n_workers=3, cores=8),
+            EngineConf(default_parallelism=48),
+        )
+        online = online_for(trained)
+        with online.attach(ctx):
+            pass
+        assert ctx.advisor is None
+        # Listener removed: later stages are not recorded.
+        before = len(trained.db.observations("kmeans"))
+        ctx.parallelize(range(10), 2).count()
+        assert len(trained.db.observations("kmeans")) == before
+
+    def test_config_updates_in_place(self, trained):
+        online = online_for(trained)
+        config_object = online.config
+        entries_before = dict(config_object.entries)
+        online.refresh()
+        assert online.config is config_object  # same object the advisor holds
+        assert set(config_object.entries) == set(entries_before)
+
+    def test_online_run_still_beats_vanilla(self, trained):
+        vanilla = trained.run_vanilla()
+        ctx = AnalyticsContext(
+            uniform_cluster(n_workers=3, cores=8),
+            EngineConf(default_parallelism=48, copartition_scheduling=True),
+        )
+        online = online_for(trained, refit_every=6)
+        collector = StatisticsCollector("kmeans", trained.workload.virtual_bytes())
+        collector.attach(ctx)
+        with online.attach(ctx):
+            trained.workload.run(ctx)
+        record = collector.finish(ctx)
+        record.total_time = ctx.now
+        assert record.total_time < vanilla.total_time * 1.02

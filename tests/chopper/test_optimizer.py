@@ -1,0 +1,250 @@
+"""Tests for Algorithms 1-3 on synthetic workload DBs."""
+
+import pytest
+
+from repro.chopper.cost import CostWeights
+from repro.chopper.global_opt import (
+    get_global_par,
+    get_regrouped_dag,
+    get_subgraph_par,
+)
+from repro.chopper.model import StagePerfModel
+from repro.chopper.optimizer import (
+    get_stage_input,
+    get_stage_par,
+    get_workload_par,
+)
+from repro.chopper.stats import StageObservation
+from repro.chopper.workload_db import DagStage, WorkloadDB, WorkloadDag
+from repro.common.errors import ModelError
+
+
+def fit(time_fn, shuffle_fn=lambda d, p: 0.0, kind="hash"):
+    rows = [
+        StageObservation(
+            signature="s", kind="result", partitioner_kind=kind,
+            input_bytes=d, num_partitions=p,
+            duration=time_fn(d, p), shuffle_bytes=shuffle_fn(d, p), order=0,
+        )
+        for d in (1e9, 2e9)
+        for p in (100, 200, 300, 500, 800)
+    ]
+    return StagePerfModel.fit(rows)
+
+
+def dag_stage(sig, order=0, frac=1.0, **kw):
+    defaults = dict(
+        kind="result", parent_signatures=(), cogroup_sides=0,
+        user_fixed=False, input_fraction=frac,
+        observed_partitioner_kind="hash", observed_num_partitions=300,
+    )
+    defaults.update(kw)
+    return DagStage(signature=sig, order=order, **defaults)
+
+
+def build_db(stages, models):
+    """models: {(sig, kind): (time_fn, shuffle_fn)}"""
+    db = WorkloadDB()
+    db.set_dag("wl", WorkloadDag(stages=list(stages)))
+    for (sig, kind), (tf, sf) in models.items():
+        db.set_model("wl", sig, kind, fit(tf, sf, kind))
+    return db
+
+
+W = CostWeights()
+
+
+class TestAlgorithm1:
+    def test_picks_cheaper_partitioner(self):
+        db = build_db(
+            [dag_stage("s")],
+            {
+                ("s", "hash"): (lambda d, p: 100.0, lambda d, p: 0),
+                ("s", "range"): (lambda d, p: 50.0, lambda d, p: 0),
+            },
+        )
+        scheme, cost = get_stage_par(db, "wl", "s", 1e9, W)
+        assert scheme.kind == "range"
+
+    def test_hash_wins_ties(self):
+        db = build_db(
+            [dag_stage("s")],
+            {
+                ("s", "hash"): (lambda d, p: 100.0, lambda d, p: 0),
+                ("s", "range"): (lambda d, p: 100.0, lambda d, p: 0),
+            },
+        )
+        scheme, _ = get_stage_par(db, "wl", "s", 1e9, W)
+        assert scheme.kind == "hash"
+
+    def test_single_kind_available(self):
+        db = build_db(
+            [dag_stage("s")],
+            {("s", "hash"): (lambda d, p: 1e7 / p + 0.1 * p, lambda d, p: 0)},
+        )
+        scheme, _ = get_stage_par(db, "wl", "s", 1e9, W)
+        assert scheme.kind == "hash"
+
+    def test_no_models_raises(self):
+        db = build_db([dag_stage("s")], {})
+        with pytest.raises(ModelError):
+            get_stage_par(db, "wl", "s", 1e9, W)
+
+    def test_minimizes_over_p(self):
+        db = build_db(
+            [dag_stage("s")],
+            {("s", "hash"): (lambda d, p: 1e5 / p + 0.5 * p, lambda d, p: 0)},
+        )
+        scheme, _ = get_stage_par(db, "wl", "s", 1e9, W)
+        # analytic minimum at sqrt(1e5/0.5) ~ 447
+        assert 350 <= scheme.num_partitions <= 550
+
+
+class TestAlgorithm2:
+    def test_per_stage_independence(self):
+        db = build_db(
+            [dag_stage("a", 0, frac=1.0), dag_stage("b", 1, frac=0.5)],
+            {
+                ("a", "hash"): (lambda d, p: 1e5 / p + 0.5 * p, lambda d, p: 0),
+                ("b", "hash"): (lambda d, p: 1e4 / p + 5.0 * p, lambda d, p: 0),
+            },
+        )
+        schemes = get_workload_par(db, "wl", 1e9, W)
+        assert [s.signature for s in schemes] == ["a", "b"]
+        # Stage b's steeper overhead term pulls its optimum far lower.
+        assert schemes[1].scheme.num_partitions < schemes[0].scheme.num_partitions
+
+    def test_stage_input_estimation(self):
+        db = build_db([dag_stage("a", frac=0.25)], {})
+        assert get_stage_input(db, "wl", "a", 4e9) == pytest.approx(1e9)
+
+
+class TestRegrouping:
+    def test_join_consumer_groups_parents(self):
+        stages = [
+            dag_stage("scan_a", 0, kind="shuffle_map"),
+            dag_stage("scan_b", 1, kind="shuffle_map"),
+            dag_stage("join", 2, kind="shuffle_map",
+                      parent_signatures=("scan_a", "scan_b"), cogroup_sides=2),
+            dag_stage("result", 3),
+        ]
+        db = build_db(stages, {})
+        nodes = get_regrouped_dag(db, "wl")
+        join_node = next(n for n in nodes if "join" in n.signatures())
+        assert set(join_node.signatures()) == {"scan_a", "scan_b", "join"}
+        assert join_node.is_subgraph
+
+    def test_source_stages_group(self):
+        stages = [
+            dag_stage("load", 0, observed_partitioner_kind=None,
+                      source_signatures=("src",)),
+            dag_stage("scan1", 1, observed_partitioner_kind=None,
+                      source_signatures=("src",)),
+            dag_stage("reduce", 2, observed_partitioner_kind="hash"),
+        ]
+        db = build_db(stages, {})
+        nodes = get_regrouped_dag(db, "wl")
+        source_node = next(n for n in nodes if "load" in n.signatures())
+        assert set(source_node.signatures()) == {"load", "scan1"}
+        standalone = next(n for n in nodes if "reduce" in n.signatures())
+        assert not standalone.is_subgraph
+
+    def test_all_stages_covered_exactly_once(self):
+        stages = [
+            dag_stage("a", 0, kind="shuffle_map"),
+            dag_stage("b", 1, kind="shuffle_map"),
+            dag_stage("j", 2, parent_signatures=("a", "b"), cogroup_sides=2),
+            dag_stage("load", 3, observed_partitioner_kind=None,
+                      source_signatures=("s1",)),
+            dag_stage("x", 4),
+        ]
+        db = build_db(stages, {})
+        nodes = get_regrouped_dag(db, "wl")
+        sigs = [s for n in nodes for s in n.signatures()]
+        assert sorted(sigs) == sorted(s.signature for s in stages)
+
+
+class TestAlgorithm3:
+    def _join_db(self, range_join_cost):
+        """Join subgraph where range is great for A but terrible for join."""
+        stages = [
+            dag_stage("scan_a", 0, kind="shuffle_map", frac=0.8),
+            dag_stage("scan_b", 1, kind="shuffle_map", frac=0.2),
+            dag_stage("join", 2, parent_signatures=("scan_a", "scan_b"),
+                      cogroup_sides=2, frac=0.5),
+        ]
+        models = {}
+        for sig in ("scan_a", "scan_b"):
+            models[(sig, "hash")] = (lambda d, p: 100.0 + 0.01 * p, lambda d, p: 0)
+            models[(sig, "range")] = (lambda d, p: 80.0 + 0.01 * p, lambda d, p: 0)
+        models[("join", "hash")] = (lambda d, p: 50.0, lambda d, p: 0)
+        models[("join", "range")] = (lambda d, p: range_join_cost, lambda d, p: 0)
+        return build_db(stages, models)
+
+    def test_subgraph_members_share_scheme_and_group(self):
+        db = self._join_db(range_join_cost=5000.0)
+        schemes = get_global_par(db, "wl", 1e9, W)
+        by_sig = {s.signature: s for s in schemes}
+        group = by_sig["join"].group
+        assert group is not None
+        assert by_sig["scan_a"].group == group
+        assert by_sig["scan_a"].scheme == by_sig["join"].scheme
+
+    def test_subgraph_avoids_locally_good_globally_bad_scheme(self):
+        # Range is better per-scan but catastrophic for the join: the
+        # shared scheme must be hash.
+        db = self._join_db(range_join_cost=5000.0)
+        schemes = get_global_par(db, "wl", 1e9, W)
+        join = next(s for s in schemes if s.signature == "join")
+        assert join.scheme.kind == "hash"
+
+    def test_subgraph_keeps_range_when_join_tolerates_it(self):
+        db = self._join_db(range_join_cost=40.0)
+        schemes = get_global_par(db, "wl", 1e9, W)
+        join = next(s for s in schemes if s.signature == "join")
+        assert join.scheme.kind == "range"
+
+    def test_get_subgraph_par_prices_all_members(self):
+        db = self._join_db(range_join_cost=5000.0)
+        members = db.dag("wl").stages
+        scheme, cost = get_subgraph_par(db, "wl", members, 1e9, W)
+        assert scheme.kind == "hash"
+        assert cost > 0
+
+    def test_fixed_stage_kept_when_gamma_not_cleared(self):
+        stages = [
+            dag_stage("fixed", 0, user_fixed=True,
+                      observed_partitioner_kind="hash",
+                      observed_num_partitions=300),
+        ]
+        db = build_db(
+            stages,
+            # Optimal P barely better than the current: repartition should
+            # NOT clear the 1.5x bar.
+            {("fixed", "hash"): (lambda d, p: 100.0 + 0.001 * p, lambda d, p: 0)},
+        )
+        schemes = get_global_par(db, "wl", 1e9, W, gamma=1.5)
+        # Rejection means the node is left entirely alone: no config entry
+        # is emitted, so the advisor never touches the user's plan.
+        assert schemes == []
+
+    def test_fixed_stage_repartitioned_when_benefit_large(self):
+        stages = [
+            dag_stage("fixed", 0, user_fixed=True,
+                      observed_partitioner_kind="hash",
+                      observed_num_partitions=800),
+        ]
+        db = build_db(
+            stages,
+            # At 800 the stage is ~9x slower than at its optimum.
+            {("fixed", "hash"): (lambda d, p: 10.0 + 0.2 * (p - 100), lambda d, p: 0)},
+        )
+        schemes = get_global_par(db, "wl", 1e9, W, gamma=1.5)
+        assert schemes[0].insert_repartition
+        assert schemes[0].scheme.num_partitions < 800
+
+    def test_output_ordered_by_stage_order(self):
+        db = self._join_db(range_join_cost=100.0)
+        schemes = get_global_par(db, "wl", 1e9, W)
+        orders = [db.dag("wl").stage(s.signature).order for s in schemes]
+        assert orders == sorted(orders)

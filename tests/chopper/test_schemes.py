@@ -1,0 +1,62 @@
+"""Tests for partition schemes and SchemeRef resolution."""
+
+import pytest
+
+from repro.chopper.schemes import PartitionScheme, SchemeRef
+from repro.common.errors import ConfigurationError
+from repro.engine import HashPartitioner, RangePartitioner
+
+
+class TestPartitionScheme:
+    def test_valid(self):
+        scheme = PartitionScheme("hash", 100)
+        assert scheme.kind == "hash"
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            PartitionScheme("modulo", 10)
+
+    def test_bad_count(self):
+        with pytest.raises(ConfigurationError):
+            PartitionScheme("hash", 0)
+
+    def test_roundtrip(self):
+        scheme = PartitionScheme("range", 42)
+        assert PartitionScheme.from_dict(scheme.to_dict()) == scheme
+
+
+class TestSchemeRef:
+    def test_hash_resolves_eagerly(self):
+        ref = SchemeRef(PartitionScheme("hash", 7))
+        part = ref.resolve_eager()
+        assert isinstance(part, HashPartitioner)
+        assert part.num_partitions == 7
+        assert ref.resolved
+
+    def test_range_does_not_resolve_eagerly(self):
+        ref = SchemeRef(PartitionScheme("range", 7))
+        assert ref.resolve_eager() is None
+        assert not ref.resolved
+
+    def test_shared_ref_reuses_partitioner(self):
+        ref = SchemeRef(PartitionScheme("hash", 7))
+        a = ref.resolve_eager()
+        b = ref.resolve_eager()
+        assert a is b
+
+    def test_range_resolution_samples_map_stage(self, ctx):
+        pairs = ctx.parallelize([(i % 50, i) for i in range(500)], 4)
+        reduced = pairs.reduce_by_key(lambda a, b: a + b, 3)
+        dep = reduced.shuffle_deps()[0]
+        # Build the provisional stage graph to get the map stage.
+        stages = ctx.dag_scheduler.provisional_stages(reduced)
+        map_stage = next(s for s in stages if s.shuffle_dep is dep)
+        ref = SchemeRef(PartitionScheme("range", 5))
+        part, delay = ref.resolve(ctx, map_stage)
+        assert isinstance(part, RangePartitioner)
+        assert part.num_partitions == 5
+        assert delay > 0
+        # Second resolution is free and returns the same object.
+        part2, delay2 = ref.resolve(ctx, map_stage)
+        assert part2 is part
+        assert delay2 == 0.0

@@ -1,0 +1,65 @@
+"""Tests for the statistics collector."""
+
+import pytest
+
+from repro.chopper.stats import RunRecord, StageObservation, StatisticsCollector
+
+
+class TestStatisticsCollector:
+    def test_collects_stage_observations(self, ctx):
+        collector = StatisticsCollector("wl", input_bytes=1e9)
+        with collector.attached(ctx):
+            pairs = ctx.parallelize([(i % 3, 1) for i in range(60)], 4)
+            pairs.reduce_by_key(lambda a, b: a + b, 2).collect()
+        record = collector.record
+        assert record.stage_count == 2
+        assert [o.kind for o in record.observations] == ["shuffle_map", "result"]
+        assert record.total_time == ctx.now
+
+    def test_orders_are_sequential(self, ctx):
+        collector = StatisticsCollector("wl", input_bytes=1e9)
+        with collector.attached(ctx):
+            ctx.parallelize(range(10), 2).collect()
+            ctx.parallelize(range(10), 2).collect()
+        orders = [o.order for o in collector.record.observations]
+        assert orders == [0, 1]
+
+    def test_detached_after_finish(self, ctx):
+        collector = StatisticsCollector("wl", input_bytes=1e9)
+        collector.attach(ctx)
+        ctx.parallelize(range(10), 2).collect()
+        collector.finish(ctx)
+        ctx.parallelize(range(10), 2).collect()
+        assert collector.record.stage_count == 1
+
+    def test_total_time_excludes_prior_work(self, ctx):
+        ctx.parallelize(range(1000), 4).collect()
+        before = ctx.now
+        assert before > 0
+        collector = StatisticsCollector("wl", input_bytes=1e9)
+        with collector.attached(ctx):
+            ctx.parallelize(range(1000), 4).collect()
+        assert collector.record.total_time == pytest.approx(ctx.now - before)
+
+    def test_observation_roundtrip(self):
+        obs = StageObservation(
+            signature="s", kind="result", partitioner_kind="range",
+            input_bytes=1e9, num_partitions=100, duration=5.0,
+            shuffle_bytes=42.0, order=3, parent_signatures=("p",),
+            cogroup_sides=2, user_fixed=True, source_signatures=("src",),
+        )
+        assert StageObservation.from_dict(obs.to_dict()) == obs
+
+    def test_by_signature_grouping(self):
+        record = RunRecord(workload="w", input_bytes=1.0)
+        for i, sig in enumerate(["a", "b", "a"]):
+            record.observations.append(
+                StageObservation(
+                    signature=sig, kind="result", partitioner_kind=None,
+                    input_bytes=1.0, num_partitions=1, duration=1.0,
+                    shuffle_bytes=0.0, order=i,
+                )
+            )
+        grouped = record.by_signature()
+        assert len(grouped["a"]) == 2
+        assert len(grouped["b"]) == 1

@@ -1,0 +1,74 @@
+"""Tests for config validation."""
+
+from repro.chopper.config_gen import ConfigEntry, WorkloadConfig
+from repro.chopper.schemes import PartitionScheme
+from repro.chopper.validate import validate_config
+
+
+def graph(ctx):
+    pairs = ctx.parallelize([(i % 5, i) for i in range(100)], 4)
+    return pairs.reduce_by_key(lambda a, b: a + b, 4)
+
+
+def signatures(ctx, rdd):
+    return [s.signature for s in ctx.dag_scheduler.provisional_stages(rdd)]
+
+
+def entry(sig, n=8):
+    return ConfigEntry(signature=sig, scheme=PartitionScheme("hash", n))
+
+
+class TestValidateConfig:
+    def test_full_coverage_ok(self, ctx):
+        rdd = graph(ctx)
+        config = WorkloadConfig(workload="t")
+        for sig in signatures(ctx, rdd):
+            config.add(entry(sig))
+        report = validate_config(config, rdd, ctx)
+        assert report.ok
+        assert report.coverage == 1.0
+        assert not report.stale
+
+    def test_stale_entry_detected(self, ctx):
+        rdd = graph(ctx)
+        config = WorkloadConfig(workload="t")
+        config.add(entry("deadbeef00000000"))
+        report = validate_config(config, rdd, ctx)
+        assert report.stale == ["deadbeef00000000"]
+        assert not report.ok
+        assert "STALE" in report.summary()
+
+    def test_uncovered_stages_reported(self, ctx):
+        rdd = graph(ctx)
+        report = validate_config(WorkloadConfig(workload="t"), rdd, ctx)
+        assert len(report.uncovered) == 2
+        assert report.coverage == 0.0
+        # Uncovered alone is not an error: defaults apply.
+        assert not report.stale
+
+    def test_tiny_partition_count_warns(self, ctx):
+        rdd = graph(ctx)
+        sig = signatures(ctx, rdd)[0]
+        config = WorkloadConfig(workload="t")
+        config.add(entry(sig, n=1))  # 16-core test cluster
+        report = validate_config(config, rdd, ctx)
+        assert report.warnings
+        assert "idle" in report.warnings[0]
+
+    def test_huge_partition_count_warns(self, ctx):
+        rdd = graph(ctx)
+        sig = signatures(ctx, rdd)[0]
+        config = WorkloadConfig(workload="t")
+        config.add(entry(sig, n=100_000))
+        report = validate_config(config, rdd, ctx)
+        assert any("dispatch" in w for w in report.warnings)
+
+    def test_validation_does_not_mutate_graph(self, ctx):
+        rdd = graph(ctx)
+        sig = signatures(ctx, rdd)[-1]
+        config = WorkloadConfig(workload="t")
+        config.add(entry(sig, n=11))
+        validate_config(config, rdd, ctx)
+        # No advisor installed, nothing applied: defaults still run.
+        rdd.collect()
+        assert ctx.job_stats[-1].stages[-1].num_partitions == 4

@@ -1,0 +1,59 @@
+"""Tests for record size estimation."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.sizing import Sized, estimate_partition_size, estimate_size
+
+
+class TestEstimateSize:
+    def test_primitives(self):
+        assert estimate_size(1) == 8.0
+        assert estimate_size(1.5) == 8.0
+        assert estimate_size(None) == 8.0
+        assert estimate_size(True) == 8.0
+
+    def test_numpy_array_uses_nbytes(self):
+        arr = np.zeros(100, dtype=np.float64)
+        assert estimate_size(arr) >= arr.nbytes
+
+    def test_numpy_scalar(self):
+        assert estimate_size(np.float64(1.0)) == 8.0
+
+    def test_string_scales_with_length(self):
+        assert estimate_size("a" * 100) > estimate_size("a" * 10)
+
+    def test_tuple_includes_elements(self):
+        assert estimate_size((1, 2.0)) > estimate_size(1) + estimate_size(2.0)
+
+    def test_dict(self):
+        assert estimate_size({"k": 1}) > estimate_size("k") + estimate_size(1)
+
+    def test_unknown_object_fallback(self):
+        class Strange:
+            pass
+
+        assert estimate_size(Strange()) == 64.0
+
+    def test_sized_protocol_overrides(self):
+        class Virtual(Sized):
+            def nbytes_virtual(self):
+                return 12345.0
+
+        assert estimate_size(Virtual()) == 12345.0
+
+    @given(st.lists(st.integers(), max_size=50))
+    def test_list_size_monotone_in_elements(self, xs):
+        assert estimate_size(xs) >= estimate_size(xs[: len(xs) // 2])
+
+
+class TestEstimatePartitionSize:
+    def test_empty(self):
+        assert estimate_partition_size([]) == 0.0
+
+    def test_sums_records(self):
+        records = [(1, 2.0), (3, 4.0)]
+        assert estimate_partition_size(records) == sum(
+            estimate_size(r) for r in records
+        )

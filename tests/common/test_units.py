@@ -1,0 +1,47 @@
+"""Tests for byte/time unit helpers."""
+
+import pytest
+
+from repro.common.units import GB, KB, MB, MINUTE, fmt_bytes, fmt_duration
+
+
+class TestConstants:
+    def test_binary_ladder(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+
+    def test_paper_input_sizes_expressible(self):
+        assert 21.8 * GB > 2.3e10
+
+
+class TestFmtBytes:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (1536, "1.50 KB"),
+            (5 * MB, "5.00 MB"),
+            (2.5 * GB, "2.50 GB"),
+        ],
+    )
+    def test_formats(self, n, expected):
+        assert fmt_bytes(n) == expected
+
+    def test_negative(self):
+        assert fmt_bytes(-1536) == "-1.50 KB"
+
+
+class TestFmtDuration:
+    def test_subminute(self):
+        assert fmt_duration(0.5) == "0.500s"
+
+    def test_minutes(self):
+        assert fmt_duration(75) == "1m15.0s"
+
+    def test_hours(self):
+        assert fmt_duration(3700) == "1h1m40s"
+
+    def test_negative(self):
+        assert fmt_duration(-MINUTE) == "-1m0.0s"

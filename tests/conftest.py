@@ -1,0 +1,38 @@
+"""Shared fixtures: small clusters and contexts for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import paper_cluster, uniform_cluster
+from repro.engine import AnalyticsContext, EngineConf
+from repro.engine.costmodel import CostModelConfig
+
+
+def quiet_cost() -> CostModelConfig:
+    """Cost model without stochastic jitter or dispatch stagger.
+
+    Unit tests compare exact durations and start times; the production
+    defaults keep both effects on.
+    """
+    return CostModelConfig(jitter_sigma=0.0, driver_dispatch_interval=0.0)
+
+
+@pytest.fixture
+def small_cluster():
+    """4 homogeneous workers x 4 cores: fast and easy to reason about."""
+    return uniform_cluster(n_workers=4, cores=4)
+
+
+@pytest.fixture
+def ctx(small_cluster):
+    """A context with small default parallelism for unit tests."""
+    return AnalyticsContext(
+        small_cluster, EngineConf(default_parallelism=8, cost=quiet_cost())
+    )
+
+
+@pytest.fixture
+def paper_ctx():
+    """The paper's heterogeneous 6-node testbed."""
+    return AnalyticsContext(paper_cluster(), EngineConf(default_parallelism=300))

@@ -1,0 +1,65 @@
+"""Tests for accumulators."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.engine.accumulators import make_accumulator
+
+
+class TestAccumulator:
+    def test_numeric_default_add(self):
+        acc = make_accumulator(0)
+        acc.add(3)
+        acc += 4
+        assert acc.value == 7
+        assert acc.adds == 2
+
+    def test_custom_add_op(self):
+        acc = make_accumulator([], add_op=lambda a, b: a + [b], name="log")
+        acc.add("x")
+        acc.add("y")
+        assert acc.value == ["x", "y"]
+
+    def test_non_numeric_requires_add_op(self):
+        with pytest.raises(ConfigurationError):
+            make_accumulator([])
+
+    def test_reset(self):
+        acc = make_accumulator(0)
+        acc.add(5)
+        acc.reset()
+        assert acc.value == 0 and acc.adds == 0
+
+    def test_counts_records_during_run(self, ctx):
+        acc = ctx.accumulator(0, name="records")
+        rdd = ctx.parallelize(range(100), 4)
+
+        def count_records(_s, recs):
+            acc.add(len(recs))
+            return recs
+
+        rdd.map_partitions(count_records).collect()
+        assert acc.value == 100
+
+    def test_failed_attempts_do_not_double_count(self):
+        from repro.cluster import uniform_cluster
+        from repro.engine import AnalyticsContext, EngineConf
+
+        ctx = AnalyticsContext(
+            uniform_cluster(n_workers=2, cores=2),
+            EngineConf(
+                default_parallelism=4, task_failure_rate=0.3,
+                max_task_attempts=8,
+            ),
+        )
+        acc = ctx.accumulator(0)
+        rdd = ctx.parallelize(range(60), 6)
+
+        def touch(_s, recs):
+            acc.add(len(recs))
+            return recs
+
+        assert rdd.map_partitions(touch).count() == 60
+        # Failed attempts never execute the pipeline, so each partition
+        # contributes exactly once.
+        assert acc.value == 60

@@ -1,0 +1,79 @@
+"""Tests for AnalyticsContext configuration and driver-side helpers."""
+
+import pytest
+
+from repro.cluster import paper_cluster, uniform_cluster
+from repro.common.errors import ConfigurationError
+from repro.engine import AnalyticsContext, Broadcast, EngineConf
+
+
+class TestEngineConf:
+    def test_defaults_match_paper(self):
+        conf = EngineConf()
+        assert conf.default_parallelism == 300
+        assert not conf.copartition_scheduling
+        assert not conf.speculation
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EngineConf(default_parallelism=0)
+        with pytest.raises(ConfigurationError):
+            EngineConf(task_failure_rate=-0.1)
+
+
+class TestContext:
+    def test_default_cluster_is_paper_testbed(self):
+        ctx = AnalyticsContext()
+        assert ctx.cluster.worker_names == ["A", "B", "C", "D", "E"]
+
+    def test_counters_are_unique(self, ctx):
+        ids = {ctx.next_rdd_id() for _ in range(10)}
+        assert len(ids) == 10
+
+    def test_parallelize_defaults(self, ctx):
+        rdd = ctx.parallelize(range(3))
+        assert rdd.num_partitions == 3  # min(parallelism, len)
+        big = ctx.parallelize(range(100))
+        assert big.num_partitions == ctx.default_parallelism
+
+    def test_union_helper(self, ctx):
+        a = ctx.parallelize([1], 1)
+        b = ctx.parallelize([2], 1)
+        assert sorted(ctx.union([a, b]).collect()) == [1, 2]
+
+    def test_broadcast_returns_value_and_records_traffic(self, ctx):
+        bc = ctx.broadcast([1, 2, 3])
+        assert isinstance(bc, Broadcast)
+        assert bc.value == [1, 2, 3]
+        series = ctx.metrics.bucketize("net_bytes", 1.0)
+        assert series.values.sum() > 0
+
+    def test_sample_keys_runs_a_job(self, ctx):
+        pairs = ctx.parallelize([(i, i) for i in range(100)], 4)
+        keys = ctx.sample_keys(pairs)
+        assert keys
+        assert set(keys) <= set(range(100))
+        assert len(ctx.job_stats) == 1  # the sampling pass was a real job
+
+    def test_reset_stats(self, ctx):
+        ctx.parallelize(range(10), 2).count()
+        assert ctx.stage_stats
+        ctx.reset_stats()
+        assert not ctx.stage_stats and not ctx.job_stats
+
+    def test_now_tracks_simulated_time(self, ctx):
+        before = ctx.now
+        ctx.parallelize(range(10), 2).count()
+        assert ctx.now > before
+
+    def test_cache_capacity_follows_executor_memory(self):
+        from repro.common.units import GB
+
+        cluster = uniform_cluster(n_workers=2, cores=2, memory=8 * GB,
+                                  executor_memory=4 * GB)
+        ctx = AnalyticsContext(cluster, EngineConf(
+            default_parallelism=4, cache_memory_fraction=0.5
+        ))
+        # A block of half the executor memory fits; a larger one does not.
+        assert ctx.block_store.put(1, 0, [], 1.9 * GB, "w0")
+        assert not ctx.block_store.put(1, 1, [], 2.5 * GB, "w0")

@@ -1,0 +1,132 @@
+"""Tests for hash/range partitioners and the stable hash."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.engine import HashPartitioner, RangePartitioner, make_partitioner
+from repro.engine.partitioner import stable_hash
+
+
+class TestStableHash:
+    @given(st.one_of(st.integers(), st.text(), st.floats(allow_nan=False)))
+    def test_deterministic(self, key):
+        assert stable_hash(key) == stable_hash(key)
+
+    def test_handles_tuples(self):
+        assert stable_hash((1, "a")) != stable_hash((1, "b"))
+        assert stable_hash(("a", 1)) != stable_hash((1, "a"))
+
+    def test_handles_bytes_and_objects(self):
+        assert isinstance(stable_hash(b"xy"), int)
+        assert isinstance(stable_hash(object), int)
+
+    @given(st.integers())
+    def test_nonnegative(self, key):
+        assert stable_hash(key) >= 0
+
+
+class TestHashPartitioner:
+    def test_range_of_outputs(self):
+        part = HashPartitioner(7)
+        for key in range(1000):
+            assert 0 <= part.partition(key) < 7
+
+    def test_identical_keys_same_partition(self):
+        part = HashPartitioner(10)
+        assert part.partition("hot") == part.partition("hot")
+
+    def test_equality_structural(self):
+        assert HashPartitioner(5) == HashPartitioner(5)
+        assert HashPartitioner(5) != HashPartitioner(6)
+
+    def test_not_equal_to_range(self):
+        assert HashPartitioner(5) != RangePartitioner(5, [1, 2, 3, 4])
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            HashPartitioner(0)
+
+    def test_roughly_uniform_on_distinct_keys(self):
+        part = HashPartitioner(4)
+        counts = [0] * 4
+        for key in range(10_000):
+            counts[part.partition(key)] += 1
+        # Distinct integer keys spread within ~15% of perfectly even.
+        assert max(counts) < 1.15 * 2500
+        assert min(counts) > 0.85 * 2500
+
+
+class TestRangePartitioner:
+    def test_bounds_routing(self):
+        part = RangePartitioner(3, [10, 20])
+        assert part.partition(5) == 0
+        assert part.partition(15) == 1
+        assert part.partition(25) == 2
+
+    def test_from_sample_balances_uniform_keys(self):
+        keys = list(range(1000))
+        part = RangePartitioner.from_sample(keys, 4, seed=1)
+        counts = [0] * 4
+        for key in keys:
+            counts[part.partition(key)] += 1
+        assert max(counts) < 2 * min(counts) + 50
+
+    def test_from_sample_isolates_hot_key(self):
+        # 80% of records share one key: range bounds learned by count
+        # quantiles concentrate the hot key into few partitions.
+        keys = [500] * 800 + list(range(200))
+        part = RangePartitioner.from_sample(keys, 4, seed=1)
+        hot = part.partition(500)
+        assert 0 <= hot < 4
+
+    def test_empty_sample(self):
+        part = RangePartitioner.from_sample([], 4)
+        assert part.partition(123) == 0
+
+    def test_too_many_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RangePartitioner(2, [1, 2, 3])
+
+    def test_descending_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RangePartitioner(3, [5, 1])
+
+    def test_equality_includes_bounds(self):
+        assert RangePartitioner(3, [1, 2]) == RangePartitioner(3, [1, 2])
+        assert RangePartitioner(3, [1, 2]) != RangePartitioner(3, [1, 3])
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=200),
+           st.integers(1, 10))
+    def test_partition_always_in_range(self, keys, n):
+        part = RangePartitioner.from_sample(keys, n, seed=0)
+        for key in keys:
+            assert 0 <= part.partition(key) < n
+
+    @given(st.lists(st.integers(), min_size=2, max_size=100), st.integers(2, 8))
+    def test_ordering_preserved(self, keys, n):
+        """Keys in a lower range never land in a higher partition."""
+        part = RangePartitioner.from_sample(keys, n, seed=0)
+        ordered = sorted(keys)
+        partitions = [part.partition(k) for k in ordered]
+        assert partitions == sorted(partitions)
+
+
+class TestMakePartitioner:
+    def test_hash(self):
+        part = make_partitioner("hash", 5)
+        assert isinstance(part, HashPartitioner)
+        assert part.num_partitions == 5
+
+    def test_range_requires_sample(self):
+        with pytest.raises(ConfigurationError):
+            make_partitioner("range", 5)
+
+    def test_range_with_sample(self):
+        part = make_partitioner("range", 3, sample_keys=range(100))
+        assert isinstance(part, RangePartitioner)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            make_partitioner("zigzag", 3)

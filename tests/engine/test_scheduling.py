@@ -1,0 +1,245 @@
+"""Tests for task scheduling: waves, heterogeneity, locality, failures."""
+
+import pytest
+
+from repro.cluster import NodeSpec, Cluster, uniform_cluster
+from repro.cluster.cluster import GBPS
+from repro.common.errors import SchedulingError
+from repro.common.units import GB
+from repro.engine import AnalyticsContext, EngineConf
+from repro.engine.costmodel import CostModelConfig
+
+
+def make_ctx(cluster, **conf_kwargs):
+    conf_kwargs.setdefault("default_parallelism", 8)
+    conf_kwargs.setdefault(
+        "cost", CostModelConfig(jitter_sigma=0.0, driver_dispatch_interval=0.0)
+    )
+    return AnalyticsContext(cluster, EngineConf(**conf_kwargs))
+
+
+class TestWaves:
+    def test_fewer_tasks_than_cores_one_wave(self):
+        ctx = make_ctx(uniform_cluster(n_workers=2, cores=4))
+        ctx.parallelize(range(100), 4).collect()
+        stage = ctx.job_stats[-1].stages[0]
+        starts = {t.start for t in stage.tasks}
+        assert len(starts) == 1  # all launched immediately
+
+    def test_more_tasks_than_cores_queue(self):
+        ctx = make_ctx(uniform_cluster(n_workers=2, cores=2))
+        ctx.parallelize(range(100), 12).collect()
+        stage = ctx.job_stats[-1].stages[0]
+        starts = sorted({t.start for t in stage.tasks})
+        assert len(starts) > 1  # later waves start after slots free
+
+    def test_makespan_scales_with_waves(self):
+        cluster = uniform_cluster(n_workers=1, cores=2)
+        ctx_one = make_ctx(cluster)
+        ctx_one.parallelize(range(100), 2).collect()
+        one_wave = ctx_one.job_stats[-1].duration
+
+        ctx_two = make_ctx(uniform_cluster(n_workers=1, cores=2))
+        ctx_two.parallelize(range(100), 4).collect()
+        two_waves = ctx_two.job_stats[-1].duration
+        assert two_waves > one_wave
+
+
+class TestHeterogeneity:
+    def _hetero_cluster(self):
+        workers = [
+            NodeSpec("fast", cores=4, speed=2.0, memory=8 * GB, net_bw=10 * GBPS,
+                     executor_memory=4 * GB),
+            NodeSpec("slow", cores=4, speed=0.5, memory=8 * GB, net_bw=10 * GBPS,
+                     executor_memory=4 * GB),
+        ]
+        master = NodeSpec("m", cores=1, speed=1.0, memory=8 * GB, net_bw=10 * GBPS,
+                          executor_memory=GB)
+        return Cluster(workers=workers, master=master)
+
+    def test_fast_node_takes_more_tasks(self):
+        # Make compute dominate the fixed task overhead so speed matters.
+        cfg = CostModelConfig(
+            task_overhead=0.001, per_byte_compute=1e-4,
+            jitter_sigma=0.0, driver_dispatch_interval=0.0,
+        )
+        ctx = make_ctx(self._hetero_cluster(), cost=cfg)
+        ctx.parallelize(list(range(40_000)), 32).collect()
+        stage = ctx.job_stats[-1].stages[0]
+        by_node = {"fast": 0, "slow": 0}
+        for t in stage.tasks:
+            by_node[t.node] += 1
+        assert by_node["fast"] > by_node["slow"]
+
+    def test_task_duration_divides_by_speed(self):
+        cfg = CostModelConfig(
+            task_overhead=0.001, per_byte_compute=1e-4,
+            jitter_sigma=0.0, driver_dispatch_interval=0.0,
+        )
+        ctx = make_ctx(self._hetero_cluster(), cost=cfg)
+        ctx.parallelize(list(range(8000)), 8).collect()
+        stage = ctx.job_stats[-1].stages[0]
+        fast = [t.duration for t in stage.tasks if t.node == "fast"]
+        slow = [t.duration for t in stage.tasks if t.node == "slow"]
+        if fast and slow:
+            assert min(slow) > max(fast) * 1.5
+
+
+class TestLocality:
+    def test_cached_tasks_return_to_cache_node(self):
+        ctx = make_ctx(uniform_cluster(n_workers=3, cores=4))
+        rdd = ctx.parallelize(list(range(3000)), 6).cache()
+        rdd.count()
+        locations = {
+            i: ctx.block_store.location(rdd.id, i) for i in range(6)
+        }
+        rdd.count()
+        stage = ctx.job_stats[-1].stages[0]
+        hits = sum(1 for t in stage.tasks if t.node == locations[t.task_index])
+        assert hits == 6  # free cores everywhere: all tasks go home
+
+
+class TestFailureInjection:
+    def test_failures_retry_and_still_produce_correct_results(self):
+        ctx = make_ctx(
+            uniform_cluster(n_workers=2, cores=2), task_failure_rate=0.2
+        )
+        out = ctx.parallelize([(i % 3, 1) for i in range(60)], 6).reduce_by_key(
+            lambda a, b: a + b, 3
+        ).collect_as_map()
+        assert out == {0: 20, 1: 20, 2: 20}
+
+    def test_failures_cost_time(self):
+        def run(rate):
+            ctx = make_ctx(
+                uniform_cluster(n_workers=2, cores=2),
+                task_failure_rate=rate,
+                max_task_attempts=8,
+            )
+            ctx.parallelize(list(range(2000)), 16).collect()
+            return ctx.now
+
+        assert run(0.3) > run(0.0)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(Exception):
+            EngineConf(task_failure_rate=1.5)
+
+
+class TestCostEffects:
+    def test_oversize_partition_penalty(self):
+        """One giant partition costs more than the same data split up."""
+        cfg = CostModelConfig(
+            partition_knee=1024.0, task_overhead=0.0,
+            jitter_sigma=0.0, driver_dispatch_interval=0.0,
+        )
+
+        def run(n_parts):
+            ctx = AnalyticsContext(
+                uniform_cluster(n_workers=1, cores=1),
+                EngineConf(default_parallelism=4, cost=cfg),
+            )
+            ctx.parallelize(list(range(2000)), n_parts).collect()
+            return ctx.now
+
+        assert run(1) > run(16)
+
+    def test_per_task_overhead_dominates_many_tiny_partitions(self):
+        cfg = CostModelConfig(
+            task_overhead=0.5, jitter_sigma=0.0, driver_dispatch_interval=0.0
+        )
+
+        def run(n_parts):
+            ctx = AnalyticsContext(
+                uniform_cluster(n_workers=1, cores=2),
+                EngineConf(default_parallelism=4, cost=cfg),
+            )
+            ctx.parallelize(list(range(100)), n_parts).collect()
+            return ctx.now
+
+        assert run(64) > run(4)
+
+    def test_remote_shuffle_slower_on_slow_links(self):
+        def run(net_bw):
+            ctx = AnalyticsContext(
+                uniform_cluster(n_workers=4, cores=2, net_bw=net_bw),
+                EngineConf(default_parallelism=8),
+            )
+            pairs = ctx.parallelize([(i, i) for i in range(5000)], 8)
+            pairs.group_by_key(8).count()
+            return ctx.now
+
+        assert run(1e5) > run(10 * GBPS)
+
+
+class TestNetworkContention:
+    def test_contention_slows_shuffle_reads(self):
+        from dataclasses import replace as _replace
+
+        def run(contention):
+            cfg = CostModelConfig(
+                jitter_sigma=0.0, driver_dispatch_interval=0.0,
+                network_contention=contention,
+            )
+            ctx = AnalyticsContext(
+                uniform_cluster(n_workers=4, cores=4, net_bw=1e6),
+                EngineConf(default_parallelism=16, cost=cfg),
+            )
+            pairs = ctx.parallelize([(i, i) for i in range(20_000)], 16)
+            pairs.group_by_key(16).count()
+            return ctx.now
+
+        assert run(True) > run(False)
+
+    def test_contention_preserves_results(self):
+        cfg = CostModelConfig(network_contention=True)
+        ctx = AnalyticsContext(
+            uniform_cluster(n_workers=3, cores=2),
+            EngineConf(default_parallelism=6, cost=cfg),
+        )
+        out = ctx.parallelize([(i % 4, 1) for i in range(80)], 6)
+        assert out.reduce_by_key(lambda a, b: a + b, 4).collect_as_map() == {
+            k: 20 for k in range(4)
+        }
+
+
+class TestDelayScheduling:
+    def _cached_ctx(self, locality_wait):
+        cfg = CostModelConfig(
+            task_overhead=0.001, per_byte_compute=1e-4,
+            jitter_sigma=0.0, driver_dispatch_interval=0.0,
+        )
+        return AnalyticsContext(
+            uniform_cluster(n_workers=3, cores=2),
+            EngineConf(default_parallelism=6, cost=cfg,
+                       locality_wait=locality_wait),
+        )
+
+    def _locality_hits(self, ctx):
+        rdd = ctx.parallelize(list(range(30_000)), 6).cache()
+        rdd.count()
+        locations = {i: ctx.block_store.location(rdd.id, i) for i in range(6)}
+        # Occupy no cores; but create imbalance: tasks all prefer their
+        # cache node, which may be busy when greedily spread.
+        rdd.map(lambda x: x + 1).count()
+        stage = ctx.job_stats[-1].stages[0]
+        return sum(1 for t in stage.tasks if t.node == locations[t.task_index])
+
+    def test_waiting_improves_locality(self):
+        greedy = self._locality_hits(self._cached_ctx(0.0))
+        patient = self._locality_hits(self._cached_ctx(30.0))
+        assert patient >= greedy
+        assert patient == 6  # with a generous wait every task goes home
+
+    def test_wait_expires_and_task_still_runs(self):
+        ctx = self._cached_ctx(0.05)
+        rdd = ctx.parallelize(list(range(3000)), 6).cache()
+        assert rdd.count() == 3000
+        assert rdd.count() == 3000  # second pass completes despite waits
+
+    def test_results_unaffected(self):
+        ctx = self._cached_ctx(5.0)
+        pairs = ctx.parallelize([(i % 3, 1) for i in range(60)], 6)
+        assert pairs.reduce_by_key(lambda a, b: a + b, 3).collect_as_map() == {
+            0: 20, 1: 20, 2: 20,
+        }

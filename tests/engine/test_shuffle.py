@@ -1,0 +1,116 @@
+"""Tests for the shuffle manager's registry and fetch accounting."""
+
+import pytest
+
+from repro.common.errors import ShuffleError
+from repro.engine.shuffle import ShuffleManager
+
+
+@pytest.fixture
+def mgr():
+    return ShuffleManager(block_header=10.0)
+
+
+def put(mgr, shuffle_id, map_id, node, blocks):
+    return mgr.put_map_output(shuffle_id, map_id, node, blocks)
+
+
+class TestRegistry:
+    def test_fetch_unregistered_raises(self, mgr):
+        with pytest.raises(ShuffleError):
+            mgr.fetch(99, 0, "a")
+
+    def test_reregister_resets(self, mgr):
+        mgr.register(1, 1, 2)
+        put(mgr, 1, 0, "a", {0: ([("k", 1)], 100.0)})
+        mgr.register(1, 1, 2)
+        assert mgr.bytes_written(1) == 0.0
+
+    def test_out_of_range_map_id(self, mgr):
+        mgr.register(1, 2, 2)
+        with pytest.raises(ShuffleError):
+            put(mgr, 1, 5, "a", {0: ([("k", 1)], 1.0)})
+
+    def test_out_of_range_reduce_id(self, mgr):
+        mgr.register(1, 1, 2)
+        with pytest.raises(ShuffleError):
+            put(mgr, 1, 0, "a", {7: ([("k", 1)], 1.0)})
+
+
+class TestWriteAccounting:
+    def test_header_added_per_nonempty_block(self, mgr):
+        mgr.register(1, 1, 3)
+        written = put(
+            mgr, 1, 0, "a",
+            {0: ([("k", 1)], 100.0), 1: ([], 0.0), 2: ([("j", 2)], 50.0)},
+        )
+        assert written == pytest.approx(100.0 + 50.0 + 2 * 10.0)
+
+    def test_bytes_written_accumulates(self, mgr):
+        mgr.register(1, 2, 1)
+        put(mgr, 1, 0, "a", {0: ([("k", 1)], 30.0)})
+        put(mgr, 1, 1, "b", {0: ([("k", 2)], 20.0)})
+        assert mgr.bytes_written(1) == pytest.approx(30.0 + 20.0 + 2 * 10.0)
+
+    def test_num_reduces(self, mgr):
+        mgr.register(3, 1, 7)
+        assert mgr.num_reduces(3) == 7
+
+
+class TestFetch:
+    def test_fetch_before_all_maps_raises(self, mgr):
+        mgr.register(1, 2, 1)
+        put(mgr, 1, 0, "a", {0: ([("k", 1)], 1.0)})
+        with pytest.raises(ShuffleError):
+            mgr.fetch(1, 0, "a")
+
+    def test_fetch_collects_records_in_map_order(self, mgr):
+        mgr.register(1, 2, 1)
+        put(mgr, 1, 0, "a", {0: ([("x", 1)], 1.0)})
+        put(mgr, 1, 1, "b", {0: ([("y", 2)], 1.0)})
+        records, _stats = mgr.fetch(1, 0, "a")
+        assert records == [("x", 1), ("y", 2)]
+
+    def test_local_vs_remote_accounting(self, mgr):
+        mgr.register(1, 2, 1)
+        put(mgr, 1, 0, "a", {0: ([("x", 1)], 100.0)})
+        put(mgr, 1, 1, "b", {0: ([("y", 2)], 40.0)})
+        _records, stats = mgr.fetch(1, 0, "a")
+        assert stats.local_bytes == pytest.approx(110.0)
+        assert stats.remote_bytes_by_src == {"b": pytest.approx(50.0)}
+        assert stats.remote_bytes == pytest.approx(50.0)
+        assert stats.total_bytes == pytest.approx(160.0)
+        assert stats.n_blocks == 2
+
+    def test_empty_blocks_not_fetched(self, mgr):
+        mgr.register(1, 2, 2)
+        put(mgr, 1, 0, "a", {0: ([("x", 1)], 1.0)})
+        put(mgr, 1, 1, "b", {1: ([("y", 2)], 1.0)})
+        records, stats = mgr.fetch(1, 0, "c")
+        assert records == [("x", 1)]
+        assert stats.n_blocks == 1
+
+    def test_map_output_nodes(self, mgr):
+        mgr.register(1, 2, 1)
+        put(mgr, 1, 0, "a", {0: ([("x", 1)], 100.0)})
+        put(mgr, 1, 1, "a", {0: ([("y", 2)], 30.0)})
+        by_node = mgr.map_output_nodes(1, 0)
+        assert by_node == {"a": pytest.approx(150.0)}
+
+    def test_clear(self, mgr):
+        mgr.register(1, 1, 1)
+        mgr.clear()
+        with pytest.raises(ShuffleError):
+            mgr.bytes_written(1)
+
+
+class TestReexecution:
+    def test_overwrite_map_output_does_not_double_count(self, mgr):
+        """Speculative/retried map tasks replace their blocks."""
+        mgr.register(1, 1, 2)
+        put(mgr, 1, 0, "a", {0: ([("k", 1)], 100.0)})
+        put(mgr, 1, 0, "b", {0: ([("k", 1)], 100.0)})
+        assert mgr.bytes_written(1) == pytest.approx(110.0)
+        records, stats = mgr.fetch(1, 0, "b")
+        assert records == [("k", 1)]
+        assert stats.local_bytes == pytest.approx(110.0)

@@ -1,0 +1,97 @@
+"""Tests for speculative execution (Spark's spark.speculation)."""
+
+import pytest
+
+from repro.cluster import Cluster, NodeSpec, uniform_cluster
+from repro.cluster.cluster import GBPS
+from repro.common.units import GB
+from repro.engine import AnalyticsContext, EngineConf
+from repro.engine.costmodel import CostModelConfig
+
+
+def straggler_cluster():
+    """One pathologically slow node among fast ones."""
+    workers = [
+        NodeSpec("fast-0", cores=4, speed=1.0, memory=8 * GB, net_bw=10 * GBPS,
+                 executor_memory=4 * GB),
+        NodeSpec("fast-1", cores=4, speed=1.0, memory=8 * GB, net_bw=10 * GBPS,
+                 executor_memory=4 * GB),
+        # Few slow cores: stragglers are a minority, so the speculation
+        # quantile (75% of tasks completed) is reachable while they run.
+        NodeSpec("slow", cores=2, speed=0.12, memory=8 * GB, net_bw=10 * GBPS,
+                 executor_memory=4 * GB),
+    ]
+    master = NodeSpec("m", cores=1, speed=1.0, memory=8 * GB, net_bw=10 * GBPS,
+                      executor_memory=GB)
+    return Cluster(workers=workers, master=master)
+
+
+def run(speculation: bool, cluster=None):
+    cost = CostModelConfig(
+        task_overhead=0.01, per_byte_compute=1e-4,
+        jitter_sigma=0.0, driver_dispatch_interval=0.0,
+    )
+    ctx = AnalyticsContext(
+        cluster or straggler_cluster(),
+        EngineConf(default_parallelism=12, cost=cost, speculation=speculation),
+    )
+    out = ctx.parallelize(list(range(24_000)), 12).map(lambda x: x).collect()
+    return ctx, out
+
+
+class TestSpeculation:
+    def test_off_by_default(self):
+        ctx = AnalyticsContext(uniform_cluster(2, 2))
+        assert not ctx.conf.speculation
+
+    def test_speculation_beats_stragglers(self):
+        ctx_off, out_off = run(False)
+        ctx_on, out_on = run(True)
+        assert sorted(out_on) == sorted(out_off)
+        assert ctx_on.task_scheduler.speculative_launches >= 1
+        # The duplicate attempt on a fast node wins the race against the
+        # 8x-slower node, shortening the stage makespan.
+        assert ctx_on.now < 0.7 * ctx_off.now
+        assert ctx_on.task_scheduler.speculative_wins >= 1
+
+    def test_no_speculation_without_stragglers(self):
+        cluster = uniform_cluster(n_workers=3, cores=4)
+        ctx, _out = run(True, cluster=cluster)
+        # Uniform tasks on a uniform cluster: nothing exceeds the
+        # multiplier threshold.
+        assert ctx.task_scheduler.speculative_launches == 0
+
+    def test_results_correct_with_shuffles(self):
+        cost = CostModelConfig(
+            task_overhead=0.01, per_byte_compute=1e-4,
+            jitter_sigma=0.0, driver_dispatch_interval=0.0,
+        )
+        ctx = AnalyticsContext(
+            straggler_cluster(),
+            EngineConf(default_parallelism=12, cost=cost, speculation=True),
+        )
+        pairs = ctx.parallelize([(i % 7, 1) for i in range(14_000)], 12)
+        out = pairs.reduce_by_key(lambda a, b: a + b, 6).collect_as_map()
+        assert out == {k: 2000 for k in range(7)}
+
+    def test_cores_conserved_after_races(self):
+        ctx, _out = run(True)
+        for worker in ctx.cluster.workers:
+            assert ctx.task_scheduler.free_cores(worker.name) == worker.cores
+
+    def test_speculation_with_failures(self):
+        cost = CostModelConfig(
+            task_overhead=0.01, per_byte_compute=1e-4,
+            jitter_sigma=0.0, driver_dispatch_interval=0.0,
+        )
+        ctx = AnalyticsContext(
+            straggler_cluster(),
+            EngineConf(
+                default_parallelism=12, cost=cost, speculation=True,
+                task_failure_rate=0.1, max_task_attempts=8,
+            ),
+        )
+        out = ctx.parallelize(list(range(6000)), 12).count()
+        assert out == 6000
+        for worker in ctx.cluster.workers:
+            assert ctx.task_scheduler.free_cores(worker.name) == worker.cores

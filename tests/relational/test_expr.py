@@ -1,0 +1,89 @@
+"""Tests for relational column expressions."""
+
+import pytest
+
+from repro.relational.expr import avg, col, count_, lit, max_, min_, sum_
+
+SCHEMA = ["a", "b", "c"]
+ROW = (10, 3, "x")
+
+
+def ev(expr, row=ROW, schema=SCHEMA):
+    return expr.bind(schema)(row)
+
+
+class TestColAndLit:
+    def test_col_lookup(self):
+        assert ev(col("a")) == 10
+        assert ev(col("c")) == "x"
+
+    def test_missing_column(self):
+        with pytest.raises(KeyError):
+            col("zz").bind(SCHEMA)
+
+    def test_lit(self):
+        assert ev(lit(42)) == 42
+
+
+class TestArithmetic:
+    def test_operators(self):
+        assert ev(col("a") + col("b")) == 13
+        assert ev(col("a") - 1) == 9
+        assert ev(col("a") * 2) == 20
+        assert ev(col("a") / 4) == 2.5
+        assert ev(col("a") % 3) == 1
+
+    def test_reflected(self):
+        assert ev(1 + col("b")) == 4
+        assert ev(20 - col("a")) == 10
+        assert ev(3 * col("b")) == 9
+
+
+class TestComparisonsAndLogic:
+    def test_comparisons(self):
+        assert ev(col("a") > 5) is True
+        assert ev(col("a") <= 9) is False
+        assert ev(col("c") == "x") is True
+        assert ev(col("b") != 3) is False
+
+    def test_boolean_logic(self):
+        assert ev((col("a") > 5) & (col("b") < 10)) is True
+        assert ev((col("a") > 50) | (col("b") == 3)) is True
+        assert ev(~(col("a") > 5)) is False
+
+
+class TestMeta:
+    def test_references(self):
+        expr = (col("a") + col("b")) > lit(0)
+        assert expr.references() == {"a", "b"}
+
+    def test_alias_label(self):
+        assert (col("a") * 2).alias("double").label == "double"
+        assert col("a").label == "a"
+
+
+class TestAggregates:
+    def run_agg(self, agg, values):
+        acc = None
+        for v in values:
+            acc = agg.create(v) if acc is None else agg.merge_value(acc, v)
+        return agg.finish(acc)
+
+    def test_sum(self):
+        assert self.run_agg(sum_(col("a")), [1, 2, 3]) == 6
+
+    def test_count(self):
+        assert self.run_agg(count_(), [0, 0, 0, 0]) == 4
+
+    def test_min_max(self):
+        assert self.run_agg(min_(col("a")), [5, 2, 9]) == 2
+        assert self.run_agg(max_(col("a")), [5, 2, 9]) == 9
+
+    def test_avg(self):
+        assert self.run_agg(avg(col("a")), [2, 4, 6]) == pytest.approx(4.0)
+
+    def test_merge_combiners(self):
+        agg = avg(col("a"))
+        left = agg.create(2)
+        right = agg.merge_value(agg.create(4), 6)
+        assert agg.finish(agg.merge(left, right)) == pytest.approx(4.0)

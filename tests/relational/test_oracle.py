@@ -1,0 +1,94 @@
+"""Property tests: relational queries vs a pure-Python evaluator."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import uniform_cluster
+from repro.engine import AnalyticsContext, EngineConf
+from repro.relational import Table, avg, col, count_, max_, min_, sum_
+
+
+def fresh_ctx():
+    return AnalyticsContext(
+        uniform_cluster(n_workers=2, cores=2), EngineConf(default_parallelism=4)
+    )
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 5),          # key
+        st.integers(-50, 50),       # value
+        st.sampled_from("abc"),     # category
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(rows=rows_strategy, threshold=st.integers(-50, 50))
+def test_filter_project_matches_python(rows, threshold):
+    ctx = fresh_ctx()
+    table = Table.from_rows(ctx, rows, ["k", "v", "cat"], 3)
+    out = (
+        table.where(col("v") > threshold)
+        .select("k", (col("v") * 2).alias("vv"))
+        .collect()
+    )
+    expected = [(k, v * 2) for k, v, _c in rows if v > threshold]
+    assert sorted(out) == sorted(expected)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(rows=rows_strategy)
+def test_group_aggregates_match_python(rows):
+    ctx = fresh_ctx()
+    table = Table.from_rows(ctx, rows, ["k", "v", "cat"], 3)
+    out = table.group_by("k").agg(
+        count_(), sum_(col("v")), min_(col("v")), max_(col("v")), avg(col("v"))
+    ).collect()
+
+    expected = {}
+    for k, v, _c in rows:
+        acc = expected.setdefault(k, [0, 0, None, None])
+        acc[0] += 1
+        acc[1] += v
+        acc[2] = v if acc[2] is None else min(acc[2], v)
+        acc[3] = v if acc[3] is None else max(acc[3], v)
+
+    assert len(out) == len(expected)
+    for k, n, total, lo, hi, mean in out:
+        e = expected[k]
+        assert (n, total, lo, hi) == tuple(e)
+        assert abs(mean - e[1] / e[0]) < 1e-9
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(left=rows_strategy, right=rows_strategy)
+def test_join_matches_python(left, right):
+    ctx = fresh_ctx()
+    lt = Table.from_rows(ctx, left, ["k", "v", "cat"], 2)
+    rt = Table.from_rows(
+        ctx, [(k, c) for k, _v, c in right], ["k", "rcat"], 2
+    )
+    out = lt.join(rt, on="k").collect()
+    expected = [
+        (k, v, c, rc)
+        for k, v, c in left
+        for rk, _rv, rc in right
+        if rk == k
+    ]
+    assert sorted(out) == sorted(expected)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(rows=rows_strategy)
+def test_order_by_matches_python(rows):
+    ctx = fresh_ctx()
+    table = Table.from_rows(ctx, rows, ["k", "v", "cat"], 3)
+    out = table.order_by("v").collect()
+    assert [r[1] for r in out] == sorted(r[1] for r in rows)

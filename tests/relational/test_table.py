@@ -1,0 +1,174 @@
+"""Tests for the relational Table layer."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.relational import Table, avg, col, count_, lit, sum_
+
+ORDERS = [
+    (1, "ann", "widget", 10.0),
+    (2, "bob", "widget", 20.0),
+    (3, "ann", "gizmo", 5.0),
+    (4, "cho", "gizmo", 2.5),
+    (5, "ann", "widget", 7.5),
+]
+ORDER_SCHEMA = ["order_id", "cust", "product", "amount"]
+
+CUSTOMERS = [("ann", "east"), ("bob", "west"), ("cho", "east")]
+CUSTOMER_SCHEMA = ["cust", "region"]
+
+
+@pytest.fixture
+def orders(ctx):
+    return Table.from_rows(ctx, ORDERS, ORDER_SCHEMA, 3, name="orders")
+
+
+@pytest.fixture
+def customers(ctx):
+    return Table.from_rows(ctx, CUSTOMERS, CUSTOMER_SCHEMA, 2, name="customers")
+
+
+class TestConstruction:
+    def test_arity_checked(self, ctx):
+        with pytest.raises(WorkloadError):
+            Table.from_rows(ctx, [(1, 2)], ["a"], 1)
+
+    def test_duplicate_columns_rejected(self, ctx):
+        with pytest.raises(WorkloadError):
+            Table.from_rows(ctx, [(1, 2)], ["a", "a"], 1)
+
+    def test_count_and_collect(self, orders):
+        assert orders.count() == 5
+        assert sorted(orders.collect()) == sorted(ORDERS)
+
+
+class TestRowOps:
+    def test_select_names(self, orders):
+        out = orders.select("cust", "amount").collect()
+        assert sorted(out) == sorted((r[1], r[3]) for r in ORDERS)
+
+    def test_select_expressions(self, orders):
+        out = orders.select(
+            col("order_id"), (col("amount") * 2).alias("double")
+        )
+        assert out.schema == ("order_id", "double")
+        assert dict(out.collect())[1] == 20.0
+
+    def test_where(self, orders):
+        out = orders.where(col("amount") >= 7.5).count()
+        assert out == 3
+
+    def test_where_compound(self, orders):
+        out = orders.where(
+            (col("product") == "widget") & (col("amount") > 10)
+        ).collect()
+        assert out == [(2, "bob", "widget", 20.0)]
+
+    def test_with_column_appends(self, orders):
+        out = orders.with_column("tax", col("amount") * 0.1)
+        assert out.schema[-1] == "tax"
+        rows = {r[0]: r[-1] for r in out.collect()}
+        assert rows[2] == pytest.approx(2.0)
+
+    def test_with_column_replaces(self, orders):
+        out = orders.with_column("amount", col("amount") + 1)
+        assert out.schema == orders.schema
+        amounts = {r[0]: r[3] for r in out.collect()}
+        assert amounts[1] == 11.0
+
+
+class TestGroupBy:
+    def test_sum_per_key(self, orders):
+        out = (
+            orders.group_by("cust")
+            .agg(sum_(col("amount")).alias("revenue"))
+            .collect()
+        )
+        assert dict((k, v) for k, v in out) == {
+            "ann": 22.5, "bob": 20.0, "cho": 2.5,
+        }
+
+    def test_multiple_aggregates(self, orders):
+        out = orders.group_by("product").agg(
+            count_(), sum_(col("amount")), avg(col("amount"))
+        )
+        assert out.schema == ("product", "count(lit(1))", "sum(amount)", "avg(amount)")
+        rows = {r[0]: r[1:] for r in out.collect()}
+        assert rows["widget"] == (3, 37.5, pytest.approx(12.5))
+
+    def test_group_by_expression(self, orders):
+        out = (
+            orders.group_by((col("order_id") % 2).alias("parity"))
+            .agg(count_())
+            .collect()
+        )
+        assert dict(out) == {0: 2, 1: 3}
+
+    def test_empty_args_rejected(self, orders):
+        with pytest.raises(WorkloadError):
+            orders.group_by()
+        with pytest.raises(WorkloadError):
+            orders.group_by("cust").agg()
+
+
+class TestJoin:
+    def test_inner_join(self, orders, customers):
+        out = orders.join(customers, on="cust")
+        assert out.schema == (
+            "cust", "order_id", "product", "amount", "region"
+        )
+        regions = {r[1]: r[4] for r in out.collect()}
+        assert regions[1] == "east" and regions[2] == "west"
+
+    def test_join_then_aggregate(self, orders, customers):
+        revenue = (
+            orders.join(customers, on="cust")
+            .group_by("region")
+            .agg(sum_(col("amount")).alias("revenue"))
+            .collect()
+        )
+        assert dict(revenue) == {"east": 25.0, "west": 20.0}
+
+    def test_missing_key_rejected(self, orders, customers):
+        with pytest.raises(WorkloadError):
+            orders.join(customers, on="region")
+
+
+class TestOrderingAndDisplay:
+    def test_order_by(self, orders):
+        out = orders.order_by("amount").collect()
+        amounts = [r[3] for r in out]
+        assert amounts == sorted(amounts)
+
+    def test_order_by_expression(self, orders):
+        out = orders.order_by((lit(0) - col("amount")).alias("neg")).collect()
+        amounts = [r[3] for r in out]
+        assert amounts == sorted(amounts, reverse=True)
+
+    def test_limit(self, orders):
+        assert len(orders.limit(2)) == 2
+
+    def test_show(self, orders):
+        text = orders.show(3)
+        assert "order_id" in text
+        assert text.count("\n") >= 3
+
+
+class TestEngineIntegration:
+    def test_query_is_ordinary_lineage(self, ctx, orders, customers):
+        """The compiled query runs as normal stages CHOPPER could tune."""
+        query = (
+            orders.where(col("amount") > 1)
+            .join(customers, on="cust")
+            .group_by("region")
+            .agg(sum_(col("amount")))
+        )
+        query.collect()
+        kinds = [s.kind for s in ctx.job_stats[-1].stages]
+        assert "shuffle_map" in kinds and kinds[-1] == "result"
+
+    def test_aggregation_is_map_side_combined(self, ctx, orders):
+        orders.group_by("cust").agg(sum_(col("amount"))).collect()
+        map_stage = ctx.job_stats[-1].stages[0]
+        # Combined output: at most one record per (map task, key).
+        assert map_stage.shuffle_write_bytes > 0

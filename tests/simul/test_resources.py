@@ -1,0 +1,61 @@
+"""Tests for SlotPool queueing semantics."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.simul import SimEngine, SlotPool
+
+
+def test_capacity_validation():
+    with pytest.raises(SchedulingError):
+        SlotPool(SimEngine(), 0)
+
+
+def test_grants_up_to_capacity_immediately():
+    engine = SimEngine()
+    pool = SlotPool(engine, 2)
+    granted = []
+    for i in range(3):
+        pool.acquire(lambda i=i: granted.append(i))
+    engine.run()
+    assert granted == [0, 1]
+    assert pool.queued == 1
+
+
+def test_release_wakes_fifo_waiter():
+    engine = SimEngine()
+    pool = SlotPool(engine, 1)
+    order = []
+
+    def holder():
+        order.append("first")
+        engine.schedule(5.0, pool.release)
+
+    pool.acquire(holder)
+    pool.acquire(lambda: order.append("second"))
+    pool.acquire(lambda: order.append("third"))
+    engine.run()
+    # Only one release happened, so exactly one waiter was woken.
+    assert order == ["first", "second"]
+    assert pool.in_use == 1
+
+
+def test_release_without_acquire_rejected():
+    pool = SlotPool(SimEngine(), 1)
+    with pytest.raises(SchedulingError):
+        pool.release()
+
+
+def test_counters():
+    engine = SimEngine()
+    pool = SlotPool(engine, 3, name="cores")
+    for _ in range(5):
+        pool.acquire(lambda: None)
+    engine.run()
+    assert pool.capacity == 3
+    assert pool.in_use == 3
+    assert pool.available == 0
+    assert pool.queued == 2
+    pool.release()
+    engine.run()
+    assert pool.queued == 1

@@ -1,0 +1,129 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "tensor-train"])
+
+
+class TestWorkloadsCommand:
+    def test_lists_all(self):
+        code, text = run_cli("workloads")
+        assert code == 0
+        for name in ("kmeans", "pca", "sql", "wordcount", "pagerank"):
+            assert name in text
+
+
+class TestRunCommand:
+    def test_runs_and_prints_stage_table(self):
+        code, text = run_cli(
+            "run", "wordcount",
+            "--virtual-gb", "1.0",
+            "--physical-records", "400",
+            "--parallelism", "16",
+        )
+        assert code == 0
+        assert "stage" in text
+        assert "total:" in text
+        assert "shuffle_map" in text
+
+    def test_scale_flag(self):
+        code, text = run_cli(
+            "run", "wordcount",
+            "--virtual-gb", "1.0", "--physical-records", "400",
+            "--parallelism", "16", "--scale", "0.5",
+        )
+        assert code == 0
+
+
+class TestPipelineCommands:
+    def test_profile_optimize_run_roundtrip(self, tmp_path):
+        db_path = str(tmp_path / "db.json")
+        config_path = str(tmp_path / "config.json")
+        common = [
+            "wordcount",
+            "--virtual-gb", "2.0",
+            "--physical-records", "600",
+            "--parallelism", "32",
+        ]
+        code, text = run_cli(
+            "profile", *common, "--db", db_path,
+            "--grid", "8", "32", "96", "--scales", "1.0",
+        )
+        assert code == 0
+        assert "trained" in text
+
+        code, text = run_cli(
+            "optimize", *common, "--db", db_path, "--output", config_path
+        )
+        assert code == 0
+        assert "entries" in text
+
+        code, text = run_cli("run", *common, "--config", config_path)
+        assert code == 0
+        assert "total:" in text
+
+    def test_optimize_prints_json_without_output(self, tmp_path):
+        db_path = str(tmp_path / "db.json")
+        common = [
+            "wordcount", "--virtual-gb", "1.0",
+            "--physical-records", "400", "--parallelism", "16",
+        ]
+        run_cli("profile", *common, "--db", db_path,
+                "--grid", "8", "32", "--scales", "1.0")
+        code, text = run_cli("optimize", *common, "--db", db_path)
+        assert code == 0
+        assert '"signature"' in text
+
+    def test_compare_reports_improvement(self):
+        code, text = run_cli(
+            "compare", "wordcount",
+            "--virtual-gb", "2.0", "--physical-records", "600",
+            "--parallelism", "32",
+            "--grid", "8", "32", "96", "--scales", "1.0",
+        )
+        assert code == 0
+        assert "improvement:" in text
+
+
+class TestHistoryAndReport:
+    def test_run_writes_history_and_report_reads_it(self, tmp_path):
+        history = str(tmp_path / "run.jsonl")
+        code, text = run_cli(
+            "run", "wordcount",
+            "--virtual-gb", "1.0", "--physical-records", "300",
+            "--parallelism", "16", "--history", history,
+        )
+        assert code == 0
+        assert "history ->" in text
+
+        code, text = run_cli("report", history)
+        assert code == 0
+        assert "total stage span" in text
+        assert "shuffle_map" in text
+
+    def test_run_gantt_flag(self):
+        code, text = run_cli(
+            "run", "wordcount",
+            "--virtual-gb", "1.0", "--physical-records", "300",
+            "--parallelism", "16", "--gantt",
+        )
+        assert code == 0
+        assert "|" in text and "t = " in text

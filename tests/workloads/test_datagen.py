@@ -1,0 +1,143 @@
+"""Tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import WorkloadError
+from repro.common.units import GB
+from repro.workloads.datagen import (
+    EdgeDataGen,
+    KMeansDataGen,
+    PCADataGen,
+    SQLTableGen,
+    TextDataGen,
+)
+
+
+def collect_all(ctx, rdd):
+    return rdd.collect()
+
+
+class TestInvariantsAcrossSplits:
+    """The dataset must be identical under any partition count."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 40), st.integers(1, 40))
+    def test_kmeans_points_split_invariant(self, n_a, n_b):
+        gen = KMeansDataGen(virtual_bytes=1e9, physical_records=200, dim=3)
+
+        def dataset(n_splits):
+            rows = []
+            for split in range(n_splits):
+                rows.extend(
+                    tuple(v) for v in gen._gather(
+                        split, n_splits, self._kmeans_block(gen)
+                    )
+                )
+            return rows
+
+        assert dataset(n_a) == dataset(n_b)
+
+    @staticmethod
+    def _kmeans_block(gen):
+        centers = gen.centers()
+
+        def block(b):
+            n = gen._block_len(b)
+            rng = gen._block_rng("kmeans", b)
+            assignments = rng.integers(0, gen.n_clusters, size=n)
+            noise = rng.normal(0.0, gen.spread, size=(n, gen.dim))
+            return list(centers[assignments] + noise)
+
+        return block
+
+    def test_rdd_content_stable_under_resplit(self, ctx):
+        gen = KMeansDataGen(virtual_bytes=1e9, physical_records=300, dim=4)
+        rdd = gen.rdd(ctx, 4)
+        before = sorted(tuple(v) for v in rdd.collect())
+        rdd.set_num_partitions(11)
+        after = sorted(tuple(v) for v in rdd.collect())
+        assert before == after
+
+
+class TestKMeansGen:
+    def test_record_count_and_shape(self, ctx):
+        gen = KMeansDataGen(virtual_bytes=1e9, physical_records=500, dim=7)
+        points = gen.rdd(ctx, 5).collect()
+        assert len(points) == 500
+        assert all(p.shape == (7,) for p in points)
+
+    def test_virtual_size_scales(self, ctx):
+        gen = KMeansDataGen(virtual_bytes=10 * GB, physical_records=500)
+        rdd = gen.rdd(ctx, 5)
+        rdd.count()
+        stage = ctx.job_stats[-1].stages[0]
+        assert stage.input_bytes == pytest.approx(10 * GB, rel=0.25)
+
+    def test_deterministic(self, ctx):
+        gen = KMeansDataGen(virtual_bytes=1e9, physical_records=100, seed=5)
+        a = gen.rdd(ctx, 3).collect()
+        b = gen.rdd(ctx, 3).collect()
+        assert all((x == y).all() for x, y in zip(a, b))
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            KMeansDataGen(virtual_bytes=0.0, physical_records=10)
+        with pytest.raises(WorkloadError):
+            KMeansDataGen(virtual_bytes=1e9, physical_records=0)
+
+
+class TestSQLGen:
+    def test_orders_schema(self, ctx):
+        gen = SQLTableGen(virtual_bytes=1e9, physical_records=400)
+        orders = gen.orders_rdd(ctx, 4).collect()
+        assert len(orders) == 400
+        order_ids = [o[0] for o in orders]
+        assert len(set(order_ids)) == 400  # unique order ids
+        assert all(0 <= o[1] < gen.n_customers for o in orders)
+        assert all(o[3] >= 0 for o in orders)
+
+    def test_customer_keys_are_hot(self, ctx):
+        """Zipf skew: the most common customer dominates."""
+        gen = SQLTableGen(virtual_bytes=1e9, physical_records=2000)
+        orders = gen.orders_rdd(ctx, 4).collect()
+        counts = {}
+        for o in orders:
+            counts[o[1]] = counts.get(o[1], 0) + 1
+        top = max(counts.values())
+        assert top > 5 * (len(orders) / gen.n_customers)
+
+    def test_customers_one_record_per_id(self, ctx):
+        gen = SQLTableGen(virtual_bytes=1e9, physical_records=400, n_customers=97)
+        customers = gen.customers_rdd(ctx, 10).collect()
+        assert sorted(c[0] for c in customers) == list(range(97))
+
+    def test_customer_regions_split_invariant(self, ctx):
+        gen = SQLTableGen(virtual_bytes=1e9, physical_records=400, n_customers=50)
+        a = dict(gen.customers_rdd(ctx, 3).collect())
+        b = dict(gen.customers_rdd(ctx, 7).collect())
+        assert a == b
+
+
+class TestOtherGens:
+    def test_pca_rows(self, ctx):
+        gen = PCADataGen(virtual_bytes=1e9, physical_records=300, dim=6)
+        rows = gen.rdd(ctx, 4).collect()
+        assert len(rows) == 300
+        data = np.array(rows)
+        # Correlated features: top singular values dominate.
+        s = np.linalg.svd(data - data.mean(axis=0), compute_uv=False)
+        assert s[0] > 3 * s[gen.intrinsic_dim]
+
+    def test_text_lines(self, ctx):
+        gen = TextDataGen(virtual_bytes=1e9, physical_records=200)
+        lines = gen.rdd(ctx, 4).collect()
+        assert len(lines) == 200
+        assert all(len(line.split()) == gen.words_per_line for line in lines)
+
+    def test_edges(self, ctx):
+        gen = EdgeDataGen(virtual_bytes=1e9, physical_records=500, n_vertices=50)
+        edges = gen.rdd(ctx, 4).collect()
+        assert all(0 <= s < 50 and 0 <= d < 50 and s != d for s, d in edges)
