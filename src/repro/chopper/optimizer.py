@@ -13,13 +13,16 @@ contrasts with the globally-optimized Algorithm 3.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 
 from repro.common.errors import ModelError
 from repro.chopper.cost import CostWeights, get_min_par
 from repro.chopper.schemes import HASH, RANGE, PartitionScheme
 from repro.chopper.workload_db import WorkloadDB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Tracer
 
 
 def default_baselines(
@@ -105,12 +108,23 @@ def get_workload_par(
     workload: str,
     d_total: float,
     weights: CostWeights,
+    tracer: Optional["Tracer"] = None,
 ) -> List[StageScheme]:
-    """Algorithm 2: independent per-stage schemes over the whole DAG."""
+    """Algorithm 2: independent per-stage schemes over the whole DAG.
+
+    With a ``tracer``, every per-stage decision is dropped onto the trace
+    as an instant marker carrying the chosen (kind, P, cost) tuple.
+    """
     schemes: List[StageScheme] = []
     for stage in db.dag(workload).stages:
         d = get_stage_input(db, workload, stage.signature, d_total)
         scheme, cost = get_stage_par(db, workload, stage.signature, d, weights)
+        if tracer is not None:
+            tracer.instant(
+                f"scheme:{stage.signature[:12]}", "chopper.optimizer",
+                signature=stage.signature, kind=scheme.kind,
+                P=scheme.num_partitions, cost=round(cost, 4),
+            )
         schemes.append(
             StageScheme(signature=stage.signature, scheme=scheme, cost=cost)
         )

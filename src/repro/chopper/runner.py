@@ -18,6 +18,7 @@ Mirrors the paper's system flow (§III, Fig. 5):
 
 from __future__ import annotations
 
+from contextlib import ExitStack, nullcontext
 from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -32,6 +33,7 @@ from repro.chopper.workload_db import WorkloadDB, WorkloadDag
 from repro.cluster.cluster import Cluster, paper_cluster
 from repro.common.errors import ModelError
 from repro.engine.context import AnalyticsContext, EngineConf
+from repro.obs import MetricsRegistry, Tracer
 from repro.workloads.base import Workload, WorkloadResult
 
 
@@ -63,6 +65,11 @@ class ChopperRunner:
     db: WorkloadDB = field(default_factory=WorkloadDB)
     weights: Optional[CostWeights] = None
     gamma: float = GAMMA_DEFAULT
+    # Observability: when set, every measured run of this pipeline lands
+    # on one shared trace timeline / metrics registry (CLI --trace /
+    # --metrics on `compare`).
+    tracer: Optional[Tracer] = None
+    metrics_registry: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
         if self.weights is None:
@@ -87,23 +94,24 @@ class ChopperRunner:
         fixed-stage test and by ``get_stage_input``).
         """
         runs = 0
-        for scale in scales:
-            record = self._measured_run(
-                advisor=None, scale=scale, label=f"reference@{scale}"
-            ).record
-            self.db.add_run(record)
-            if scale == max(scales):
-                self.db.set_dag(self.workload.name, WorkloadDag.from_run(record))
-            runs += 1
-            for kind in kinds:
-                for p in p_grid:
-                    outcome = self._measured_run(
-                        advisor=ProfilingAdvisor(kind, p, override_fixed=True),
-                        scale=scale,
-                        label=f"profile-{kind}-{p}@{scale}",
-                    )
-                    self.db.add_run(outcome.record)
-                    runs += 1
+        with self._phase("profile", grid=list(p_grid), scales=list(scales)):
+            for scale in scales:
+                record = self._measured_run(
+                    advisor=None, scale=scale, label=f"reference@{scale}"
+                ).record
+                self.db.add_run(record)
+                if scale == max(scales):
+                    self.db.set_dag(self.workload.name, WorkloadDag.from_run(record))
+                runs += 1
+                for kind in kinds:
+                    for p in p_grid:
+                        outcome = self._measured_run(
+                            advisor=ProfilingAdvisor(kind, p, override_fixed=True),
+                            scale=scale,
+                            label=f"profile-{kind}-{p}@{scale}",
+                        )
+                        self.db.add_run(outcome.record)
+                        runs += 1
         return runs
 
     # ------------------------------------------------------------------
@@ -115,17 +123,18 @@ class ChopperRunner:
         if not self.db.has_dag(self.workload.name):
             raise ModelError("profile() must run before train()")
         trained = 0
-        for stage in self.db.dag(self.workload.name).stages:
-            observations = self.db.observations(
-                self.workload.name, signature=stage.signature
-            )
-            try:
-                models = fit_models_by_partitioner(observations)
-            except ModelError:
-                continue
-            for kind, model in models.items():
-                self.db.set_model(self.workload.name, stage.signature, kind, model)
-                trained += 1
+        with self._phase("train"):
+            for stage in self.db.dag(self.workload.name).stages:
+                observations = self.db.observations(
+                    self.workload.name, signature=stage.signature
+                )
+                try:
+                    models = fit_models_by_partitioner(observations)
+                except ModelError:
+                    continue
+                for kind, model in models.items():
+                    self.db.set_model(self.workload.name, stage.signature, kind, model)
+                    trained += 1
         if trained == 0:
             raise ModelError("training produced no models; profile more")
         return trained
@@ -138,18 +147,28 @@ class ChopperRunner:
         """Generate the workload config file (Algorithm 3 or 2)."""
         d_total = self.workload.virtual_bytes(scale)
         assert self.weights is not None
-        if mode == "global":
-            schemes = get_global_par(
-                self.db, self.workload.name, d_total, self.weights,
-                gamma=self.gamma,
-                cluster_parallelism=self.cluster_factory().total_cores,
-            )
-        elif mode == "per-stage":
-            schemes = get_workload_par(
-                self.db, self.workload.name, d_total, self.weights
-            )
-        else:
-            raise ModelError(f"unknown optimization mode {mode!r}")
+        with self._phase("optimize", mode=mode):
+            if mode == "global":
+                schemes = get_global_par(
+                    self.db, self.workload.name, d_total, self.weights,
+                    gamma=self.gamma,
+                    cluster_parallelism=self.cluster_factory().total_cores,
+                )
+                if self.tracer is not None:
+                    for s in schemes:
+                        self.tracer.instant(
+                            f"scheme:{s.signature[:12]}", "chopper.optimizer",
+                            signature=s.signature, kind=s.scheme.kind,
+                            P=s.scheme.num_partitions, cost=round(s.cost, 4),
+                            group=s.group,
+                        )
+            elif mode == "per-stage":
+                schemes = get_workload_par(
+                    self.db, self.workload.name, d_total, self.weights,
+                    tracer=self.tracer,
+                )
+            else:
+                raise ModelError(f"unknown optimization mode {mode!r}")
         return WorkloadConfig.from_schemes(self.workload.name, schemes)
 
     # ------------------------------------------------------------------
@@ -182,6 +201,12 @@ class ChopperRunner:
 
     # ------------------------------------------------------------------
 
+    def _phase(self, label: str, **args):
+        """A tracer phase span, or a no-op when untraced."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.phase(label, **args)
+
     def _measured_run(
         self,
         advisor,
@@ -190,13 +215,22 @@ class ChopperRunner:
         copartition: bool = False,
     ) -> RunOutcome:
         conf = replace(self.base_conf, copartition_scheduling=copartition)
-        ctx = AnalyticsContext(self.cluster_factory(), conf)
+        ctx = AnalyticsContext(
+            self.cluster_factory(), conf, metrics_registry=self.metrics_registry
+        )
         if advisor is not None:
             ctx.set_advisor(advisor)
         collector = StatisticsCollector(
             self.workload.name, self.workload.virtual_bytes(scale)
         )
-        with collector.attached(ctx):
+        with ExitStack() as stack:
+            if self.tracer is not None:
+                # Each measured run gets its own context (sim clock starts
+                # at 0), so shift its spans past the trace horizon — the
+                # pipeline renders as consecutive runs on one timeline.
+                ctx.obs.set_tracer(self.tracer)
+                stack.enter_context(self.tracer.scope(label, scale=scale))
+            stack.enter_context(collector.attached(ctx))
             result = self.workload.run(ctx, scale=scale)
         record = collector.record
         record.total_time = ctx.now

@@ -14,14 +14,17 @@ Sub-commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, List, Optional, Type
 
 from repro.chopper import ChopperAdvisor, ChopperRunner, WorkloadConfig, improvement
 from repro.chopper.workload_db import WorkloadDB
 from repro.cluster import paper_cluster
+from repro.common.errors import ReproError, WorkloadError
 from repro.common.units import fmt_bytes, fmt_duration
 from repro.engine import AnalyticsContext, EngineConf
+from repro.obs import MetricsRegistry, Tracer
 from repro.workloads import (
     KMeansWorkload,
     LogisticRegressionWorkload,
@@ -43,7 +46,12 @@ WORKLOADS: Dict[str, Type[Workload]] = {
 
 
 def build_workload(args: argparse.Namespace) -> Workload:
-    cls = WORKLOADS[args.workload]
+    cls = WORKLOADS.get(args.workload)
+    if cls is None:
+        raise WorkloadError(
+            f"unknown workload {args.workload!r}"
+            f" (choose from: {', '.join(sorted(WORKLOADS))})"
+        )
     kwargs = {}
     if args.virtual_gb is not None:
         kwargs["virtual_gb"] = args.virtual_gb
@@ -53,10 +61,15 @@ def build_workload(args: argparse.Namespace) -> Workload:
 
 
 def make_runner(args: argparse.Namespace) -> ChopperRunner:
-    return ChopperRunner(
+    runner = ChopperRunner(
         build_workload(args),
         base_conf=EngineConf(default_parallelism=args.parallelism),
     )
+    if getattr(args, "trace", None):
+        runner.tracer = Tracer()
+    if getattr(args, "metrics", None):
+        runner.metrics_registry = MetricsRegistry()
+    return runner
 
 
 def print_stage_table(out, observations) -> None:
@@ -86,9 +99,16 @@ def cmd_workloads(args: argparse.Namespace, out) -> int:
 
 def cmd_run(args: argparse.Namespace, out) -> int:
     workload = build_workload(args)
+    metrics = MetricsRegistry() if args.metrics else None
     ctx = AnalyticsContext(
-        paper_cluster(), EngineConf(default_parallelism=args.parallelism)
+        paper_cluster(),
+        EngineConf(default_parallelism=args.parallelism),
+        metrics_registry=metrics,
     )
+    tracer = None
+    if args.trace:
+        tracer = Tracer()
+        ctx.obs.set_tracer(tracer)
     if args.config:
         ctx.conf.copartition_scheduling = True
         ctx.set_advisor(ChopperAdvisor(WorkloadConfig.load(args.config)))
@@ -101,6 +121,12 @@ def cmd_run(args: argparse.Namespace, out) -> int:
     if logger is not None:
         logger.detach()
         out.write(f"history -> {args.history}\n")
+    if tracer is not None:
+        tracer.save(args.trace)
+        out.write(f"trace -> {args.trace}\n")
+    if metrics is not None:
+        metrics.save(args.metrics)
+        out.write(f"metrics -> {args.metrics}\n")
     record = collector.record
     print_stage_table(out, record.observations)
     out.write(f"total: {fmt_duration(ctx.now)} (simulated)\n")
@@ -152,6 +178,12 @@ def cmd_compare(args: argparse.Namespace, out) -> int:
     runner.profile(p_grid=tuple(args.grid), scales=tuple(args.scales))
     runner.train()
     vanilla, chopper = runner.compare(mode=args.mode)
+    if runner.tracer is not None:
+        runner.tracer.save(args.trace)
+        out.write(f"trace -> {args.trace}\n")
+    if runner.metrics_registry is not None:
+        runner.metrics_registry.save(args.metrics)
+        out.write(f"metrics -> {args.metrics}\n")
     out.write(f"vanilla: {fmt_duration(vanilla.total_time)}\n")
     out.write(f"chopper: {fmt_duration(chopper.total_time)}\n")
     out.write(f"improvement: {improvement(vanilla, chopper) * 100:.1f}%\n")
@@ -163,8 +195,18 @@ def cmd_compare(args: argparse.Namespace, out) -> int:
 # ----------------------------------------------------------------------
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome-trace JSON of the run(s)")
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help="write a metrics-registry JSON snapshot")
+
+
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("workload", choices=sorted(WORKLOADS))
+    # No argparse `choices=`: unknown names are rejected in
+    # build_workload() with a WorkloadError so every entry point (CLI,
+    # tests, library use) gets the same clean one-line diagnostic.
+    parser.add_argument("workload", help=f"one of: {', '.join(sorted(WORKLOADS))}")
     parser.add_argument("--virtual-gb", type=float, default=None,
                         help="virtual input size in GiB (default: paper's)")
     parser.add_argument("--physical-records", type=int, default=None,
@@ -190,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a JSONL history file of the run")
     p_run.add_argument("--gantt", action="store_true",
                        help="print an ASCII task timeline after the run")
+    _add_obs_args(p_run)
 
     p_report = sub.add_parser("report", help="render a history file")
     p_report.add_argument("history", help="history JSONL produced by run --history")
@@ -213,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
                        default=[100, 200, 300, 500, 800])
     p_cmp.add_argument("--scales", type=float, nargs="+", default=[0.33, 1.0])
     p_cmp.add_argument("--mode", choices=("global", "per-stage"), default="global")
+    _add_obs_args(p_cmp)
     return parser
 
 
@@ -226,10 +270,17 @@ COMMANDS = {
 }
 
 
-def main(argv: Optional[List[str]] = None, out=None) -> int:
+def main(argv: Optional[List[str]] = None, out=None, err=None) -> int:
     out = out or sys.stdout
+    err = err or sys.stderr
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args, out)
+    try:
+        return COMMANDS[args.command](args, out)
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        # Operator mistakes (unknown workload, unreadable DB/config path,
+        # malformed JSON) get a one-line diagnostic, not a traceback.
+        err.write(f"error: {exc}\n")
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via main()

@@ -23,6 +23,7 @@ from repro.engine.rdd import RDD, SourceRDD, parallelize_generator
 from repro.engine.shuffle import ShuffleManager
 from repro.engine.storage import BlockStore
 from repro.engine.task_scheduler import TaskScheduler
+from repro.obs import MetricsRegistry, Observability
 from repro.simul.engine import SimEngine
 from repro.simul.metrics import MetricsRecorder
 
@@ -85,13 +86,24 @@ class AnalyticsContext:
         self,
         cluster: Optional[Cluster] = None,
         conf: Optional[EngineConf] = None,
+        metrics_registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.cluster = cluster or paper_cluster()
         self.conf = conf or EngineConf()
         self.sim = SimEngine()
         self.metrics = MetricsRecorder()
+        self.listener_bus = ListenerBus()
+        # Observability hub: always-on metrics registry + optional tracer.
+        # A registry may be injected so multi-run drivers aggregate one.
+        self.obs = Observability(
+            self.listener_bus,
+            metrics=metrics_registry,
+            nodes={w.name: w.cores for w in self.cluster.workers},
+        )
+        self.obs.metrics.gauge("cluster.total_cores").set(self.cluster.total_cores)
         self.shuffle_manager = ShuffleManager(
-            block_header=self.conf.cost.shuffle_block_header
+            block_header=self.conf.cost.shuffle_block_header,
+            metrics=self.obs.metrics,
         )
         if self.conf.cache_memory_fraction > 0:
             fraction = self.conf.cache_memory_fraction
@@ -103,7 +115,6 @@ class AnalyticsContext:
             self.block_store = BlockStore(capacity_for=cache_capacity)
         else:
             self.block_store = BlockStore()
-        self.listener_bus = ListenerBus()
         self.task_scheduler = TaskScheduler(self)
         self.dag_scheduler = DAGScheduler(self)
         self.advisor: Optional[Any] = None

@@ -20,6 +20,7 @@ Spark configuration file before a stage is executed"):
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set
 
 from repro.common.errors import SchedulingError
@@ -102,7 +103,15 @@ class DAGScheduler:
         if self._job is not None:
             raise SchedulingError("nested run_job is not supported")
         if self.ctx.advisor is not None:
+            wall0 = time.perf_counter()
             self.ctx.advisor.rewrite(final_rdd, self.ctx)
+            # The rewrite is driver-side and free in simulated time; its
+            # real cost is recorded as wall-clock milliseconds.
+            self.ctx.obs.span(
+                f"rewrite:{type(self.ctx.advisor).__name__}", "chopper",
+                self.ctx.sim.now, self.ctx.sim.now,
+                wall_ms=round((time.perf_counter() - wall0) * 1e3, 3),
+            )
         final_stage = self._build_stages(final_rdd)
         job = _JobState(self.ctx.next_job_id(), final_stage, self.ctx.sim.now)
         self._job = job
@@ -119,6 +128,11 @@ class DAGScheduler:
             self._job = None
         job.stats.completed_at = self.ctx.sim.now
         self.ctx.job_stats.append(job.stats)
+        self.ctx.obs.span(
+            f"job-{job.stats.job_id}", "job",
+            job.stats.submitted_at, job.stats.completed_at,
+            job_id=job.stats.job_id, stages=len(job.stats.stages),
+        )
         self.ctx.listener_bus.job_end(job.stats)
         assert job.results is not None
         return job.results
@@ -265,6 +279,17 @@ class DAGScheduler:
         run.stats.completed_at = self.ctx.sim.now
         self.ctx.stage_stats.append(run.stats)
         job.stats.stages.append(run.stats)
+        self.ctx.obs.span(
+            run.stats.name, "stage",
+            run.stats.submitted_at, run.stats.completed_at,
+            stage_run_id=run.stats.stage_run_id,
+            kind=run.stats.kind,
+            P=run.stats.num_partitions,
+            partitioner=run.stats.partitioner_kind,
+            tasks=len(run.stats.tasks),
+            shuffle_read_bytes=run.stats.shuffle_read_bytes,
+            shuffle_write_bytes=run.stats.shuffle_write_bytes,
+        )
         self.ctx.listener_bus.stage_completed(run.stats)
 
         if stage.kind == SHUFFLE_MAP:

@@ -38,13 +38,23 @@ class TaskRunner:
     ) -> Tuple[TaskCostBreakdown, TaskContext, Any]:
         """Run one task on ``node``; returns (cost breakdown, ctx, result)."""
         tctx = TaskContext(node=node.name, task_index=task.partition)
+        metrics = self.ctx.obs.metrics
         if stage.kind == SHUFFLE_MAP:
             result = self._run_map_task(stage, task.partition, tctx)
+            metrics.counter("executor.map_tasks", node=node.name).inc()
         elif stage.kind == RESULT:
             records = stage.rdd.materialize(task.partition, tctx)
             result = result_fn(task.partition, records) if result_fn else records
+            metrics.counter("executor.result_tasks", node=node.name).inc()
         else:  # pragma: no cover - defensive
             raise SchedulingError(f"unknown stage kind {stage.kind!r}")
+        if tctx.cache_read_bytes:
+            metrics.counter("cache.hits", node=node.name).inc()
+            metrics.counter("cache.read_bytes", node=node.name).inc(
+                tctx.cache_read_bytes
+            )
+        for src, nbytes in tctx.cache_remote_by_src.items():
+            metrics.counter("cache.remote_read_bytes", src=src).inc(nbytes)
         return self.price(tctx, node), tctx, result
 
     def _run_map_task(self, stage: Stage, split: int, tctx: TaskContext) -> None:
@@ -70,14 +80,22 @@ class TaskRunner:
             write_scale = stage.rdd.size_scale
 
         partitioner = dep.partitioner
-        buckets: Dict[int, Tuple[List, float]] = {}
+        key_fn = dep.key_fn
+        # Mutable per-bucket accumulators: append in place rather than
+        # rebuilding and reassigning a (records, bytes) tuple per record.
+        bucket_records: Dict[int, List] = {}
+        bucket_bytes: Dict[int, float] = {}
         for record in out_records:
-            rid = partitioner.partition(dep.key_fn(record))
-            if rid not in buckets:
-                buckets[rid] = ([], 0.0)
-            recs, nbytes = buckets[rid]
+            rid = partitioner.partition(key_fn(record))
+            recs = bucket_records.get(rid)
+            if recs is None:
+                bucket_records[rid] = recs = []
+                bucket_bytes[rid] = 0.0
             recs.append(record)
-            buckets[rid] = (recs, nbytes + estimate_size(record) * write_scale)
+            bucket_bytes[rid] += estimate_size(record) * write_scale
+        buckets: Dict[int, Tuple[List, float]] = {
+            rid: (recs, bucket_bytes[rid]) for rid, recs in bucket_records.items()
+        }
 
         written = self.ctx.shuffle_manager.put_map_output(
             dep.shuffle_id, split, tctx.node, buckets

@@ -121,6 +121,10 @@ class Listener:
     def on_job_end(self, job_stats: JobStats) -> None:
         pass
 
+    def on_span(self, event) -> None:
+        """A :class:`repro.obs.TraceEvent` span finished (tracing only)."""
+        pass
+
 
 class ListenerBus:
     """Synchronous fan-out of execution events to registered listeners."""
@@ -149,3 +153,7 @@ class ListenerBus:
     def job_end(self, stats: JobStats) -> None:
         for listener in self._listeners:
             listener.on_job_end(stats)
+
+    def span(self, event) -> None:
+        for listener in self._listeners:
+            listener.on_span(event)

@@ -94,9 +94,22 @@ class HashPartitioner(Partitioner):
 class RangePartitioner(Partitioner):
     """Range partitioner with sampled split points.
 
-    ``bounds`` has ``num_partitions - 1`` ascending keys; a key lands in
-    the first range whose upper bound is >= the key (binary search, like
-    Spark's ``RangePartitioner`` for small partition counts).
+    ``bounds`` has up to ``num_partitions - 1`` ascending keys; a key
+    lands in the first range whose upper bound is >= the key (binary
+    search, like Spark's ``RangePartitioner`` for small partition
+    counts).
+
+    Duplicate split points are dropped on construction: a repeated bound
+    describes a range that ``bisect_left`` can never select, so keeping
+    it would silently strand an empty partition *between* used ones and
+    make structural equality (the co-partitioning test) miss equivalent
+    schemes. With fewer bounds than ``num_partitions - 1`` — a
+    low-cardinality key sample, or an empty sample — only the first
+    ``len(bounds) + 1`` partitions ever receive keys and the trailing
+    ones stay empty. That is the documented fallback, matching real range
+    partitioning on degenerate key distributions; ``num_partitions`` is
+    intentionally preserved so the scheme's task count stays what the
+    optimizer chose.
     """
 
     kind = "range"
@@ -104,13 +117,17 @@ class RangePartitioner(Partitioner):
     def __init__(self, num_partitions: int, bounds: Sequence[Any]) -> None:
         super().__init__(num_partitions)
         bounds = list(bounds)
-        if len(bounds) > num_partitions - 1:
-            raise ConfigurationError(
-                f"too many bounds ({len(bounds)}) for {num_partitions} partitions"
-            )
         if any(bounds[i] > bounds[i + 1] for i in range(len(bounds) - 1)):
             raise ConfigurationError("range bounds must be ascending")
-        self.bounds: List[Any] = bounds
+        deduped: List[Any] = []
+        for bound in bounds:
+            if not deduped or bound > deduped[-1]:
+                deduped.append(bound)
+        if len(deduped) > num_partitions - 1:
+            raise ConfigurationError(
+                f"too many bounds ({len(deduped)}) for {num_partitions} partitions"
+            )
+        self.bounds: List[Any] = deduped
 
     def partition(self, key: Any) -> int:
         try:
@@ -133,10 +150,14 @@ class RangePartitioner(Partitioner):
         """Build split points by sampling ``keys``, as Spark does.
 
         Draws up to ``sample_size`` keys (uniform without replacement),
-        sorts them, and picks equally spaced quantiles as bounds. With
-        fewer distinct sampled keys than partitions, the trailing
-        partitions simply stay empty — the same degenerate behaviour real
-        range partitioning exhibits on low-cardinality keys.
+        sorts them, and picks equally spaced quantiles as bounds, skipping
+        any quantile that would repeat or fall below the previous bound —
+        the emitted bounds are always strictly increasing. With fewer
+        distinct sampled keys than partitions (or an empty sample, which
+        yields no bounds at all and routes every key to partition 0), the
+        trailing partitions simply stay empty — the same degenerate
+        behaviour real range partitioning exhibits on low-cardinality
+        keys; see the class docstring.
         """
         all_keys = list(keys)
         if not all_keys:

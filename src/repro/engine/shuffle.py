@@ -16,9 +16,12 @@ aggregations the payload grows linearly with the map partition count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.common.errors import ShuffleError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import MetricsRegistry
 
 
 @dataclass
@@ -59,9 +62,20 @@ class _ShuffleState:
 class ShuffleManager:
     """Registry of all shuffles of one context."""
 
-    def __init__(self, block_header: float = 64.0) -> None:
+    def __init__(
+        self,
+        block_header: float = 64.0,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
         self._shuffles: Dict[int, _ShuffleState] = {}
         self.block_header = block_header
+        self._metrics = metrics
+        if metrics is not None:
+            # Unlabeled totals, pre-registered so a snapshot always shows
+            # them; per-node/per-source series appear alongside as moved.
+            self._local_total = metrics.counter("shuffle.local_bytes")
+            self._remote_total = metrics.counter("shuffle.remote_bytes")
+            self._write_total = metrics.counter("shuffle.write_bytes")
 
     def register(self, shuffle_id: int, num_maps: int, num_reduces: int) -> None:
         """(Re-)declare a shuffle's dimensions before its map stage runs."""
@@ -109,6 +123,12 @@ class ShuffleManager:
             written += nbytes
         state.blocks[map_id] = blocks
         state.bytes_written += written
+        if self._metrics is not None and written:
+            # Re-executed (retried / speculative) maps physically write
+            # again, so the counter honestly includes the duplicate I/O
+            # even though the registry replaces the blocks.
+            self._write_total.inc(written)
+            self._metrics.counter("shuffle.write_bytes", node=node).inc(written)
         return written
 
     def fetch(
@@ -135,6 +155,15 @@ class ShuffleManager:
                 stats.remote_bytes_by_src[block.node] = (
                     stats.remote_bytes_by_src.get(block.node, 0.0) + block.nbytes
                 )
+        if self._metrics is not None:
+            if stats.local_bytes:
+                self._local_total.inc(stats.local_bytes)
+                self._metrics.counter(
+                    "shuffle.local_bytes", node=dst_node
+                ).inc(stats.local_bytes)
+            for src, nbytes in stats.remote_bytes_by_src.items():
+                self._remote_total.inc(nbytes)
+                self._metrics.counter("shuffle.remote_bytes", src=src).inc(nbytes)
         return records, stats
 
     def map_output_nodes(self, shuffle_id: int, reduce_id: int) -> Dict[str, float]:

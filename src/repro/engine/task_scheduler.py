@@ -56,6 +56,9 @@ class _Attempt:
     event: object = None
     speculative: bool = False
     working_bytes: float = 0.0
+    # Kept for span emission: the priced components and jittered total.
+    breakdown: object = None
+    duration: float = 0.0
 
 
 @dataclass
@@ -85,9 +88,21 @@ class TaskScheduler:
         self._queue: Deque[_QueuedTask] = deque()
         # Tasks with at least one running attempt (speculation scans this).
         self._running_tasks: list = []
-        # Diagnostics: speculative attempts launched / that won their race.
+        # Diagnostics: speculative attempts launched / that won their race,
+        # and failed attempts that were requeued. Mirrored into the metrics
+        # registry below; tests assert the two never drift.
         self.speculative_launches = 0
         self.speculative_wins = 0
+        self.task_retries = 0
+        registry = ctx.obs.metrics
+        self._m_tasks_launched = registry.counter("scheduler.tasks_launched")
+        self._m_tasks_completed = registry.counter("scheduler.tasks_completed")
+        self._m_tasks_failed = registry.counter("scheduler.tasks_failed")
+        self._m_task_retries = registry.counter("scheduler.task_retries")
+        self._m_spec_launches = registry.counter("scheduler.speculative_launches")
+        self._m_spec_wins = registry.counter("scheduler.speculative_wins")
+        self._m_queue_wait = registry.histogram("scheduler.queue_wait_seconds")
+        self._m_queue_depth = registry.gauge("scheduler.queue_depth")
 
     # ------------------------------------------------------------------
     # Submission
@@ -162,6 +177,7 @@ class TaskScheduler:
                 continue
             self._launch(queued, executor)
         self._queue.extend(held)
+        self._m_queue_depth.set(len(self._queue))
 
     @staticmethod
     def _wait_timer_set(queued: "_QueuedTask") -> bool:
@@ -208,6 +224,9 @@ class TaskScheduler:
         queued.attempts.append(attempt)
         if queued not in self._running_tasks:
             self._running_tasks.append(queued)
+        self._m_tasks_launched.inc()
+        if not speculative:
+            self._m_queue_wait.observe(max(0.0, start - queued.enqueued_at))
 
         if self._should_fail(stage_run, task, speculative):
             # The attempt dies partway through: burn some simulated time
@@ -229,6 +248,8 @@ class TaskScheduler:
             breakdown.shuffle_fetch *= max(1, sharers)
         duration = breakdown.total * self._jitter(stage_run, task, speculative)
         attempt.working_bytes = tctx.max_partition_bytes
+        attempt.breakdown = breakdown
+        attempt.duration = duration
         metrics = TaskMetrics(
             stage_run_id=stage_run.stats.stage_run_id,
             task_index=task.partition,
@@ -265,9 +286,12 @@ class TaskScheduler:
             self._dispatch()
             return
         queued.done = True
+        self._m_tasks_completed.inc()
         if attempt.speculative:
             self.speculative_wins += 1
+            self._m_spec_wins.inc()
         self._record_busy_span(attempt)
+        self._emit_task_span(queued, attempt, "ok", metrics)
         # Kill the losing sibling attempt(s): cancel their completion and
         # free their cores now; their partial busy time is recorded.
         for loser in list(queued.attempts):
@@ -275,6 +299,7 @@ class TaskScheduler:
                 loser.event.cancel()
             self._release(loser)
             self._record_busy_span(loser)
+            self._emit_task_span(queued, loser, "cancelled")
         queued.attempts.clear()
         self._running_tasks.remove(queued)
         queued.stage_run.task_finished(queued.task, metrics, result)
@@ -289,6 +314,8 @@ class TaskScheduler:
         self.ctx.metrics.record_interval(
             "cpu", attempt.executor.spec.name, attempt.start, self.ctx.sim.now, 1.0
         )
+        self._m_tasks_failed.inc()
+        self._emit_task_span(queued, attempt, "failed")
         if queued.attempts:
             # A sibling (speculative) attempt is still running; let it win.
             self._dispatch()
@@ -300,6 +327,8 @@ class TaskScheduler:
                 f"task {task.label} failed {task.attempt} times; aborting stage "
                 f"{queued.stage_run.stage.name}"
             )
+        self.task_retries += 1
+        self._m_task_retries.inc()
         queued.speculated = False
         self._queue.append(queued)
         self._dispatch()
@@ -340,6 +369,7 @@ class TaskScheduler:
                 continue
             queued.speculated = True
             self.speculative_launches += 1
+            self._m_spec_launches.inc()
             self._launch(queued, executor, speculative=True)
 
     def _jitter(
@@ -395,6 +425,68 @@ class TaskScheduler:
         )
         # Die somewhere in the first few seconds of the attempt.
         return float(0.1 + rng.random() * 2.0)
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+
+    # Completion order of the priced components within a task's span.
+    _PHASES = (
+        ("overhead", "overhead"),
+        ("shuffle-fetch", "shuffle_fetch"),
+        ("input-io", "input_io"),
+        ("compute", "compute"),
+        ("shuffle-write", "shuffle_write"),
+    )
+
+    def _emit_task_span(
+        self,
+        queued: _QueuedTask,
+        attempt: _Attempt,
+        outcome: str,
+        metrics: Optional[TaskMetrics] = None,
+    ) -> None:
+        """Emit one task-attempt span (plus phase sub-spans for winners)."""
+        obs = self.ctx.obs
+        if not obs.tracing:
+            return
+        task = queued.task
+        stats = queued.stage_run.stats
+        node = attempt.executor.spec.name
+        end = self.ctx.sim.now
+        key = (stats.stage_run_id, task.partition, task.attempt, attempt.speculative)
+        args = {
+            "stage_run_id": stats.stage_run_id,
+            "stage": stats.name,
+            "partition": task.partition,
+            "attempt": task.attempt,
+            "speculative": attempt.speculative,
+            "outcome": outcome,
+        }
+        if metrics is not None:
+            args.update(
+                input_bytes=metrics.input_bytes,
+                shuffle_read_local=metrics.shuffle_read_local,
+                shuffle_read_remote=metrics.shuffle_read_remote,
+                shuffle_write=metrics.shuffle_write,
+            )
+        obs.span(
+            f"{stats.name}[{task.partition}]", "task",
+            attempt.start, end, node=node, key=key, **args,
+        )
+        breakdown = attempt.breakdown
+        if outcome != "ok" or breakdown is None or breakdown.total <= 0:
+            return
+        # Phase sub-spans share the task's lane (same key) and nest under
+        # it; jitter scales every component proportionally.
+        factor = attempt.duration / breakdown.total
+        t = attempt.start
+        for name, attr in self._PHASES:
+            seconds = getattr(breakdown, attr) * factor
+            if seconds <= 0:
+                continue
+            obs.span(name, "task.phase", t, t + seconds, node=node, key=key)
+            t += seconds
 
     # ------------------------------------------------------------------
     # Metrics

@@ -1,0 +1,93 @@
+"""``repro.obs`` — first-class observability for the simulated engine.
+
+Two complementary instruments, both fed by the engine rather than
+ad-hoc state scattered across schedulers:
+
+* :class:`Tracer` + :class:`TraceEvent` — a span model (job / stage /
+  task / task-phase / CHOPPER spans) with a Chrome-trace JSON exporter
+  keyed on simulated time; open the output in ``chrome://tracing`` or
+  Perfetto. See ``docs/observability.md``.
+* :class:`MetricsRegistry` — counters, gauges, and histograms (shuffle
+  local/remote bytes, speculation launches/wins, task retries, cache
+  hits, queue waits) with JSON snapshot export.
+
+Every :class:`~repro.engine.context.AnalyticsContext` owns an
+:class:`Observability` hub. The metrics registry is always on (an
+increment is a float add); tracing costs nothing until a tracer is
+attached via ``ctx.obs.set_tracer(Tracer())``, because spans are only
+constructed when one is listening.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import TraceEvent, Tracer, save_chrome_trace, to_chrome
+
+
+class Observability:
+    """Per-context hub bundling the metrics registry and the tracer.
+
+    ``bus`` is the context's listener bus; an attached tracer is
+    registered there, so spans fan out exactly like every other
+    execution event. A shared registry (and tracer) may be injected so
+    multi-run pipelines (``ChopperRunner``) aggregate across contexts.
+    """
+
+    def __init__(
+        self,
+        bus: Any,
+        metrics: Optional[MetricsRegistry] = None,
+        nodes: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self._bus = bus
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.nodes = dict(nodes or {})
+        self.tracer: Optional[Tracer] = None
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer is not None
+
+    def set_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Attach (or detach, with None) a tracer to the listener bus."""
+        if self.tracer is not None:
+            self._bus.remove(self.tracer)
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.declare_nodes(self.nodes)
+            self._bus.add(tracer)
+
+    def span(
+        self,
+        name: str,
+        cat: str,
+        start: float,
+        end: float,
+        node: Optional[str] = None,
+        key: Optional[Tuple] = None,
+        **args: Any,
+    ) -> None:
+        """Emit one span through the listener bus; no-op when untraced."""
+        if self.tracer is None:
+            return
+        self._bus.span(
+            TraceEvent(
+                name=name, cat=cat, start=start, end=end,
+                node=node, key=key, args=args,
+            )
+        )
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "TraceEvent",
+    "Tracer",
+    "save_chrome_trace",
+    "to_chrome",
+]

@@ -1,0 +1,191 @@
+"""Lightweight metrics registry: counters, gauges, and histograms.
+
+The engine's time-series recorder (:mod:`repro.simul.metrics`) answers
+"what did utilization look like over the run" — the paper's Figs. 11-14.
+This registry answers the complementary operational question: "how much of
+X happened, total" — shuffle bytes moved locally vs over the network,
+speculative attempts launched and won, task retries, cache hits, queue
+wait times. Every :class:`~repro.engine.context.AnalyticsContext` owns one
+(always on; increments are plain float adds), and the CLI's ``--metrics``
+flag dumps a JSON snapshot after the run.
+
+Metric identity is ``(name, labels)``, Prometheus-style: the same name may
+carry several label sets (``shuffle.remote_bytes{src=node-1}``,
+``shuffle.remote_bytes{src=node-2}``) plus an unlabeled total series.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Tuple
+
+from repro.common.errors import ConfigurationError
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total (bytes, launches, retries)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter increments must be >= 0, got {amount}"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A value that moves both ways (queue depth, free cores)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Summary statistics of observed samples (queue waits, durations)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: float = math.inf
+        self.max: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named, optionally labeled instruments."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Dict[LabelKey, Counter]] = {}
+        self._gauges: Dict[str, Dict[LabelKey, Gauge]] = {}
+        self._histograms: Dict[str, Dict[LabelKey, Histogram]] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument access
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        series = self._counters.setdefault(name, {})
+        key = _label_key(labels)
+        instrument = series.get(key)
+        if instrument is None:
+            series[key] = instrument = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        series = self._gauges.setdefault(name, {})
+        key = _label_key(labels)
+        instrument = series.get(key)
+        if instrument is None:
+            series[key] = instrument = Gauge()
+        return instrument
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        series = self._histograms.setdefault(name, {})
+        key = _label_key(labels)
+        instrument = series.get(key)
+        if instrument is None:
+            series[key] = instrument = Histogram()
+        return instrument
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Value of one counter series; with no labels and no unlabeled
+        series registered, the sum over all label sets of ``name``."""
+        series = self._counters.get(name, {})
+        key = _label_key(labels)
+        if key in series:
+            return series[key].value
+        if not labels:
+            return sum(c.value for c in series.values())
+        return 0.0
+
+    def gauge_value(self, name: str, **labels: Any) -> float:
+        series = self._gauges.get(name, {})
+        instrument = series.get(_label_key(labels))
+        return instrument.value if instrument is not None else 0.0
+
+    def counter_labels(self, name: str) -> Dict[LabelKey, float]:
+        """All (label set -> value) series of one counter name."""
+        return {
+            key: c.value for key, c in self._counters.get(name, {}).items()
+        }
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable dump of every registered instrument."""
+
+        def render(series: Dict[str, Dict[LabelKey, Any]], value_of) -> dict:
+            return {
+                name: [
+                    {"labels": dict(key), **value_of(instrument)}
+                    for key, instrument in sorted(instruments.items())
+                ]
+                for name, instruments in sorted(series.items())
+            }
+
+        return {
+            "counters": render(self._counters, lambda c: {"value": c.value}),
+            "gauges": render(self._gauges, lambda g: {"value": g.value}),
+            "histograms": render(self._histograms, lambda h: h.to_dict()),
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

@@ -23,7 +23,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 from repro.common.errors import WorkloadError
 from repro.engine.context import AnalyticsContext
 from repro.engine.rdd import RDD
-from repro.relational.expr import Agg, Col, Expr, _agg_label, col
+from repro.relational.expr import Agg, Expr, _agg_label, col
 
 
 class Table:

@@ -1,12 +1,8 @@
 """Tests for the CHOPPER advisor: config application, alignment, splicing."""
 
-import pytest
-
 from repro.chopper.advisor import ChopperAdvisor, FixedSchemeAdvisor, ProfilingAdvisor
 from repro.chopper.config_gen import ConfigEntry, WorkloadConfig
 from repro.chopper.schemes import PartitionScheme
-from repro.engine import HashPartitioner
-from repro.engine.stage import RESULT
 
 
 def stage_sig_of(ctx, rdd, base_index=-1):

@@ -1,9 +1,7 @@
 """Tests for online adaptation (dynamic config updates)."""
 
 import pytest
-from dataclasses import replace
-
-from repro.chopper import ChopperRunner, OnlineChopper, improvement
+from repro.chopper import ChopperRunner, OnlineChopper
 from repro.chopper.stats import StatisticsCollector
 from repro.cluster import uniform_cluster
 from repro.common.errors import ModelError

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import paper_cluster, uniform_cluster
+from repro.cluster import uniform_cluster
 from repro.common.errors import ConfigurationError
 from repro.engine import AnalyticsContext, Broadcast, EngineConf
 

@@ -1,6 +1,5 @@
 """Cross-cutting engine invariants, property-based where possible."""
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st

@@ -83,11 +83,50 @@ class TestRangePartitioner:
 
     def test_empty_sample(self):
         part = RangePartitioner.from_sample([], 4)
+        assert part.bounds == []
+        assert part.num_partitions == 4  # task count preserved
         assert part.partition(123) == 0
+
+    def test_duplicate_bounds_deduped_on_construction(self):
+        part = RangePartitioner(5, [1, 1, 2, 2])
+        assert part.bounds == [1, 2]
+        assert part.num_partitions == 5
+        # Routing is well-defined and monotone after the dedupe.
+        assert part.partition(0) == 0
+        assert part.partition(1) == 0
+        assert part.partition(2) == 1
+        assert part.partition(3) == 2
+
+    def test_dedupe_makes_equivalent_schemes_equal(self):
+        # Co-partitioning compares partitioners structurally; duplicated
+        # split points used to make equivalent schemes look different.
+        assert RangePartitioner(4, [1, 1, 2]) == RangePartitioner(4, [1, 2, 2])
+
+    def test_from_sample_few_distinct_keys(self):
+        # One distinct key can produce at most one bound: trailing
+        # partitions stay empty but every key routes in range.
+        part = RangePartitioner.from_sample([7] * 100, 4, seed=0)
+        assert len(part.bounds) <= 1
+        assert part.num_partitions == 4
+        assert 0 <= part.partition(7) < 4
+
+    def test_from_sample_bounds_strictly_increasing(self):
+        keys = [1] * 50 + [2] * 50 + [3] * 2
+        part = RangePartitioner.from_sample(keys, 8, seed=0)
+        assert all(
+            a < b for a, b in zip(part.bounds, part.bounds[1:])
+        )
+        seen = {part.partition(k) for k in keys}
+        assert len(seen) == len(part.bounds) + 1
 
     def test_too_many_bounds_rejected(self):
         with pytest.raises(ConfigurationError):
             RangePartitioner(2, [1, 2, 3])
+
+    def test_too_many_bounds_counted_after_dedupe(self):
+        # Three duplicated bounds collapse to one -> fits 2 partitions.
+        part = RangePartitioner(2, [5, 5, 5])
+        assert part.bounds == [5]
 
     def test_descending_bounds_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -4,7 +4,6 @@ import pytest
 
 from repro.cluster import NodeSpec, Cluster, uniform_cluster
 from repro.cluster.cluster import GBPS
-from repro.common.errors import SchedulingError
 from repro.common.units import GB
 from repro.engine import AnalyticsContext, EngineConf
 from repro.engine.costmodel import CostModelConfig
@@ -174,8 +173,6 @@ class TestCostEffects:
 
 class TestNetworkContention:
     def test_contention_slows_shuffle_reads(self):
-        from dataclasses import replace as _replace
-
         def run(contention):
             cfg = CostModelConfig(
                 jitter_sigma=0.0, driver_dispatch_interval=0.0,

@@ -1,12 +1,11 @@
 """Tests for speculative execution (Spark's spark.speculation)."""
 
-import pytest
-
 from repro.cluster import Cluster, NodeSpec, uniform_cluster
 from repro.cluster.cluster import GBPS
 from repro.common.units import GB
 from repro.engine import AnalyticsContext, EngineConf
 from repro.engine.costmodel import CostModelConfig
+from repro.obs import MetricsRegistry
 
 
 def straggler_cluster():
@@ -95,3 +94,82 @@ class TestSpeculation:
         assert out == 6000
         for worker in ctx.cluster.workers:
             assert ctx.task_scheduler.free_cores(worker.name) == worker.cores
+
+
+class TestSchedulerMetrics:
+    """The metrics registry must agree with the scheduler's own counters."""
+
+    @staticmethod
+    def quiet_conf(**overrides):
+        cost = CostModelConfig(
+            task_overhead=0.01, per_byte_compute=1e-4,
+            jitter_sigma=0.0, driver_dispatch_interval=0.0,
+        )
+        return EngineConf(default_parallelism=12, cost=cost, **overrides)
+
+    def test_speculation_counters_match_registry(self):
+        registry = MetricsRegistry()
+        ctx = AnalyticsContext(
+            straggler_cluster(),
+            self.quiet_conf(speculation=True),
+            metrics_registry=registry,
+        )
+        ctx.parallelize(list(range(24_000)), 12).map(lambda x: x).collect()
+        sched = ctx.task_scheduler
+        assert sched.speculative_launches >= 1
+        assert sched.speculative_wins >= 1
+        assert (
+            registry.counter_value("scheduler.speculative_launches")
+            == sched.speculative_launches
+        )
+        assert (
+            registry.counter_value("scheduler.speculative_wins")
+            == sched.speculative_wins
+        )
+        assert registry.counter_value("scheduler.task_retries") == 0
+
+    def test_retry_counters_match_registry(self):
+        registry = MetricsRegistry()
+        ctx = AnalyticsContext(
+            uniform_cluster(n_workers=3, cores=4),
+            self.quiet_conf(task_failure_rate=0.25, max_task_attempts=8),
+            metrics_registry=registry,
+        )
+        out = ctx.parallelize(list(range(6000)), 12).count()
+        assert out == 6000
+        sched = ctx.task_scheduler
+        assert sched.task_retries >= 1  # 25% failure rate over 12 tasks
+        assert (
+            registry.counter_value("scheduler.task_retries") == sched.task_retries
+        )
+        assert (
+            registry.counter_value("scheduler.tasks_failed") == sched.task_retries
+        )
+
+    def test_speculation_with_failures_counters_consistent(self):
+        registry = MetricsRegistry()
+        ctx = AnalyticsContext(
+            straggler_cluster(),
+            self.quiet_conf(
+                speculation=True, task_failure_rate=0.1, max_task_attempts=8
+            ),
+            metrics_registry=registry,
+        )
+        out = ctx.parallelize(list(range(6000)), 12).count()
+        assert out == 6000
+        sched = ctx.task_scheduler
+        assert (
+            registry.counter_value("scheduler.speculative_launches")
+            == sched.speculative_launches
+        )
+        assert (
+            registry.counter_value("scheduler.task_retries") == sched.task_retries
+        )
+        launched = registry.counter_value("scheduler.tasks_launched")
+        done = registry.counter_value("scheduler.tasks_completed")
+        failed = registry.counter_value("scheduler.tasks_failed")
+        # Every launched attempt wins, fails, or is cancelled as the
+        # losing side of a speculation race — and only races launched by
+        # speculation can produce losers.
+        cancelled = launched - done - failed
+        assert 0 <= cancelled <= sched.speculative_launches

@@ -1,0 +1,116 @@
+"""End-to-end tracing/metrics tests against the real engine."""
+
+from __future__ import annotations
+
+import collections
+
+from repro.cluster import uniform_cluster
+from repro.engine import AnalyticsContext, EngineConf
+from repro.engine.costmodel import CostModelConfig
+from repro.obs import MetricsRegistry, Tracer
+
+
+def quiet_conf(parallelism=8):
+    cost = CostModelConfig(jitter_sigma=0.0, driver_dispatch_interval=0.0)
+    return EngineConf(default_parallelism=parallelism, cost=cost)
+
+
+def shuffle_job(ctx):
+    pairs = ctx.parallelize([(i % 13, 1) for i in range(8000)], 8)
+    return pairs.reduce_by_key(lambda a, b: a + b, 6).collect_as_map()
+
+
+class TestEngineTracing:
+    def run_traced(self):
+        ctx = AnalyticsContext(uniform_cluster(n_workers=3, cores=2), quiet_conf())
+        tracer = Tracer()
+        ctx.obs.set_tracer(tracer)
+        out = shuffle_job(ctx)
+        return ctx, tracer, out
+
+    def test_job_stage_task_spans_present(self):
+        ctx, tracer, out = self.run_traced()
+        assert out == {k: len(range(k, 8000, 13)) for k in range(13)}
+        cats = collections.Counter(e.cat for e in tracer.events)
+        assert cats["job"] == 1
+        assert cats["stage"] == 2  # map + reduce
+        assert cats["task"] == 8 + 6
+        assert cats["task.phase"] > 0
+
+    def test_span_times_within_run(self):
+        ctx, tracer, _ = self.run_traced()
+        for event in tracer.events:
+            assert 0.0 <= event.start <= event.end <= ctx.now + 1e-9
+
+    def test_task_concurrency_never_exceeds_cores(self):
+        ctx, tracer, _ = self.run_traced()
+        doc = tracer.to_chrome()
+        lanes = collections.defaultdict(set)
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        for e in doc["traceEvents"]:
+            if e["ph"] == "X" and e["cat"] == "task":
+                lanes[e["pid"]].add(e["tid"])
+        cores = {w.name: w.cores for w in ctx.cluster.workers}
+        assert lanes, "no task spans exported"
+        for pid, tids in lanes.items():
+            assert len(tids) <= cores[names[pid]]
+
+    def test_task_span_args_identify_attempt(self):
+        _, tracer, _ = self.run_traced()
+        task = next(e for e in tracer.events if e.cat == "task")
+        for field in ("stage_run_id", "partition", "attempt", "speculative", "outcome"):
+            assert field in task.args
+        assert task.args["outcome"] == "ok"
+
+    def test_stage_span_args_describe_partitioning(self):
+        _, tracer, _ = self.run_traced()
+        by_name = {e.name: e for e in tracer.events if e.cat == "stage"}
+        assert len(by_name) == 2
+        for event in by_name.values():
+            assert event.args["P"] in (8, 6)
+            assert event.args["partitioner"] in ("hash", None)
+
+    def test_tracing_does_not_change_simulated_time(self):
+        plain = AnalyticsContext(uniform_cluster(n_workers=3, cores=2), quiet_conf())
+        out_plain = shuffle_job(plain)
+        ctx, _, out_traced = self.run_traced()
+        assert out_plain == out_traced
+        assert plain.now == ctx.now
+
+
+class TestEngineMetrics:
+    def test_shuffle_byte_counters(self):
+        registry = MetricsRegistry()
+        ctx = AnalyticsContext(
+            uniform_cluster(n_workers=3, cores=2),
+            quiet_conf(),
+            metrics_registry=registry,
+        )
+        shuffle_job(ctx)
+        local = registry.counter_value("shuffle.local_bytes")
+        remote = registry.counter_value("shuffle.remote_bytes")
+        written = registry.counter_value("shuffle.write_bytes")
+        assert local > 0 and remote > 0
+        # Reducers fetch exactly what the mappers registered.
+        assert abs((local + remote) - written) < 1e-6 * written
+        # Remote bytes are attributed to source nodes.
+        srcs = {dict(k).get("src") for k in registry.counter_labels(
+            "shuffle.remote_bytes") if k}
+        assert len(srcs) >= 2
+
+    def test_queue_wait_histogram_populated(self):
+        registry = MetricsRegistry()
+        ctx = AnalyticsContext(
+            uniform_cluster(n_workers=2, cores=2),
+            quiet_conf(parallelism=16),
+            metrics_registry=registry,
+        )
+        ctx.parallelize(list(range(4000)), 16).map(lambda x: x * 2).collect()
+        hist = registry.histogram("scheduler.queue_wait_seconds")
+        # 16 tasks on 4 cores: most attempts waited in the queue.
+        assert hist.count == 16
+        assert hist.max > 0.0

@@ -1,0 +1,111 @@
+"""Tests for the metrics registry (counters, gauges, histograms)."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("tasks")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.counter("tasks").inc(-1)
+
+    def test_labels_create_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("bytes", node="n1").inc(10)
+        reg.counter("bytes", node="n2").inc(5)
+        assert reg.counter_value("bytes", node="n1") == 10
+        assert reg.counter_value("bytes", node="n2") == 5
+
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", a=1) is reg.counter("x", a=1)
+        assert reg.counter("x", a=1) is not reg.counter("x", a=2)
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        reg.counter("x", a=1, b=2).inc()
+        assert reg.counter("x", b=2, a=1).value == 1
+
+    def test_counter_value_sums_labels_when_unlabeled(self):
+        reg = MetricsRegistry()
+        reg.counter("bytes", node="n1").inc(10)
+        reg.counter("bytes", node="n2").inc(5)
+        assert reg.counter_value("bytes") == 15
+
+    def test_counter_value_missing_is_zero(self):
+        assert MetricsRegistry().counter_value("nope") == 0.0
+
+    def test_counter_labels_lists_series(self):
+        reg = MetricsRegistry()
+        reg.counter("bytes", node="n1").inc()
+        reg.counter("bytes", node="n2").inc(2)
+        labels = reg.counter_labels("bytes")
+        assert labels == {(("node", "n1"),): 1.0, (("node", "n2"),): 2.0}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(5)
+        g.inc(2)
+        g.dec(3)
+        assert g.value == 4
+        assert reg.gauge_value("depth") == 4
+
+
+class TestHistogram:
+    def test_observe_stats(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("wait")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        stats = h.to_dict()
+        assert stats["count"] == 3
+        assert stats["sum"] == 6.0
+        assert stats["mean"] == 2.0
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+
+    def test_empty_histogram_has_null_extremes(self):
+        stats = MetricsRegistry().histogram("wait").to_dict()
+        assert stats["count"] == 0
+        assert stats["min"] is None and stats["max"] is None
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", node="n1").inc(2)
+        reg.gauge("g").set(7)
+        reg.histogram("h").observe(1.5)
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == [{"labels": {"node": "n1"}, "value": 2.0}]
+        assert snap["gauges"]["g"][0]["value"] == 7
+        assert snap["histograms"]["h"][0]["count"] == 1
+
+    def test_save_round_trips_through_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        path = tmp_path / "m.json"
+        reg.save(str(path))
+        assert json.loads(path.read_text()) == reg.snapshot()
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}

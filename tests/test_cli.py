@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -9,8 +10,9 @@ from repro.cli import build_parser, main
 
 def run_cli(*argv):
     out = io.StringIO()
-    code = main(list(argv), out=out)
-    return code, out.getvalue()
+    err = io.StringIO()
+    code = main(list(argv), out=out, err=err)
+    return code, out.getvalue(), err.getvalue()
 
 
 class TestParser:
@@ -18,14 +20,45 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_unknown_workload_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "tensor-train"])
+
+class TestErrorHandling:
+    def test_unknown_workload_one_line_error(self):
+        code, text, err = run_cli("run", "tensor-train")
+        assert code == 2
+        assert text == ""
+        assert err.startswith("error: ")
+        assert "tensor-train" in err
+        assert "kmeans" in err  # suggests the valid names
+        assert err.count("\n") == 1  # one line, no traceback
+
+    def test_unreadable_db_one_line_error(self, tmp_path):
+        code, text, err = run_cli(
+            "optimize", "wordcount", "--db", str(tmp_path / "missing.json")
+        )
+        assert code == 2
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+
+    def test_malformed_db_one_line_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code, text, err = run_cli("optimize", "wordcount", "--db", str(bad))
+        assert code == 2
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+
+    def test_unreadable_config_one_line_error(self, tmp_path):
+        code, text, err = run_cli(
+            "run", "wordcount", "--physical-records", "300",
+            "--parallelism", "16", "--config", str(tmp_path / "missing.json"),
+        )
+        assert code == 2
+        assert err.startswith("error: ")
 
 
 class TestWorkloadsCommand:
     def test_lists_all(self):
-        code, text = run_cli("workloads")
+        code, text, _ = run_cli("workloads")
         assert code == 0
         for name in ("kmeans", "pca", "sql", "wordcount", "pagerank"):
             assert name in text
@@ -33,7 +66,7 @@ class TestWorkloadsCommand:
 
 class TestRunCommand:
     def test_runs_and_prints_stage_table(self):
-        code, text = run_cli(
+        code, text, _ = run_cli(
             "run", "wordcount",
             "--virtual-gb", "1.0",
             "--physical-records", "400",
@@ -45,7 +78,7 @@ class TestRunCommand:
         assert "shuffle_map" in text
 
     def test_scale_flag(self):
-        code, text = run_cli(
+        code, text, _ = run_cli(
             "run", "wordcount",
             "--virtual-gb", "1.0", "--physical-records", "400",
             "--parallelism", "16", "--scale", "0.5",
@@ -63,20 +96,20 @@ class TestPipelineCommands:
             "--physical-records", "600",
             "--parallelism", "32",
         ]
-        code, text = run_cli(
+        code, text, _ = run_cli(
             "profile", *common, "--db", db_path,
             "--grid", "8", "32", "96", "--scales", "1.0",
         )
         assert code == 0
         assert "trained" in text
 
-        code, text = run_cli(
+        code, text, _ = run_cli(
             "optimize", *common, "--db", db_path, "--output", config_path
         )
         assert code == 0
         assert "entries" in text
 
-        code, text = run_cli("run", *common, "--config", config_path)
+        code, text, _ = run_cli("run", *common, "--config", config_path)
         assert code == 0
         assert "total:" in text
 
@@ -88,12 +121,12 @@ class TestPipelineCommands:
         ]
         run_cli("profile", *common, "--db", db_path,
                 "--grid", "8", "32", "--scales", "1.0")
-        code, text = run_cli("optimize", *common, "--db", db_path)
+        code, text, _ = run_cli("optimize", *common, "--db", db_path)
         assert code == 0
         assert '"signature"' in text
 
     def test_compare_reports_improvement(self):
-        code, text = run_cli(
+        code, text, _ = run_cli(
             "compare", "wordcount",
             "--virtual-gb", "2.0", "--physical-records", "600",
             "--parallelism", "32",
@@ -106,7 +139,7 @@ class TestPipelineCommands:
 class TestHistoryAndReport:
     def test_run_writes_history_and_report_reads_it(self, tmp_path):
         history = str(tmp_path / "run.jsonl")
-        code, text = run_cli(
+        code, text, _ = run_cli(
             "run", "wordcount",
             "--virtual-gb", "1.0", "--physical-records", "300",
             "--parallelism", "16", "--history", history,
@@ -114,16 +147,73 @@ class TestHistoryAndReport:
         assert code == 0
         assert "history ->" in text
 
-        code, text = run_cli("report", history)
+        code, text, _ = run_cli("report", history)
         assert code == 0
         assert "total stage span" in text
         assert "shuffle_map" in text
 
     def test_run_gantt_flag(self):
-        code, text = run_cli(
+        code, text, _ = run_cli(
             "run", "wordcount",
             "--virtual-gb", "1.0", "--physical-records", "300",
             "--parallelism", "16", "--gantt",
         )
         assert code == 0
         assert "|" in text and "t = " in text
+
+
+class TestObservabilityFlags:
+    def test_run_writes_trace_and_metrics(self, tmp_path):
+        trace = str(tmp_path / "trace.json")
+        metrics = str(tmp_path / "metrics.json")
+        code, text, _ = run_cli(
+            "run", "wordcount",
+            "--virtual-gb", "1.0", "--physical-records", "400",
+            "--parallelism", "16",
+            "--trace", trace, "--metrics", metrics,
+        )
+        assert code == 0
+        assert f"trace -> {trace}" in text
+        assert f"metrics -> {metrics}" in text
+
+        with open(trace) as fh:
+            doc = json.load(fh)
+        events = doc["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert spans, "trace has no spans"
+        for e in spans:
+            assert e["ts"] >= 0 and e["dur"] >= 0
+            assert isinstance(e["pid"], int) and isinstance(e["tid"], int)
+        cats = {e["cat"] for e in spans}
+        assert {"job", "stage", "task"} <= cats
+
+        with open(metrics) as fh:
+            snap = json.load(fh)
+        assert "shuffle.local_bytes" in snap["counters"]
+        assert "shuffle.remote_bytes" in snap["counters"]
+        assert "scheduler.speculative_launches" in snap["counters"]
+
+    def test_compare_writes_trace_and_metrics(self, tmp_path):
+        trace = str(tmp_path / "trace.json")
+        metrics = str(tmp_path / "metrics.json")
+        code, text, _ = run_cli(
+            "compare", "wordcount",
+            "--virtual-gb", "1.0", "--physical-records", "400",
+            "--parallelism", "16",
+            "--grid", "8", "32", "--scales", "1.0",
+            "--trace", trace, "--metrics", metrics,
+        )
+        assert code == 0
+        assert "improvement:" in text
+        with open(trace) as fh:
+            doc = json.load(fh)
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        # The pipeline phases and the vanilla/chopper runs all land on
+        # one timeline as driver-lane spans.
+        run_labels = {e["name"] for e in spans if e["cat"] == "run"}
+        assert "vanilla" in run_labels and "chopper" in run_labels
+        phase_labels = {e["name"] for e in spans if e["cat"] == "chopper"}
+        assert {"profile", "train", "optimize"} <= phase_labels
+        with open(metrics) as fh:
+            snap = json.load(fh)
+        assert "scheduler.tasks_completed" in snap["counters"]

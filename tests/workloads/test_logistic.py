@@ -1,7 +1,6 @@
 """Tests for the logistic-regression workload."""
 
 import numpy as np
-import pytest
 
 from repro.cluster import uniform_cluster
 from repro.engine import AnalyticsContext, EngineConf
