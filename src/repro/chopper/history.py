@@ -58,6 +58,11 @@ class HistoryLogger(Listener):
     # ------------------------------------------------------------------
 
     def on_stage_completed(self, stage_stats: StageStats) -> None:
+        if stage_stats.attempt > 0:
+            # Skip partial lineage-recovery re-runs, matching the
+            # in-memory StatisticsCollector: replayed histories must
+            # train the same models a live run would.
+            return
         observation = StageObservation.from_stage_stats(stage_stats, self._order)
         self._order += 1
         payload = {"event": "stage", **observation.to_dict()}

@@ -113,6 +113,11 @@ class StatisticsCollector(Listener):
         self._ctx: Optional[AnalyticsContext] = None
 
     def on_stage_completed(self, stage_stats: StageStats) -> None:
+        if stage_stats.attempt > 0:
+            # Partial resubmission after a fetch failure: only the lost
+            # map partitions re-ran, so (D, P, t_exe) would mistrain the
+            # models. Keep the DB to clean, full-stage observations.
+            return
         self.record.observations.append(
             StageObservation.from_stage_stats(stage_stats, self._order)
         )

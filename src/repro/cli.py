@@ -18,10 +18,12 @@ import json
 import sys
 from typing import Dict, List, Optional, Type
 
+from dataclasses import replace
+
 from repro.chopper import ChopperAdvisor, ChopperRunner, WorkloadConfig, improvement
 from repro.chopper.workload_db import WorkloadDB
 from repro.cluster import paper_cluster
-from repro.common.errors import ReproError, WorkloadError
+from repro.common.errors import ConfigurationError, ReproError, WorkloadError
 from repro.common.units import fmt_bytes, fmt_duration
 from repro.engine import AnalyticsContext, EngineConf
 from repro.obs import MetricsRegistry, Tracer
@@ -58,6 +60,29 @@ def build_workload(args: argparse.Namespace) -> Workload:
     if args.physical_records is not None:
         kwargs["physical_records"] = args.physical_records
     return cls(**kwargs)
+
+
+def chaos_conf_kwargs(args: argparse.Namespace) -> dict:
+    """Translate ``--chaos-*`` flags into EngineConf keyword arguments."""
+    kwargs: dict = {}
+    for spec in getattr(args, "chaos_kill", None) or []:
+        node, sep, when = spec.partition("=")
+        if not sep or not node:
+            raise ConfigurationError(
+                f"--chaos-kill expects NODE=TIME, got {spec!r}"
+            )
+        try:
+            at = float(when)
+        except ValueError:
+            raise ConfigurationError(
+                f"--chaos-kill time must be a number, got {when!r}"
+            ) from None
+        kwargs.setdefault("node_failure_times", {})[node] = at
+    if getattr(args, "chaos_rate", None):
+        kwargs["node_failure_rate"] = args.chaos_rate
+    if getattr(args, "chaos_recovery", None):
+        kwargs["node_recovery_delay"] = args.chaos_recovery
+    return kwargs
 
 
 def make_runner(args: argparse.Namespace) -> ChopperRunner:
@@ -102,7 +127,9 @@ def cmd_run(args: argparse.Namespace, out) -> int:
     metrics = MetricsRegistry() if args.metrics else None
     ctx = AnalyticsContext(
         paper_cluster(),
-        EngineConf(default_parallelism=args.parallelism),
+        EngineConf(
+            default_parallelism=args.parallelism, **chaos_conf_kwargs(args)
+        ),
         metrics_registry=metrics,
     )
     tracer = None
@@ -177,6 +204,12 @@ def cmd_compare(args: argparse.Namespace, out) -> int:
     out.write("profiling...\n")
     runner.profile(p_grid=tuple(args.grid), scales=tuple(args.scales))
     runner.train()
+    chaos = chaos_conf_kwargs(args)
+    if chaos:
+        # Chaos applies to the measured head-to-head runs only; the
+        # profiling sweep above stays failure-free so the trained models
+        # see clean observations.
+        runner.base_conf = replace(runner.base_conf, **chaos)
     vanilla, chopper = runner.compare(mode=args.mode)
     if runner.tracer is not None:
         runner.tracer.save(args.trace)
@@ -200,6 +233,18 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
                         help="write a Chrome-trace JSON of the run(s)")
     parser.add_argument("--metrics", default=None, metavar="PATH",
                         help="write a metrics-registry JSON snapshot")
+
+
+def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--chaos-kill", action="append", default=None,
+                        metavar="NODE=TIME",
+                        help="kill worker NODE at simulated TIME seconds "
+                             "(repeatable)")
+    parser.add_argument("--chaos-rate", type=float, default=None,
+                        help="seeded per-worker failure probability")
+    parser.add_argument("--chaos-recovery", type=float, default=None,
+                        metavar="SECONDS",
+                        help="dead nodes rejoin after this many seconds")
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -233,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--gantt", action="store_true",
                        help="print an ASCII task timeline after the run")
     _add_obs_args(p_run)
+    _add_chaos_args(p_run)
 
     p_report = sub.add_parser("report", help="render a history file")
     p_report.add_argument("history", help="history JSONL produced by run --history")
@@ -257,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--scales", type=float, nargs="+", default=[0.33, 1.0])
     p_cmp.add_argument("--mode", choices=("global", "per-stage"), default="global")
     _add_obs_args(p_cmp)
+    _add_chaos_args(p_cmp)
     return parser
 
 

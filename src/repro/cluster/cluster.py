@@ -54,6 +54,9 @@ class Cluster:
                 return node
         raise ConfigurationError(f"no worker named {name!r}")
 
+    def has_worker(self, name: str) -> bool:
+        return any(node.name == name for node in self.workers)
+
 
 def paper_cluster(executor_memory: float = 40.0 * GB) -> Cluster:
     """The CHOPPER paper's 6-node heterogeneous testbed (§II-B)."""

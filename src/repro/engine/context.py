@@ -10,7 +10,7 @@ via the listener bus (the statistics collector).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.cluster.cluster import Cluster, paper_cluster
 from repro.common.errors import ConfigurationError
@@ -59,6 +59,24 @@ class EngineConf:
     speculation: bool = False
     speculation_multiplier: float = 1.5
     speculation_quantile: float = 0.75
+    # --- Node-loss chaos (the paper's future-work failure question) ---
+    # Deterministic injection: worker name -> absolute simulated time at
+    # which the node dies (its executor stops, running attempts fail,
+    # its shuffle outputs and cached blocks are discarded).
+    node_failure_times: Optional[Dict[str, float]] = None
+    # Seeded random injection: each worker independently dies with this
+    # probability, at a seeded time within `node_failure_window` seconds.
+    node_failure_rate: float = 0.0
+    node_failure_window: float = 30.0
+    # > 0: a dead node's cores rejoin the pool after this many seconds
+    # (a fresh executor — its lost blocks stay lost). 0 = never.
+    node_recovery_delay: float = 0.0
+    # Lineage recovery bounds: total runs of one map stage (first run +
+    # fetch-failure resubmissions) before aborting the job, and how long
+    # the DAG scheduler waits to batch concurrent fetch failures before
+    # resubmitting (Spark's resubmit delay).
+    max_stage_attempts: int = 4
+    stage_resubmit_delay: float = 0.05
     # Keys sampled per partition when building range partitioners.
     range_sample_per_partition: int = 20
     # Simulated driver-side cost of a range-bounds sampling pass.
@@ -70,6 +88,21 @@ class EngineConf:
             raise ConfigurationError("default_parallelism must be >= 1")
         if not 0.0 <= self.task_failure_rate < 1.0:
             raise ConfigurationError("task_failure_rate must be in [0, 1)")
+        if not 0.0 <= self.node_failure_rate <= 1.0:
+            raise ConfigurationError("node_failure_rate must be in [0, 1]")
+        if self.node_failure_rate > 0 and self.node_failure_window <= 0:
+            raise ConfigurationError("node_failure_window must be > 0")
+        for name, when in (self.node_failure_times or {}).items():
+            if when < 0:
+                raise ConfigurationError(
+                    f"node_failure_times[{name!r}] must be >= 0 (got {when})"
+                )
+        if self.node_recovery_delay < 0:
+            raise ConfigurationError("node_recovery_delay must be >= 0")
+        if self.max_stage_attempts < 1:
+            raise ConfigurationError("max_stage_attempts must be >= 1")
+        if self.stage_resubmit_delay < 0:
+            raise ConfigurationError("stage_resubmit_delay must be >= 0")
 
 
 class Broadcast:

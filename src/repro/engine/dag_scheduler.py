@@ -21,9 +21,9 @@ Spark configuration file before a stage is executed"):
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
 
-from repro.common.errors import SchedulingError
+from repro.common.errors import FetchFailure, SchedulingError, StageAbortedError
 from repro.engine.dependencies import NarrowDependency, ShuffleDependency
 from repro.engine.listener import JobStats, StageStats
 from repro.engine.shuffled import CogroupRDD, ShuffledRDD
@@ -50,6 +50,7 @@ class StageRun:
         self.result_fn = result_fn
         self.tasks: List[Task] = []
         self.results: Dict[int, Any] = {}
+        self.completed_partitions: Set[int] = set()
         self._remaining = 0
         self._on_complete = on_complete
 
@@ -58,6 +59,11 @@ class StageRun:
         self._remaining = len(tasks)
 
     def task_finished(self, task: Task, metrics, result: Any) -> None:
+        if task.partition in self.completed_partitions:
+            # A parked copy of a task whose speculative sibling already
+            # won must not double-complete the partition.
+            return
+        self.completed_partitions.add(task.partition)
         self.stats.tasks.append(metrics)
         self.stats.input_bytes += (
             metrics.input_bytes + metrics.cache_read_bytes + metrics.shuffle_read
@@ -91,6 +97,19 @@ class DAGScheduler:
         self.ctx = ctx
         self._completed_shuffles: Set[int] = set()
         self._job: Optional[_JobState] = None
+        # Lineage recovery (node loss): the map stage behind each shuffle
+        # id, reduce tasks parked on a fetch failure awaiting the rebuild,
+        # and shuffle ids with a resubmission already scheduled.
+        self._shuffle_stages: Dict[int, Stage] = {}
+        self._parked: Dict[int, List[Tuple[StageRun, Task]]] = {}
+        self._resubmitting: Set[int] = set()
+        # Diagnostics, mirrored into the metrics registry (tests assert
+        # attribute and counter never drift).
+        self.fetch_failures = 0
+        self.stage_resubmissions = 0
+        registry = ctx.obs.metrics
+        self._m_fetch_failures = registry.counter("scheduler.fetch_failures")
+        self._m_resubmissions = registry.counter("scheduler.stage_resubmissions")
 
     # ------------------------------------------------------------------
     # Job entry point
@@ -117,6 +136,7 @@ class DAGScheduler:
         self._job = job
         self._result_fn = result_fn
         try:
+            self.ctx.task_scheduler.arm_chaos()
             self._submit_stage(final_stage)
             self.ctx.sim.run()
             if not job.done:
@@ -125,6 +145,7 @@ class DAGScheduler:
                     f"stages still waiting"
                 )
         finally:
+            self.ctx.task_scheduler.disarm_chaos()
             self._job = None
         job.stats.completed_at = self.ctx.sim.now
         self.ctx.job_stats.append(job.stats)
@@ -199,6 +220,7 @@ class DAGScheduler:
             if dep.shuffle_id in self._completed_shuffles:
                 stage.completed = True
             stage_by_shuffle[dep.shuffle_id] = stage
+            self._shuffle_stages[dep.shuffle_id] = stage
             return stage
 
         return Stage(
@@ -222,7 +244,13 @@ class DAGScheduler:
             return
         self._run_stage(stage)
 
-    def _run_stage(self, stage: Stage) -> None:
+    def _run_stage(
+        self,
+        stage: Stage,
+        partitions: Optional[List[int]] = None,
+        attempt: int = 0,
+    ) -> None:
+        """Launch a stage — all partitions, or (on resubmission) a subset."""
         job = self._job
         assert job is not None
         job.running.add(stage.stage_id)
@@ -255,13 +283,15 @@ class DAGScheduler:
                 d.user_fixed for d in stage.incoming_shuffle_deps()
             ),
             source_signatures=self._source_signatures(stage),
+            attempt=attempt,
         )
         result_fn = self._result_fn if stage.kind == RESULT else None
         run = StageRun(stage, stats, result_fn, self._on_stage_complete)
+        indices = partitions if partitions is not None else range(stage.num_tasks)
         run.set_tasks(
             [
                 Task(stage, i, preferred_nodes=self._task_preferences(stage, i))
-                for i in range(stage.num_tasks)
+                for i in indices
             ]
         )
         self.ctx.listener_bus.stage_submitted(stats)
@@ -294,10 +324,95 @@ class DAGScheduler:
 
         if stage.kind == SHUFFLE_MAP:
             assert stage.shuffle_dep is not None
-            self._completed_shuffles.add(stage.shuffle_dep.shuffle_id)
+            shuffle_id = stage.shuffle_dep.shuffle_id
+            self._completed_shuffles.add(shuffle_id)
+            self._requeue_parked(shuffle_id)
             self._wake_waiting()
         else:
             job.results = [run.results[i] for i in range(stage.num_tasks)]
+            # The job is done; cancel chaos events still in the heap so a
+            # kill timed after the last task cannot drag the clock (and
+            # the job's wall time) out to the chaos schedule. Unfired
+            # failures re-arm at the next job.
+            self.ctx.task_scheduler.disarm_chaos()
+
+    # ------------------------------------------------------------------
+    # Lineage recovery (fetch failures after node loss)
+    # ------------------------------------------------------------------
+
+    def handle_fetch_failure(
+        self, stage_run: StageRun, task: Task, failure: FetchFailure
+    ) -> None:
+        """A reduce task found its map inputs gone: park it, rebuild them.
+
+        Called by the task scheduler. The task waits (parked, off the
+        queue) while the parent map stage re-runs for exactly the lost
+        map partitions; concurrent failures of the same shuffle batch
+        into one resubmission after ``stage_resubmit_delay``.
+        """
+        self.fetch_failures += 1
+        self._m_fetch_failures.inc()
+        now = self.ctx.sim.now
+        self.ctx.obs.span(
+            "fetch-failure", "chaos", now, now,
+            shuffle_id=failure.shuffle_id,
+            stage=stage_run.stats.name,
+            partition=task.partition,
+            lost_node=failure.node,
+            lost_maps=len(failure.map_ids),
+        )
+        task.attempt += 1
+        self._parked.setdefault(failure.shuffle_id, []).append((stage_run, task))
+        if failure.shuffle_id not in self._resubmitting:
+            self._resubmitting.add(failure.shuffle_id)
+            self.ctx.sim.schedule(
+                self.ctx.conf.stage_resubmit_delay,
+                self._resubmit_map_stage,
+                failure.shuffle_id,
+            )
+
+    def _resubmit_map_stage(self, shuffle_id: int) -> None:
+        stage = self._shuffle_stages[shuffle_id]
+        missing = self.ctx.shuffle_manager.missing_map_ids(shuffle_id)
+        if not missing:
+            # Rebuilt in the meantime (e.g. by a speculative map attempt
+            # landing after the loss): just release the parked tasks.
+            self._requeue_parked(shuffle_id)
+            return
+        stage.attempts += 1
+        if stage.attempts >= self.ctx.conf.max_stage_attempts:
+            raise StageAbortedError(
+                f"stage {stage.name} resubmitted {stage.attempts} times "
+                f"(max_stage_attempts={self.ctx.conf.max_stage_attempts}); "
+                f"aborting job"
+            )
+        stage.completed = False
+        self._completed_shuffles.discard(shuffle_id)
+        self.stage_resubmissions += 1
+        self._m_resubmissions.inc()
+        now = self.ctx.sim.now
+        self.ctx.obs.span(
+            "stage-resubmit", "chaos", now, now,
+            shuffle_id=shuffle_id,
+            stage=stage.name,
+            missing_maps=len(missing),
+            attempt=stage.attempts,
+        )
+        self._run_stage(stage, partitions=missing, attempt=stage.attempts)
+
+    def _requeue_parked(self, shuffle_id: int) -> None:
+        """Release reduce tasks parked on ``shuffle_id`` back to the queue."""
+        self._resubmitting.discard(shuffle_id)
+        parked = self._parked.pop(shuffle_id, None)
+        if not parked:
+            return
+        by_run: Dict[int, Tuple[StageRun, List[Task]]] = {}
+        for run, task in parked:
+            if task.partition in run.completed_partitions:
+                continue
+            by_run.setdefault(id(run), (run, []))[1].append(task)
+        for run, tasks in by_run.values():
+            self.ctx.task_scheduler.submit_tasks(run, tasks)
 
     def _wake_waiting(self) -> None:
         job = self._job

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, List, Tuple
 
-from repro.common.errors import SchedulingError
+from repro.common.errors import FetchFailure, SchedulingError
 from repro.common.sizing import estimate_size
 from repro.engine.costmodel import CostModel, TaskCostBreakdown
 from repro.engine.stage import RESULT, SHUFFLE_MAP, Stage
@@ -39,15 +39,21 @@ class TaskRunner:
         """Run one task on ``node``; returns (cost breakdown, ctx, result)."""
         tctx = TaskContext(node=node.name, task_index=task.partition)
         metrics = self.ctx.obs.metrics
-        if stage.kind == SHUFFLE_MAP:
-            result = self._run_map_task(stage, task.partition, tctx)
-            metrics.counter("executor.map_tasks", node=node.name).inc()
-        elif stage.kind == RESULT:
-            records = stage.rdd.materialize(task.partition, tctx)
-            result = result_fn(task.partition, records) if result_fn else records
-            metrics.counter("executor.result_tasks", node=node.name).inc()
-        else:  # pragma: no cover - defensive
-            raise SchedulingError(f"unknown stage kind {stage.kind!r}")
+        try:
+            if stage.kind == SHUFFLE_MAP:
+                result = self._run_map_task(stage, task.partition, tctx)
+                metrics.counter("executor.map_tasks", node=node.name).inc()
+            elif stage.kind == RESULT:
+                records = stage.rdd.materialize(task.partition, tctx)
+                result = result_fn(task.partition, records) if result_fn else records
+                metrics.counter("executor.result_tasks", node=node.name).inc()
+            else:  # pragma: no cover - defensive
+                raise SchedulingError(f"unknown stage kind {stage.kind!r}")
+        except FetchFailure:
+            # Shuffle inputs lost to a dead node; the task scheduler
+            # hands the task to the DAG scheduler for lineage recovery.
+            metrics.counter("executor.fetch_failures", node=node.name).inc()
+            raise
         if tctx.cache_read_bytes:
             metrics.counter("cache.hits", node=node.name).inc()
             metrics.counter("cache.read_bytes", node=node.name).inc(

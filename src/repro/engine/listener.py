@@ -66,6 +66,10 @@ class StageStats:
     # Signatures of source RDDs in this stage's pipeline: stages sharing a
     # source share its partition granularity (Algorithm 3 source groups).
     source_signatures: List[str] = field(default_factory=list)
+    # > 0: a partial re-run of the stage after a fetch failure (lineage
+    # recovery), covering only the lost map partitions — not a clean
+    # observation of the stage at its partition count.
+    attempt: int = 0
 
     @property
     def duration(self) -> float:

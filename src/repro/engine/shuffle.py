@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from repro.common.errors import ShuffleError
+from repro.common.errors import FetchFailure, ShuffleError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import MetricsRegistry
@@ -57,6 +57,12 @@ class _ShuffleState:
     # blocks[map_id][reduce_id] -> ShuffleBlock (only non-empty stored)
     blocks: Dict[int, Dict[int, ShuffleBlock]] = field(default_factory=dict)
     bytes_written: float = 0.0
+    # Node that produced each registered map output (one per map task).
+    map_nodes: Dict[int, str] = field(default_factory=dict)
+    # Map outputs discarded by a node loss: map_id -> the dead node.
+    # Non-empty means fetches must fail until a resubmitted map stage
+    # re-registers the lost partitions.
+    lost: Dict[int, str] = field(default_factory=dict)
 
 
 class ShuffleManager:
@@ -78,7 +84,22 @@ class ShuffleManager:
             self._write_total = metrics.counter("shuffle.write_bytes")
 
     def register(self, shuffle_id: int, num_maps: int, num_reduces: int) -> None:
-        """(Re-)declare a shuffle's dimensions before its map stage runs."""
+        """Declare a shuffle's dimensions before its map stage runs.
+
+        Re-registration with identical dimensions is a no-op, so a
+        resubmitted map stage (lineage recovery) cannot orphan the
+        surviving map outputs. Changing the dimensions of a live shuffle
+        is an error — it would silently invalidate every stored block.
+        """
+        state = self._shuffles.get(shuffle_id)
+        if state is not None:
+            if (state.num_maps, state.num_reduces) == (num_maps, num_reduces):
+                return
+            raise ShuffleError(
+                f"shuffle {shuffle_id} re-registered with different dimensions:"
+                f" {state.num_maps}x{state.num_reduces}"
+                f" -> {num_maps}x{num_reduces}"
+            )
         self._shuffles[shuffle_id] = _ShuffleState(num_maps, num_reduces)
 
     def is_registered(self, shuffle_id: int) -> bool:
@@ -123,6 +144,9 @@ class ShuffleManager:
             written += nbytes
         state.blocks[map_id] = blocks
         state.bytes_written += written
+        state.map_nodes[map_id] = node
+        # A rebuilt output heals the shuffle for this map partition.
+        state.lost.pop(map_id, None)
         if self._metrics is not None and written:
             # Re-executed (retried / speculative) maps physically write
             # again, so the counter honestly includes the duplicate I/O
@@ -134,8 +158,16 @@ class ShuffleManager:
     def fetch(
         self, shuffle_id: int, reduce_id: int, dst_node: str
     ) -> Tuple[List, FetchStats]:
-        """Collect all records for ``reduce_id``, with byte accounting."""
+        """Collect all records for ``reduce_id``, with byte accounting.
+
+        Raises :class:`FetchFailure` when any of the shuffle's map
+        outputs were discarded by a node loss — never silently serves a
+        partial view of the data.
+        """
         state = self._state(shuffle_id)
+        if state.lost:
+            map_ids = sorted(state.lost)
+            raise FetchFailure(shuffle_id, map_ids, state.lost[map_ids[0]])
         if len(state.blocks) < state.num_maps:
             raise ShuffleError(
                 f"shuffle {shuffle_id}: fetch before all map outputs ready "
@@ -175,6 +207,35 @@ class ShuffleManager:
             if block is not None:
                 by_node[block.node] = by_node.get(block.node, 0.0) + block.nbytes
         return by_node
+
+    def invalidate_node(self, node: str) -> Dict[int, List[int]]:
+        """Discard every map output produced on ``node`` (executor loss).
+
+        Returns ``{shuffle_id: [lost map ids]}``. The discarded bytes
+        leave the registry totals (the physical write already happened
+        and stays in the metrics counters); subsequent fetches raise
+        :class:`FetchFailure` until a resubmitted map stage rebuilds the
+        lost partitions.
+        """
+        lost: Dict[int, List[int]] = {}
+        for shuffle_id, state in self._shuffles.items():
+            gone = sorted(
+                map_id
+                for map_id, host in state.map_nodes.items()
+                if host == node
+            )
+            for map_id in gone:
+                blocks = state.blocks.pop(map_id, {})
+                state.bytes_written -= sum(b.nbytes for b in blocks.values())
+                del state.map_nodes[map_id]
+                state.lost[map_id] = node
+            if gone:
+                lost[shuffle_id] = gone
+        return lost
+
+    def missing_map_ids(self, shuffle_id: int) -> List[int]:
+        """Map partitions lost to node failure and not yet rebuilt."""
+        return sorted(self._state(shuffle_id).lost)
 
     def bytes_written(self, shuffle_id: int) -> float:
         return self._state(shuffle_id).bytes_written

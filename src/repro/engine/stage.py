@@ -37,6 +37,9 @@ class Stage:
         self.kind = kind
         self.shuffle_dep = shuffle_dep  # the dep this stage WRITES (map stages)
         self.completed = False
+        # Fetch-failure resubmissions of this stage (lineage recovery);
+        # bounded by EngineConf.max_stage_attempts.
+        self.attempts = 0
 
     @property
     def num_tasks(self) -> int:

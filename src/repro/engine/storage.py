@@ -59,15 +59,18 @@ class BlockStore:
         and was not cached.
         """
         key = (rdd_id, split)
-        old = self._index.get(key)
-        if old is not None:
-            self._remove(key, old)
         capacity = (
             self._capacity_for(node) if self._capacity_for is not None else None
         )
+        # Capacity check BEFORE touching any existing copy: a block too
+        # big to ever fit must leave the previously cached version
+        # intact, not drop it and then refuse the replacement.
+        if capacity is not None and nbytes > capacity:
+            return False
+        old = self._index.get(key)
+        if old is not None:
+            self._remove(key, old)
         if capacity is not None:
-            if nbytes > capacity:
-                return False
             lru = self._by_node.get(node)
             while (
                 lru and self._node_bytes.get(node, 0.0) + nbytes > capacity
@@ -104,6 +107,17 @@ class BlockStore:
             self._remove(key, self._index[key])
         return len(keys)
 
+    def evict_node(self, node: str) -> int:
+        """Drop every block cached on ``node`` (executor loss).
+
+        Returns the number of blocks dropped. Later reads of the dropped
+        partitions miss and recompute through the lineage.
+        """
+        keys = list(self._by_node.get(node, ()))
+        for key in keys:
+            self._remove(key, self._index[key])
+        return len(keys)
+
     def bytes_on_node(self, node: str) -> float:
         return self._node_bytes.get(node, 0.0)
 
@@ -117,5 +131,13 @@ class BlockStore:
 
     def _remove(self, key: Tuple[int, int], block: CachedBlock) -> None:
         del self._index[key]
-        del self._by_node[block.node][key]
-        self._node_bytes[block.node] -= block.nbytes
+        node_blocks = self._by_node[block.node]
+        del node_blocks[key]
+        if not node_blocks:
+            # Drop empty per-node state so totals stay exactly 0.0 after
+            # full eviction instead of accumulating float drift.
+            del self._by_node[block.node]
+            self._node_bytes.pop(block.node, None)
+        else:
+            remaining = self._node_bytes.get(block.node, 0.0) - block.nbytes
+            self._node_bytes[block.node] = max(0.0, remaining)

@@ -15,6 +15,16 @@ task partway through its simulated run and requeues it, Spark-style, up
 to ``max_task_attempts`` — the knob behind the paper's future-work
 question about behaviour under failures.
 
+Node-loss chaos (``EngineConf.node_failure_times`` /
+``node_failure_rate``) goes further: at a configured or seeded
+simulated time an entire executor dies — its running attempts are
+requeued (Spark's "Resubmitted", not counted against the task's
+failure budget), its cores leave the pool (returning after
+``node_recovery_delay`` if set), its cached blocks are evicted and its
+shuffle map outputs invalidated, so later fetches raise
+:class:`~repro.common.errors.FetchFailure` and the DAG scheduler runs
+the lineage-recovery path.
+
 With ``EngineConf.copartition_scheduling`` enabled (CHOPPER mode), task
 preferences additionally rank nodes by how many input bytes (map outputs
 of all incoming shuffles) already sit there, so co-partitioned join sides
@@ -28,7 +38,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Deque, Dict, Optional
 
-from repro.common.errors import SchedulingError
+from repro.common.errors import ConfigurationError, FetchFailure, SchedulingError
 from repro.common.rng import derive_seed, seeded_rng
 from repro.engine.executor import TaskRunner
 from repro.engine.listener import TaskMetrics
@@ -45,6 +55,7 @@ class _ExecutorState:
     spec: "NodeSpec"
     free_cores: int
     running: int = 0
+    alive: bool = True
 
 
 @dataclass
@@ -94,6 +105,15 @@ class TaskScheduler:
         self.speculative_launches = 0
         self.speculative_wins = 0
         self.task_retries = 0
+        self.nodes_lost = 0
+        # Chaos bookkeeping: pending kill/recovery events (armed per job,
+        # cancelled between jobs so a late failure time never drags the
+        # clock past a finished job), nodes already killed once, and the
+        # absolute recovery deadline of each currently dead node.
+        self._chaos_events: list = []
+        self._killed_nodes: set = set()
+        self._node_recover_at: Dict[str, float] = {}
+        self._planned_failures = self._plan_node_failures()
         registry = ctx.obs.metrics
         self._m_tasks_launched = registry.counter("scheduler.tasks_launched")
         self._m_tasks_completed = registry.counter("scheduler.tasks_completed")
@@ -103,6 +123,9 @@ class TaskScheduler:
         self._m_spec_wins = registry.counter("scheduler.speculative_wins")
         self._m_queue_wait = registry.histogram("scheduler.queue_wait_seconds")
         self._m_queue_depth = registry.gauge("scheduler.queue_depth")
+        self._m_nodes_lost = registry.counter("scheduler.nodes_lost")
+        self._m_nodes_recovered = registry.counter("scheduler.nodes_recovered")
+        self._m_node_lost_tasks = registry.counter("scheduler.node_lost_tasks")
 
     # ------------------------------------------------------------------
     # Submission
@@ -116,15 +139,24 @@ class TaskScheduler:
         start. With thousands of tasks this serial ramp is a real cost —
         the paper's 2000-partition pathology.
         """
+        self.submit_tasks(stage_run, stage_run.tasks)
+
+    def submit_tasks(self, stage_run: "StageRun", tasks) -> None:
+        """Queue a subset of a stage's tasks (stage start or recovery).
+
+        The DAG scheduler uses this directly to requeue reduce tasks
+        parked on a fetch failure once their parent's lost map outputs
+        have been rebuilt.
+        """
         interval = self.ctx.conf.cost.driver_dispatch_interval
         if interval <= 0:
-            for task in stage_run.tasks:
+            for task in tasks:
                 queued = _QueuedTask(stage_run=stage_run, task=task)
                 queued.enqueued_at = self.ctx.sim.now
                 self._queue.append(queued)
             self._dispatch()
             return
-        for i, task in enumerate(stage_run.tasks):
+        for i, task in enumerate(tasks):
             self.ctx.sim.schedule(
                 i * interval, self._enqueue, _QueuedTask(stage_run=stage_run, task=task)
             )
@@ -186,7 +218,7 @@ class TaskScheduler:
     def _match_preference(self, task: Task) -> Optional[_ExecutorState]:
         for pref in task.preferred_nodes:
             executor = self._executors.get(pref)
-            if executor is not None and executor.free_cores > 0:
+            if executor is not None and executor.alive and executor.free_cores > 0:
                 return executor
         return None
 
@@ -198,7 +230,7 @@ class TaskScheduler:
             if name == exclude:
                 continue
             executor = self._executors[name]
-            if executor.free_cores <= 0:
+            if not executor.alive or executor.free_cores <= 0:
                 continue
             if best is None or executor.free_cores > best.free_cores:
                 best = executor
@@ -238,9 +270,25 @@ class TaskScheduler:
             )
             return
 
-        breakdown, tctx, result = self.runner.execute(
-            stage_run.stage, task, executor.spec, stage_run.result_fn
-        )
+        try:
+            breakdown, tctx, result = self.runner.execute(
+                stage_run.stage, task, executor.spec, stage_run.result_fn
+            )
+        except FetchFailure as failure:
+            # The task's shuffle inputs died with a node. Free the core,
+            # then hand the task to the DAG scheduler: it resubmits the
+            # parent map stage for the lost partitions and requeues this
+            # task once they are rebuilt.
+            self._release(attempt)
+            queued.attempts.remove(attempt)
+            self._emit_task_span(queued, attempt, "fetch-failed")
+            if queued.attempts:
+                # A sibling attempt launched before the loss already has
+                # its data; let it win.
+                return
+            self._running_tasks.remove(queued)
+            self.ctx.dag_scheduler.handle_fetch_failure(stage_run, task, failure)
+            return
         if self.ctx.conf.cost.network_contention:
             # The NIC is shared: remote fetch slows with the node's
             # concurrency at launch (a coarse fair-share model).
@@ -425,6 +473,141 @@ class TaskScheduler:
         )
         # Die somewhere in the first few seconds of the attempt.
         return float(0.1 + rng.random() * 2.0)
+
+    # ------------------------------------------------------------------
+    # Node-loss chaos
+    # ------------------------------------------------------------------
+
+    def _plan_node_failures(self) -> Dict[str, float]:
+        """Resolve chaos config into {node: absolute failure time}.
+
+        Deterministic times come straight from ``node_failure_times``;
+        ``node_failure_rate`` additionally rolls a seeded die per worker
+        for a failure somewhere inside ``node_failure_window``.
+        """
+        conf = self.ctx.conf
+        times: Dict[str, float] = {}
+        for name, when in (conf.node_failure_times or {}).items():
+            if name not in self._executors:
+                raise ConfigurationError(
+                    f"node_failure_times names unknown worker {name!r}"
+                )
+            times[name] = float(when)
+        if conf.node_failure_rate > 0:
+            for name in sorted(self._executors):
+                if name in times:
+                    continue
+                rng = seeded_rng(derive_seed(conf.seed, "node-failure", name))
+                if rng.random() < conf.node_failure_rate:
+                    times[name] = float(rng.random() * conf.node_failure_window)
+        if (
+            times
+            and len(times) >= len(self._executors)
+            and conf.node_recovery_delay <= 0
+        ):
+            raise ConfigurationError(
+                "node failure plan kills every worker permanently; "
+                "set node_recovery_delay or spare at least one node"
+            )
+        return times
+
+    def arm_chaos(self) -> None:
+        """Schedule this job's pending node failures (and recoveries).
+
+        Called by the DAG scheduler at job start. Failure times are
+        absolute simulated times, so a node whose time already passed in
+        an earlier job dies immediately; nodes already killed once stay
+        killed (or recover on their own schedule).
+        """
+        if not self._planned_failures and not self._node_recover_at:
+            return
+        sim = self.ctx.sim
+        now = sim.now
+        for name, when in sorted(self._planned_failures.items()):
+            if name in self._killed_nodes:
+                continue
+            self._chaos_events.append(
+                sim.schedule_at(max(now, when), self._fail_node, name)
+            )
+        for name, when in sorted(self._node_recover_at.items()):
+            if not self._executors[name].alive:
+                self._chaos_events.append(
+                    sim.schedule_at(max(now, when), self._recover_node, name)
+                )
+
+    def disarm_chaos(self) -> None:
+        """Cancel pending chaos events at job end.
+
+        ``sim.run()`` drains the whole event heap, so a failure timed
+        after the job's last task would otherwise drag the clock (and
+        the job's wall time) out to the chaos schedule.
+        """
+        for event in self._chaos_events:
+            event.cancel()
+        self._chaos_events.clear()
+
+    def _fail_node(self, name: str) -> None:
+        """Kill one executor: fail its attempts, drop its state, its cores."""
+        executor = self._executors[name]
+        if not executor.alive:
+            return
+        executor.alive = False
+        self._killed_nodes.add(name)
+        self.nodes_lost += 1
+        self._m_nodes_lost.inc()
+        now = self.ctx.sim.now
+        # Every attempt running on the dead node dies with it. The task
+        # is requeued without charging its failure budget — Spark's
+        # "Resubmitted" reason, distinct from a task *failure*.
+        for queued in list(self._running_tasks):
+            victims = [a for a in queued.attempts if a.executor is executor]
+            for attempt in victims:
+                if attempt.event is not None:
+                    attempt.event.cancel()
+                queued.attempts.remove(attempt)
+                self._release(attempt)
+                self._record_busy_span(attempt)
+                self._emit_task_span(queued, attempt, "node-lost")
+                self._m_node_lost_tasks.inc()
+            if victims and not queued.attempts:
+                self._running_tasks.remove(queued)
+                queued.task.attempt += 1
+                queued.speculated = False
+                queued.enqueued_at = now
+                self._queue.append(queued)
+        executor.free_cores = 0
+        executor.running = 0
+        lost = self.ctx.shuffle_manager.invalidate_node(name)
+        evicted = self.ctx.block_store.evict_node(name)
+        self.ctx.obs.span(
+            "node-lost", "chaos", now, now,
+            node=None, victim=name,
+            shuffles_hit=len(lost), cached_blocks_lost=evicted,
+        )
+        if self.ctx.conf.node_recovery_delay > 0:
+            recover_at = now + self.ctx.conf.node_recovery_delay
+            self._node_recover_at[name] = recover_at
+            self._chaos_events.append(
+                self.ctx.sim.schedule_at(recover_at, self._recover_node, name)
+            )
+        self._dispatch()
+
+    def _recover_node(self, name: str) -> None:
+        """Bring a dead node's cores back as a fresh, empty executor."""
+        executor = self._executors[name]
+        if executor.alive:
+            return
+        executor.alive = True
+        executor.free_cores = executor.spec.cores
+        executor.running = 0
+        self._node_recover_at.pop(name, None)
+        self._m_nodes_recovered.inc()
+        now = self.ctx.sim.now
+        self.ctx.obs.span("node-recovered", "chaos", now, now, node=None, victim=name)
+        self._dispatch()
+
+    def node_alive(self, name: str) -> bool:
+        return self._executors[name].alive
 
     # ------------------------------------------------------------------
     # Tracing

@@ -29,9 +29,16 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 DRIVER_PID = 1
 
 # Driver-side lanes by span category (tid 0 is reserved for metadata).
-_DRIVER_TIDS = {"run": 1, "job": 2, "stage": 3, "chopper": 4, "chopper.optimizer": 4}
-_DRIVER_TID_NAMES = {1: "runs", 2: "jobs", 3: "stages", 4: "chopper"}
-_DRIVER_TID_FALLBACK = 5
+_DRIVER_TIDS = {
+    "run": 1,
+    "job": 2,
+    "stage": 3,
+    "chopper": 4,
+    "chopper.optimizer": 4,
+    "chaos": 5,
+}
+_DRIVER_TID_NAMES = {1: "runs", 2: "jobs", 3: "stages", 4: "chopper", 5: "chaos"}
+_DRIVER_TID_FALLBACK = 6
 
 
 @dataclass

@@ -20,11 +20,21 @@ class TestRegistry:
         with pytest.raises(ShuffleError):
             mgr.fetch(99, 0, "a")
 
-    def test_reregister_resets(self, mgr):
+    def test_reregister_same_dims_is_noop(self, mgr):
+        """Resubmitted map stages re-register; stored blocks must survive."""
         mgr.register(1, 1, 2)
         put(mgr, 1, 0, "a", {0: ([("k", 1)], 100.0)})
         mgr.register(1, 1, 2)
-        assert mgr.bytes_written(1) == 0.0
+        assert mgr.bytes_written(1) == pytest.approx(110.0)
+        records, _stats = mgr.fetch(1, 0, "a")
+        assert records == [("k", 1)]
+
+    def test_reregister_different_dims_raises(self, mgr):
+        mgr.register(1, 2, 2)
+        with pytest.raises(ShuffleError, match="different dimensions"):
+            mgr.register(1, 2, 4)
+        with pytest.raises(ShuffleError, match="different dimensions"):
+            mgr.register(1, 3, 2)
 
     def test_out_of_range_map_id(self, mgr):
         mgr.register(1, 2, 2)
@@ -114,3 +124,66 @@ class TestReexecution:
         records, stats = mgr.fetch(1, 0, "b")
         assert records == [("k", 1)]
         assert stats.local_bytes == pytest.approx(110.0)
+
+    def test_rerun_on_different_node_moves_block(self, mgr):
+        """A map task re-run on another node relocates its output fully."""
+        mgr.register(1, 2, 1)
+        put(mgr, 1, 0, "a", {0: ([("x", 1)], 100.0)})
+        put(mgr, 1, 1, "c", {0: ([("y", 2)], 40.0)})
+        # Map 0 re-runs on node b (retry or speculation win there).
+        put(mgr, 1, 0, "b", {0: ([("x", 1)], 100.0)})
+        # Locality view reports the new node only — no ghost copy on a.
+        by_node = mgr.map_output_nodes(1, 0)
+        assert by_node == {"b": pytest.approx(110.0), "c": pytest.approx(50.0)}
+        assert mgr.bytes_written(1) == pytest.approx(110.0 + 50.0)
+        # Fetch accounting follows the block to its new home.
+        _records, stats = mgr.fetch(1, 0, "b")
+        assert stats.local_bytes == pytest.approx(110.0)
+        assert stats.remote_bytes_by_src == {"c": pytest.approx(50.0)}
+
+
+class TestNodeLoss:
+    def test_invalidate_node_reports_lost_maps(self, mgr):
+        mgr.register(1, 2, 1)
+        mgr.register(2, 1, 1)
+        put(mgr, 1, 0, "a", {0: ([("x", 1)], 100.0)})
+        put(mgr, 1, 1, "b", {0: ([("y", 2)], 40.0)})
+        put(mgr, 2, 0, "a", {0: ([("z", 3)], 10.0)})
+        lost = mgr.invalidate_node("a")
+        assert lost == {1: [0], 2: [0]}
+        assert mgr.missing_map_ids(1) == [0]
+        assert mgr.missing_map_ids(2) == [0]
+        # Surviving bytes only.
+        assert mgr.bytes_written(1) == pytest.approx(50.0)
+        assert mgr.bytes_written(2) == pytest.approx(0.0)
+
+    def test_invalidate_node_without_outputs_is_empty(self, mgr):
+        mgr.register(1, 1, 1)
+        put(mgr, 1, 0, "a", {0: ([("x", 1)], 1.0)})
+        assert mgr.invalidate_node("zz") == {}
+        assert mgr.missing_map_ids(1) == []
+
+    def test_fetch_after_loss_raises_typed_failure(self, mgr):
+        from repro.common.errors import FetchFailure
+
+        mgr.register(1, 2, 1)
+        put(mgr, 1, 0, "a", {0: ([("x", 1)], 100.0)})
+        put(mgr, 1, 1, "b", {0: ([("y", 2)], 40.0)})
+        mgr.invalidate_node("a")
+        with pytest.raises(FetchFailure) as exc_info:
+            mgr.fetch(1, 0, "b")
+        failure = exc_info.value
+        assert isinstance(failure, ShuffleError)
+        assert failure.shuffle_id == 1
+        assert failure.map_ids == [0]
+        assert failure.node == "a"
+
+    def test_rebuilt_output_heals_shuffle(self, mgr):
+        mgr.register(1, 2, 1)
+        put(mgr, 1, 0, "a", {0: ([("x", 1)], 100.0)})
+        put(mgr, 1, 1, "b", {0: ([("y", 2)], 40.0)})
+        mgr.invalidate_node("a")
+        put(mgr, 1, 0, "b", {0: ([("x", 1)], 100.0)})
+        assert mgr.missing_map_ids(1) == []
+        records, _stats = mgr.fetch(1, 0, "b")
+        assert records == [("x", 1), ("y", 2)]

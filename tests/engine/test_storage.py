@@ -62,6 +62,33 @@ def test_clear(store):
     assert store.get(1, 0) is None
 
 
+def test_total_bytes_exactly_zero_after_full_eviction(store):
+    """No float drift residue once every block is gone (regression).
+
+    Sizes chosen so naive subtraction leaves a tiny nonzero remainder.
+    """
+    sizes = [0.1, 0.2, 0.3, 1e9 + 0.7]
+    for i, nbytes in enumerate(sizes):
+        store.put(1, i, [], nbytes, "a")
+    assert store.evict_rdd(1) == len(sizes)
+    assert store.total_bytes() == 0.0
+    assert store.bytes_on_node("a") == 0.0
+
+
+def test_evict_node(store):
+    store.put(1, 0, [], 10.0, "a")
+    store.put(1, 1, [], 10.0, "a")
+    store.put(2, 0, [], 10.0, "b")
+    assert store.evict_node("a") == 2
+    assert not store.contains(1, 0)
+    assert not store.contains(1, 1)
+    assert store.contains(2, 0)
+    assert store.bytes_on_node("a") == 0.0
+    assert store.total_bytes() == 10.0
+    assert store.evict_node("a") == 0
+    assert store.evict_node("never-existed") == 0
+
+
 class TestLruEviction:
     def capacity_store(self, cap=100.0):
         return BlockStore(capacity_for=lambda node: cap)
@@ -88,6 +115,19 @@ class TestLruEviction:
         store = self.capacity_store(100.0)
         assert store.put(1, 0, ["x"], 500.0, "n") is False
         assert not store.contains(1, 0)
+        assert store.evictions == 0
+
+    def test_oversized_replacement_keeps_existing_block(self):
+        """Regression: the capacity check must run before dropping the
+        old copy — a rejected oversized replacement must not take the
+        previously cached version down with it."""
+        store = self.capacity_store(100.0)
+        assert store.put(1, 0, ["small"], 40.0, "n") is True
+        assert store.put(1, 0, ["huge"], 500.0, "n") is False
+        block = store.get(1, 0)
+        assert block is not None
+        assert block.records == ["small"]
+        assert store.bytes_on_node("n") == 40.0
         assert store.evictions == 0
 
     def test_per_node_capacities_independent(self):

@@ -86,6 +86,60 @@ class TestRunCommand:
         assert code == 0
 
 
+class TestChaosFlags:
+    WORKLOAD = (
+        "run", "wordcount",
+        "--virtual-gb", "1.0", "--physical-records", "400",
+        "--parallelism", "16",
+    )
+
+    def test_chaos_kill_run_succeeds(self, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        code, text, _ = run_cli(
+            *self.WORKLOAD,
+            "--chaos-kill", "C=0.2",
+            "--metrics", str(metrics_path),
+        )
+        assert code == 0
+        assert "total:" in text
+        snapshot = json.loads(metrics_path.read_text())
+        series = snapshot["counters"]["scheduler.nodes_lost"]
+        assert [s["value"] for s in series] == [1.0]
+
+    def test_chaos_results_match_failure_free_table(self):
+        code_a, plain, _ = run_cli(*self.WORKLOAD)
+        code_b, chaotic, _ = run_cli(
+            *self.WORKLOAD, "--chaos-kill", "C=0.2", "--chaos-recovery", "5.0"
+        )
+        assert code_a == code_b == 0
+        # Same stages at the same partition counts (partial recovery
+        # re-runs are excluded from the table); times may differ.
+        rows_of = lambda text: [  # noqa: E731
+            line.split()[:3] for line in text.splitlines()[1:]
+            if "shuffle_map" in line or "result" in line
+        ]
+        assert rows_of(plain) == rows_of(chaotic)
+
+    def test_chaos_kill_bad_syntax_one_line_error(self):
+        for bad in ("C", "=1.0", "C=abc"):
+            code, text, err = run_cli(*self.WORKLOAD, "--chaos-kill", bad)
+            assert code == 2
+            assert err.startswith("error: ")
+            assert err.count("\n") == 1
+
+    def test_chaos_kill_unknown_node_one_line_error(self):
+        code, _, err = run_cli(*self.WORKLOAD, "--chaos-kill", "Z=1.0")
+        assert code == 2
+        assert "unknown worker" in err
+
+    def test_chaos_rate_flag(self):
+        code, text, _ = run_cli(
+            *self.WORKLOAD, "--chaos-rate", "0.4", "--chaos-recovery", "2.0"
+        )
+        assert code == 0
+        assert "total:" in text
+
+
 class TestPipelineCommands:
     def test_profile_optimize_run_roundtrip(self, tmp_path):
         db_path = str(tmp_path / "db.json")
