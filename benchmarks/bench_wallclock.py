@@ -1,0 +1,181 @@
+"""Wall-clock benchmark: serial vs parallel vs vectorized execution.
+
+Times the same profiling sweep (the heaviest thing the repo does) under
+each physical-performance configuration and verifies the speedups are
+*free*: every configuration must produce byte-identical workload-DB
+contents and identical chosen (partitioner, P) configs. Divergence is a
+hard failure, not a footnote.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py          # full
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --tiny   # CI smoke
+
+Writes ``BENCH_wallclock.json`` (see ``--out``). Thread/process configs
+only pay off with real cores — ``cpu_count`` is recorded so a 1-core CI
+box reporting ~1x for them reads as expected, not broken. The
+vectorized-kernel speedup is core-count independent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.chopper import ChopperRunner
+from repro.chopper.workload_db import WorkloadDB
+from repro.engine import EngineConf
+from repro.workloads import KMeansWorkload, WordCountWorkload
+from repro.workloads.datagen import clear_block_cache
+
+# name -> (EngineConf overrides, process-pool jobs)
+CONFIGS = [
+    ("serial", dict(vectorized_kernels=False, physical_parallelism=1), 1),
+    ("threads4", dict(vectorized_kernels=False, physical_parallelism=4), 1),
+    ("procs4", dict(vectorized_kernels=False, physical_parallelism=1), 4),
+    ("vectorized", dict(vectorized_kernels=True, physical_parallelism=1), 1),
+    ("vectorized+threads4", dict(vectorized_kernels=True, physical_parallelism=4), 1),
+    ("vectorized+procs4", dict(vectorized_kernels=True, physical_parallelism=1), 4),
+]
+
+FULL_SWEEPS = {
+    "kmeans": dict(
+        factory=lambda: KMeansWorkload(physical_records=100_000),
+        parallelism=100, p_grid=[50, 100], kinds=["hash"], scales=[0.25],
+    ),
+    "wordcount": dict(
+        factory=lambda: WordCountWorkload(physical_records=300_000),
+        parallelism=100, p_grid=[50, 100], kinds=["hash", "range"],
+        scales=[0.25],
+    ),
+}
+
+TINY_SWEEPS = {
+    "kmeans": dict(
+        factory=lambda: KMeansWorkload(physical_records=4_000),
+        parallelism=16, p_grid=[8], kinds=["hash"], scales=[0.05],
+    ),
+    "wordcount": dict(
+        factory=lambda: WordCountWorkload(physical_records=4_000),
+        parallelism=16, p_grid=[8], kinds=["hash"], scales=[0.05],
+    ),
+}
+
+
+def run_config(sweep: dict, conf_kwargs: dict, jobs: int):
+    """One timed sweep; returns (seconds, db JSON bytes, chosen config)."""
+    conf = EngineConf(default_parallelism=sweep["parallelism"], **conf_kwargs)
+    runner = ChopperRunner(sweep["factory"](), base_conf=conf, db=WorkloadDB())
+    clear_block_cache()  # every config pays cold data generation
+    start = time.perf_counter()
+    runner.profile(
+        p_grid=sweep["p_grid"], kinds=sweep["kinds"], scales=sweep["scales"],
+        jobs=jobs,
+    )
+    elapsed = time.perf_counter() - start
+    runner.train()
+    chosen = runner.optimize(scale=max(sweep["scales"])).to_json()
+    fd, path = tempfile.mkstemp(suffix=".json")
+    os.close(fd)
+    try:
+        runner.db.save(path)
+        db_bytes = Path(path).read_text()
+    finally:
+        os.unlink(path)
+    return elapsed, db_bytes, chosen
+
+
+def bench_workload(name: str, sweep: dict) -> dict:
+    results: dict = {"configs": {}, "speedups": {}}
+    baseline_time = baseline_db = baseline_chosen = None
+    for config_name, conf_kwargs, jobs in CONFIGS:
+        elapsed, db_bytes, chosen = run_config(sweep, conf_kwargs, jobs)
+        if config_name == "serial":
+            baseline_time, baseline_db, baseline_chosen = (
+                elapsed, db_bytes, chosen,
+            )
+        identical = db_bytes == baseline_db and chosen == baseline_chosen
+        results["configs"][config_name] = {
+            "seconds": round(elapsed, 3),
+            "identical_to_serial": identical,
+        }
+        results["speedups"][config_name] = round(baseline_time / elapsed, 3)
+        marker = "" if identical else "  << DIVERGED"
+        print(
+            f"  {name:10s} {config_name:18s} {elapsed:8.2f}s"
+            f"  x{baseline_time / elapsed:5.2f}{marker}",
+            flush=True,
+        )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke: small sweeps, same identity checks")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="output JSON (default: repo root "
+                             "BENCH_wallclock.json)")
+    args = parser.parse_args(argv)
+    sweeps = TINY_SWEEPS if args.tiny else FULL_SWEEPS
+    out_path = Path(
+        args.out
+        or Path(__file__).resolve().parent.parent / "BENCH_wallclock.json"
+    )
+    payload = {
+        "mode": "tiny" if args.tiny else "full",
+        "cpu_count": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity") else os.cpu_count(),
+        "workloads": {},
+    }
+    print(f"wall-clock bench ({payload['mode']}, {payload['cpu_count']} cpus)")
+    for name, sweep in sweeps.items():
+        payload["workloads"][name] = bench_workload(name, sweep)
+    # Combined = all workloads back to back, the sweep a CHOPPER user
+    # actually runs; per-config total serial seconds over total seconds.
+    serial_total = sum(
+        wl["configs"]["serial"]["seconds"]
+        for wl in payload["workloads"].values()
+    )
+    payload["combined_speedups"] = {
+        config: round(
+            serial_total
+            / sum(
+                wl["configs"][config]["seconds"]
+                for wl in payload["workloads"].values()
+            ),
+            3,
+        )
+        for config, _, _ in CONFIGS
+    }
+    best = max(
+        speedup
+        for config, speedup in payload["combined_speedups"].items()
+        if config != "serial"
+    )
+    payload["best_speedup"] = best
+    for config, speedup in payload["combined_speedups"].items():
+        print(f"  combined   {config:18s} x{speedup:5.2f}")
+    diverged = [
+        (name, config)
+        for name, wl in payload["workloads"].items()
+        for config, result in wl["configs"].items()
+        if not result["identical_to_serial"]
+    ]
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"best speedup x{best:.2f} -> {out_path}")
+    if diverged:
+        print(f"FAIL: outputs diverged from serial: {diverged}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

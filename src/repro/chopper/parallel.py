@@ -1,0 +1,84 @@
+"""Process-pool fan-out for independent measured runs.
+
+The profiling sweep (and ``compare``'s head-to-head pair) is a set of
+completely independent simulations: each ``(scale, kind, P)`` test run
+builds its own :class:`~repro.engine.context.AnalyticsContext` and never
+reads another run's state. That makes them safe to farm out to worker
+*processes* — each worker replays one measured run exactly as the serial
+loop would have, returns the picklable :class:`RunRecord`, and the
+driver merges the records into the workload DB **in the serial loop's
+order**, so the DB contents (and every downstream model/optimizer
+decision) are bit-identical to a serial sweep.
+
+Run specs carry (workload, cluster factory, base conf, advisor spec)
+rather than live objects with context references; advisors are rebuilt
+worker-side from their constructor arguments. Anything unpicklable (a
+lambda cluster factory, a custom workload) makes the caller fall back to
+the serial path.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.chopper.advisor import ChopperAdvisor, ProfilingAdvisor
+from repro.chopper.stats import RunRecord, StatisticsCollector
+
+# (workload, cluster_factory, base_conf, advisor_spec, scale, label,
+#  copartition) where advisor_spec is None | ("profiling", kind, P) |
+#  ("config", WorkloadConfig).
+RunSpec = Tuple[Any, Any, Any, Optional[tuple], float, str, bool]
+
+
+def measure_one(spec: RunSpec) -> Tuple[str, RunRecord, Any]:
+    """Worker-side measured run (mirrors ChopperRunner._measured_run).
+
+    Module-level so it pickles by reference. The worker's context runs
+    fully serial (``physical_parallelism=1``) — the processes are the
+    parallelism — which changes nothing: simulated results are proven
+    identical across physical parallelism levels.
+    """
+    from repro.engine.context import AnalyticsContext
+
+    (workload, cluster_factory, base_conf, advisor_spec, scale, label,
+     copartition) = spec
+    if advisor_spec is None:
+        advisor = None
+    elif advisor_spec[0] == "profiling":
+        advisor = ProfilingAdvisor(
+            advisor_spec[1], advisor_spec[2], override_fixed=True
+        )
+    else:
+        advisor = ChopperAdvisor(advisor_spec[1])
+    conf = replace(
+        base_conf, copartition_scheduling=copartition, physical_parallelism=1
+    )
+    ctx = AnalyticsContext(cluster_factory(), conf)
+    if advisor is not None:
+        ctx.set_advisor(advisor)
+    collector = StatisticsCollector(workload.name, workload.virtual_bytes(scale))
+    with collector.attached(ctx):
+        result = workload.run(ctx, scale=scale)
+    record = collector.record
+    record.total_time = ctx.now
+    return label, record, result
+
+
+def picklable(*objects: Any) -> bool:
+    """Can every object cross a process boundary?"""
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+def run_specs(specs: Sequence[RunSpec], jobs: int) -> List[Tuple[str, RunRecord, Any]]:
+    """Run measured-run specs on a process pool; results in spec order."""
+    workers = max(1, min(jobs, len(specs)))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(measure_one, specs))

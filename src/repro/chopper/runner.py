@@ -31,7 +31,7 @@ from repro.chopper.optimizer import get_workload_par
 from repro.chopper.stats import RunRecord, StatisticsCollector
 from repro.chopper.workload_db import WorkloadDB, WorkloadDag
 from repro.cluster.cluster import Cluster, paper_cluster
-from repro.common.errors import ModelError
+from repro.common.errors import ConfigurationError, ModelError
 from repro.engine.context import AnalyticsContext, EngineConf
 from repro.obs import MetricsRegistry, Tracer
 from repro.workloads.base import Workload, WorkloadResult
@@ -39,12 +39,17 @@ from repro.workloads.base import Workload, WorkloadResult
 
 @dataclass
 class RunOutcome:
-    """One measured workload run (vanilla or CHOPPER)."""
+    """One measured workload run (vanilla or CHOPPER).
+
+    ``ctx`` is None when the run was measured in a worker process
+    (``jobs > 1``) — contexts hold live closures and never cross the
+    process boundary; everything reported comes from ``record``.
+    """
 
     label: str
     record: RunRecord
     result: WorkloadResult
-    ctx: AnalyticsContext
+    ctx: Optional[AnalyticsContext]
 
     @property
     def total_time(self) -> float:
@@ -86,15 +91,27 @@ class ChopperRunner:
         p_grid: Sequence[int] = (100, 200, 300, 500, 800),
         kinds: Sequence[str] = ("hash", "range"),
         scales: Sequence[float] = (0.25, 1.0),
+        jobs: Optional[int] = None,
     ) -> int:
         """Run the (kind, P, scale) sweep; returns the number of test runs.
 
         Also performs one vanilla reference run per scale to record the
         DAG summary with the default scheme (needed by Algorithm 3's
         fixed-stage test and by ``get_stage_input``).
+
+        ``jobs`` > 1 fans the independent test runs over a process pool
+        (default: ``base_conf.physical_parallelism``); records merge
+        into the DB in the serial loop's order, so the DB is
+        bit-identical to a serial sweep. Traced/metered runners and
+        unpicklable workloads fall back to the serial loop.
         """
-        runs = 0
+        jobs = self._resolve_jobs(jobs)
         with self._phase("profile", grid=list(p_grid), scales=list(scales)):
+            if jobs > 1 and self.tracer is None and self.metrics_registry is None:
+                runs = self._profile_parallel(p_grid, kinds, scales, jobs)
+                if runs is not None:
+                    return runs
+            runs = 0
             for scale in scales:
                 record = self._measured_run(
                     advisor=None, scale=scale, label=f"reference@{scale}"
@@ -113,6 +130,48 @@ class ChopperRunner:
                         self.db.add_run(outcome.record)
                         runs += 1
         return runs
+
+    def _resolve_jobs(self, jobs: Optional[int]) -> int:
+        if jobs is None:
+            return self.base_conf.physical_parallelism
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        return jobs
+
+    def _profile_parallel(
+        self,
+        p_grid: Sequence[int],
+        kinds: Sequence[str],
+        scales: Sequence[float],
+        jobs: int,
+    ) -> Optional[int]:
+        """Fan the sweep over worker processes; None = not picklable."""
+        from repro.chopper import parallel as par
+
+        if not par.picklable(self.workload, self.cluster_factory, self.base_conf):
+            return None
+        base = (self.workload, self.cluster_factory, self.base_conf)
+        specs: List[par.RunSpec] = []
+        for scale in scales:
+            specs.append(base + (None, scale, f"reference@{scale}", False))
+            for kind in kinds:
+                for p in p_grid:
+                    specs.append(base + (
+                        ("profiling", kind, p), scale,
+                        f"profile-{kind}-{p}@{scale}", False,
+                    ))
+        results = iter(par.run_specs(specs, jobs))
+        # Merge in the exact order the serial loop would have produced.
+        for scale in scales:
+            _, record, _ = next(results)
+            self.db.add_run(record)
+            if scale == max(scales):
+                self.db.set_dag(self.workload.name, WorkloadDag.from_run(record))
+            for _kind in kinds:
+                for _p in p_grid:
+                    _, record, _ = next(results)
+                    self.db.add_run(record)
+        return len(specs)
 
     # ------------------------------------------------------------------
     # Step 2: model training
@@ -194,10 +253,42 @@ class ChopperRunner:
         )
 
     def compare(
-        self, mode: str = "global", scale: float = 1.0
+        self, mode: str = "global", scale: float = 1.0,
+        jobs: Optional[int] = None,
     ) -> Tuple[RunOutcome, RunOutcome]:
-        """(vanilla, chopper) outcomes at the same scale."""
+        """(vanilla, chopper) outcomes at the same scale.
+
+        ``jobs`` > 1 runs the two independent measured runs in worker
+        processes (the config is still optimized up front, on the
+        driver); their outcomes carry ``ctx=None``.
+        """
+        jobs = self._resolve_jobs(jobs)
+        if jobs > 1 and self.tracer is None and self.metrics_registry is None:
+            outcomes = self._compare_parallel(mode, scale, jobs)
+            if outcomes is not None:
+                return outcomes
         return self.run_vanilla(scale), self.run_chopper(mode=mode, scale=scale)
+
+    def _compare_parallel(
+        self, mode: str, scale: float, jobs: int
+    ) -> Optional[Tuple[RunOutcome, RunOutcome]]:
+        from repro.chopper import parallel as par
+
+        config = self.optimize(mode=mode, scale=scale)
+        if not par.picklable(
+            self.workload, self.cluster_factory, self.base_conf, config
+        ):
+            return None
+        base = (self.workload, self.cluster_factory, self.base_conf)
+        specs = [
+            base + (None, scale, "vanilla", False),
+            base + (("config", config), scale, "chopper", True),
+        ]
+        results = par.run_specs(specs, jobs)
+        return tuple(
+            RunOutcome(label=label, record=record, result=result, ctx=None)
+            for label, record, result in results
+        )
 
     # ------------------------------------------------------------------
 

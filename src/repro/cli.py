@@ -58,6 +58,10 @@ def build_workload(args: argparse.Namespace) -> Workload:
     if args.virtual_gb is not None:
         kwargs["virtual_gb"] = args.virtual_gb
     if args.physical_records is not None:
+        if args.physical_records < 1:
+            raise WorkloadError(
+                f"--physical-records must be >= 1, got {args.physical_records}"
+            )
         kwargs["physical_records"] = args.physical_records
     return cls(**kwargs)
 
@@ -177,7 +181,7 @@ def cmd_report(args: argparse.Namespace, out) -> int:
 def cmd_profile(args: argparse.Namespace, out) -> int:
     runner = make_runner(args)
     runs = runner.profile(
-        p_grid=tuple(args.grid), scales=tuple(args.scales)
+        p_grid=tuple(args.grid), scales=tuple(args.scales), jobs=args.jobs
     )
     trained = runner.train()
     runner.db.save(args.db)
@@ -202,7 +206,9 @@ def cmd_optimize(args: argparse.Namespace, out) -> int:
 def cmd_compare(args: argparse.Namespace, out) -> int:
     runner = make_runner(args)
     out.write("profiling...\n")
-    runner.profile(p_grid=tuple(args.grid), scales=tuple(args.scales))
+    runner.profile(
+        p_grid=tuple(args.grid), scales=tuple(args.scales), jobs=args.jobs
+    )
     runner.train()
     chaos = chaos_conf_kwargs(args)
     if chaos:
@@ -210,7 +216,7 @@ def cmd_compare(args: argparse.Namespace, out) -> int:
         # profiling sweep above stays failure-free so the trained models
         # see clean observations.
         runner.base_conf = replace(runner.base_conf, **chaos)
-    vanilla, chopper = runner.compare(mode=args.mode)
+    vanilla, chopper = runner.compare(mode=args.mode, jobs=args.jobs)
     if runner.tracer is not None:
         runner.tracer.save(args.trace)
         out.write(f"trace -> {args.trace}\n")
@@ -260,6 +266,13 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
                         help="vanilla default parallelism (paper: 300)")
 
 
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for independent measured "
+                             "runs (default: REPRO_PHYSICAL_PARALLELISM "
+                             "or 1); results are bit-identical to --jobs 1")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="CHOPPER reproduction CLI"
@@ -289,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--grid", type=int, nargs="+",
                            default=[100, 200, 300, 500, 800])
     p_profile.add_argument("--scales", type=float, nargs="+", default=[0.33, 1.0])
+    _add_jobs_arg(p_profile)
 
     p_opt = sub.add_parser("optimize", help="workload DB -> config file")
     _add_workload_args(p_opt)
@@ -302,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
                        default=[100, 200, 300, 500, 800])
     p_cmp.add_argument("--scales", type=float, nargs="+", default=[0.33, 1.0])
     p_cmp.add_argument("--mode", choices=("global", "per-stage"), default="global")
+    _add_jobs_arg(p_cmp)
     _add_obs_args(p_cmp)
     _add_chaos_args(p_cmp)
     return parser

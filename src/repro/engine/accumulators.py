@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Callable, Generic, Optional, TypeVar
 
 from repro.common.errors import ConfigurationError
+from repro.engine import effects
 
 T = TypeVar("T")
 
@@ -41,6 +42,16 @@ class Accumulator(Generic[T]):
 
     def add(self, amount: T) -> None:
         """Fold ``amount`` into the accumulator (called from tasks)."""
+        sink = effects.active()
+        if sink is not None:
+            # Deferred attempt: the fold happens at the task's serial
+            # position so a non-commutative add_op still sees the adds
+            # in serial order.
+            sink.ops.append(("acc", self, amount))
+            return
+        self._fold(amount)
+
+    def _fold(self, amount: T) -> None:
         self._value = self._add_op(self._value, amount)
         self.adds += 1
 

@@ -1,0 +1,130 @@
+"""Vectorized per-key folds for ``numeric_add`` aggregations.
+
+Used by the map-side combine (``TaskRunner._run_map_task``) and the
+reduce-side merge (``ShuffledRDD._merge``) when an
+:class:`~repro.engine.dependencies.Aggregator` promises ``numeric_add``
+semantics: create is identity and every merge is elementwise ``+`` over
+scalars, fixed-shape numeric arrays, or flat tuples of those.
+
+Bit-identity with the scalar dict loop is the contract, not an
+aspiration: grouping assigns ids in first-occurrence order (dict
+insertion order), and ``np.add.at`` is unbuffered — it applies additions
+in element order, the exact left fold the scalar loop performs. Anything
+the kernel cannot fold exactly (mixed types, ragged shapes, int64
+overflow risk, ``-0.0`` whose sign a zero-initialized fold would erase)
+returns ``None`` and the caller runs the scalar loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+def combine_numeric_add(
+    key_fn: Optional[Callable], records: List
+) -> Optional[Dict[Any, Any]]:
+    """Per-key sums of ``records``' values, or ``None`` if not foldable.
+
+    ``key_fn=None`` means the default ``record[0]`` key, extracted with a
+    subscript instead of a per-record Python call (roughly twice as
+    fast). The result dict matches the scalar loop exactly: key objects
+    are the first-seen originals, in first-occurrence order, mapped to
+    the left-fold sum of their values.
+    """
+    vals = [r[1] for r in records]
+    vtypes = set(map(type, vals))
+    if len(vtypes) != 1:
+        return None
+    if vtypes == {tuple}:
+        if len(set(map(len, vals))) != 1:
+            return None
+        columns = [[v[j] for v in vals] for j in range(len(vals[0]))]
+    else:
+        columns = [vals]
+    if key_fn is None:
+        keys = [r[0] for r in records]
+    else:
+        keys = [key_fn(r) for r in records]
+    gids, first_idx = group_ids(keys)
+    folded = []
+    for column in columns:
+        f = _fold_column(column, gids, len(first_idx))
+        if f is None:
+            return None
+        folded.append(f)
+    if vtypes == {tuple}:
+        return {
+            keys[int(i)]: tuple(f[g] for f in folded)
+            for g, i in enumerate(first_idx)
+        }
+    totals = folded[0]
+    return {keys[int(i)]: totals[g] for g, i in enumerate(first_idx)}
+
+
+def group_ids(keys: List) -> Tuple[np.ndarray, np.ndarray]:
+    """Group ids (first-occurrence order) and first index per group.
+
+    A plain dict loop: hashing n keys is O(n) and measures 2-3x faster
+    than sort-based ``np.unique`` grouping for string keys (string
+    comparisons dominate the sort), roughly even for ints — and it is
+    exact for every hashable key type, with no fixed-width-string or
+    int64-overflow caveats. Group ids follow first-appearance order,
+    mirroring dict insertion order.
+    """
+    index: Dict[Any, int] = {}
+    gids = np.empty(len(keys), dtype=np.intp)
+    firsts: List[int] = []
+    for i, k in enumerate(keys):
+        g = index.get(k)
+        if g is None:
+            index[k] = g = len(firsts)
+            firsts.append(i)
+        gids[i] = g
+    return gids, np.asarray(firsts, dtype=np.intp)
+
+
+def _fold_column(
+    column: List, gids: np.ndarray, n_groups: int
+) -> Optional[List]:
+    """Per-group left-fold sums of one value column, or ``None``."""
+    ctypes = set(map(type, column))
+    if len(ctypes) != 1:
+        return None
+    ctype = ctypes.pop()
+    if ctype is int:
+        try:
+            arr = np.array(column, dtype=np.int64)
+        except OverflowError:
+            return None
+        # Bound every partial sum: |any prefix| <= max|v| * n. (Python-int
+        # math: np.abs would wrap on INT64_MIN.)
+        if max(int(arr.max()), -int(arr.min())) * arr.size >= 2**62:
+            return None
+        acc = np.zeros(n_groups, dtype=np.int64)
+        np.add.at(acc, gids, arr)
+        return acc.tolist()  # back to Python ints, exact
+    if ctype is float or issubclass(ctype, np.ndarray):
+        if ctype is float:
+            arr = np.array(column, dtype=np.float64)
+        else:
+            try:
+                arr = np.array(column)
+            except ValueError:  # ragged shapes
+                return None
+            if arr.dtype == object or arr.ndim < 2:
+                return None  # ragged (older numpy) or 0-d element arrays
+        if np.issubdtype(arr.dtype, np.floating):
+            zeros = arr == 0.0
+            if zeros.any() and np.signbit(arr[zeros]).any():
+                return None  # 0.0 + (-0.0) would flip the sign vs serial
+        elif np.issubdtype(arr.dtype, np.integer):
+            if max(int(arr.max()), -int(arr.min())) * len(column) >= 2**62:
+                return None
+        else:
+            return None  # bool/object/complex arrays: scalar loop only
+        acc = np.zeros((n_groups,) + arr.shape[1:], dtype=arr.dtype)
+        np.add.at(acc, gids, arr)
+        return acc.tolist() if ctype is float else list(acc)
+    return None

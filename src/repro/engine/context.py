@@ -9,6 +9,7 @@ via the listener bus (the statistics collector).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -82,8 +83,31 @@ class EngineConf:
     # Simulated driver-side cost of a range-bounds sampling pass.
     range_sampling_base_delay: float = 0.2
     range_sampling_per_partition_delay: float = 0.002
+    # --- Physical performance knobs (simulated results are unaffected) ---
+    # Worker threads executing concurrently-granted task attempts. 1 =
+    # fully serial; N > 1 runs attempt bodies on a thread pool while the
+    # scheduler applies their effects in grant order, keeping the
+    # simulated clock, metrics, and results bit-identical to serial.
+    # None reads REPRO_PHYSICAL_PARALLELISM (default 1).
+    physical_parallelism: Optional[int] = None
+    # Use the numpy bulk kernels (partition_many / estimate_sizes) on the
+    # per-record hot paths. Off = the scalar per-record loops; outputs
+    # are bit-identical either way (benchmark knob).
+    vectorized_kernels: bool = True
 
     def __post_init__(self) -> None:
+        if self.physical_parallelism is None:
+            env = os.environ.get("REPRO_PHYSICAL_PARALLELISM", "").strip()
+            try:
+                self.physical_parallelism = int(env) if env else 1
+            except ValueError:
+                raise ConfigurationError(
+                    f"REPRO_PHYSICAL_PARALLELISM must be an integer, got {env!r}"
+                ) from None
+        if self.physical_parallelism < 1:
+            raise ConfigurationError(
+                f"physical_parallelism must be >= 1, got {self.physical_parallelism}"
+            )
         if self.default_parallelism < 1:
             raise ConfigurationError("default_parallelism must be >= 1")
         if not 0.0 <= self.task_failure_rate < 1.0:

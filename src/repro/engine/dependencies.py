@@ -21,6 +21,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 _shuffle_ids = itertools.count()
 
 
+def default_key_fn(record):
+    """Default shuffle key: ``record[0]``.
+
+    A named function (not a per-instance lambda) so the executor's
+    vectorized kernels can recognize the default by identity and extract
+    keys with a subscript instead of a per-record Python call.
+    """
+    return record[0]
+
+
 class Dependency:
     """Base dependency on a parent RDD."""
 
@@ -83,6 +93,16 @@ class Aggregator:
     ``create_combiner(v)`` starts a combiner from the first value of a
     key; ``merge_value(c, v)`` folds another value in (map side);
     ``merge_combiners(c1, c2)`` merges partial combiners (reduce side).
+
+    ``numeric_add`` declares that the aggregation is exactly
+    ``reduceByKey(lambda a, b: a + b)`` — create is identity, both merges
+    are elementwise ``+`` — over values that are scalar numbers,
+    fixed-shape numeric arrays, or flat tuples of those. That is a
+    promise, not an inference: callers opt in, and the executor may then
+    fold a map partition's values per key with a vectorized kernel. The
+    kernel replays the same left fold in record-arrival order (falling
+    back to the scalar loop on anything it cannot fold exactly), so
+    results stay bit-identical to the scalar loop.
     """
 
     def __init__(
@@ -90,15 +110,17 @@ class Aggregator:
         create_combiner: Callable,
         merge_value: Callable,
         merge_combiners: Callable,
+        numeric_add: bool = False,
     ) -> None:
         self.create_combiner = create_combiner
         self.merge_value = merge_value
         self.merge_combiners = merge_combiners
+        self.numeric_add = numeric_add
 
     @classmethod
-    def from_reduce_fn(cls, fn: Callable) -> "Aggregator":
+    def from_reduce_fn(cls, fn: Callable, numeric_add: bool = False) -> "Aggregator":
         """Aggregator for ``reduceByKey(fn)`` semantics."""
-        return cls(lambda v: v, fn, fn)
+        return cls(lambda v: v, fn, fn, numeric_add=numeric_add)
 
 
 class ShuffleDependency(Dependency):
@@ -139,7 +161,7 @@ class ShuffleDependency(Dependency):
         self.partitioner = partitioner
         self.map_side_combine = map_side_combine
         self.aggregator = aggregator
-        self.key_fn = key_fn or (lambda record: record[0])
+        self.key_fn = key_fn or default_key_fn
         self.user_fixed = user_fixed
         # Ordered shuffles (sortByKey) rely on a range partitioner for the
         # global sort order; advisors may retune the count but never the

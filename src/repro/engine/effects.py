@@ -1,0 +1,90 @@
+"""Deferred task side effects: the heart of deterministic task parallelism.
+
+With ``EngineConf.physical_parallelism > 1`` the task scheduler executes
+the bodies of concurrently-granted attempts on a thread pool. Running
+task code concurrently is only sound if it cannot race on shared engine
+state — so while a worker thread runs, every touch of shared state
+(block-store reads/writes, shuffle fetches/puts, metric counters,
+accumulator adds) is *recorded* into the attempt's :class:`TaskEffects`
+instead of being performed. The scheduler then **applies** each
+attempt's effects on the driver thread in grant order — the exact order
+serial execution would have produced — after validating that nothing
+the thread read has changed underneath it. Invalid (or failed) attempts
+are simply re-executed inline at their serial position, so the fallback
+is always the bit-exact serial semantics.
+
+The active sink is thread-local: worker threads see their own
+:class:`TaskEffects`, the driver thread sees none and mutates state
+directly (the unchanged serial path).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+# Op tags recorded in TaskEffects.ops, replayed in order at apply time:
+#   ("cache_get", key, block)        - validated: the key still maps to
+#                                      the identical block (or None);
+#                                      replayed as an LRU touch.
+#   ("cache_get_own", key)           - read of the task's own deferred
+#                                      put; replayed as an LRU touch.
+#   ("cache_put", key, records, nbytes, node)
+#   ("shuffle_read", shuffle_id, version)
+#                                    - validated: the shuffle's version
+#                                      counter is unchanged.
+#   ("shuffle_put", shuffle_id, map_id, node, partitioned)
+#                                    - replayed via put_map_output; the
+#                                      returned byte count feeds the
+#                                      task's shuffle-write note.
+#   ("counter", counter, value)      - a pre-bound Counter object.
+#   ("metric", name, labels, value)  - a lazily-created labeled counter.
+#   ("acc", accumulator, value)      - an accumulator fold.
+
+
+class TaskEffects:
+    """Recorded shared-state interactions of one deferred task attempt."""
+
+    def __init__(self) -> None:
+        self.ops: List[Tuple[Any, ...]] = []
+        # Own deferred cache puts, visible to this task's later reads.
+        self.cache_writes: Dict[Tuple[int, int], Any] = {}
+        self.tctx: Any = None
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+
+
+_local = threading.local()
+
+
+def active() -> Optional[TaskEffects]:
+    """The sink of the current thread, or None on the driver thread."""
+    return getattr(_local, "sink", None)
+
+
+def activate(effects: TaskEffects) -> None:
+    _local.sink = effects
+
+
+def deactivate() -> None:
+    _local.sink = None
+
+
+# One process-wide worker pool, shared by every context so that sweep
+# drivers creating thousands of short-lived contexts don't churn
+# threads. Grown (never shrunk) to the largest parallelism requested.
+_pool: Optional[ThreadPoolExecutor] = None
+_pool_size = 0
+
+
+def worker_pool(workers: int) -> ThreadPoolExecutor:
+    global _pool, _pool_size
+    if _pool is None or _pool_size < workers:
+        if _pool is not None:
+            _pool.shutdown(wait=True)
+        _pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-task"
+        )
+        _pool_size = workers
+    return _pool

@@ -13,11 +13,17 @@ volume (paper Fig. 4).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.common.errors import FetchFailure, SchedulingError
-from repro.common.sizing import estimate_size
+from repro.common.sizing import estimate_size, sizes_array
+from repro.engine import effects
+from repro.engine.combine import combine_numeric_add
+from repro.engine.dependencies import default_key_fn
 from repro.engine.costmodel import CostModel, TaskCostBreakdown
+from repro.engine.effects import TaskEffects
 from repro.engine.stage import RESULT, SHUFFLE_MAP, Stage
 from repro.engine.task import Task, TaskContext
 
@@ -37,68 +43,203 @@ class TaskRunner:
         self, stage: Stage, task: Task, node: "NodeSpec", result_fn=None
     ) -> Tuple[TaskCostBreakdown, TaskContext, Any]:
         """Run one task on ``node``; returns (cost breakdown, ctx, result)."""
+        tctx, result = self._execute_body(stage, task, node, result_fn)
+        return self.price(tctx, node), tctx, result
+
+    def execute_deferred(
+        self, stage: Stage, task: Task, node: "NodeSpec", result_fn=None
+    ) -> TaskEffects:
+        """Run a task body on a worker thread, buffering its effects.
+
+        Safe to call concurrently for independently-granted attempts:
+        shared-state reads are recorded, writes buffered, and nothing is
+        mutated until :meth:`finish_deferred` replays the effects on the
+        driver thread at the attempt's serial position.
+        """
+        eff = TaskEffects()
+        effects.activate(eff)
+        try:
+            eff.tctx, eff.result = self._execute_body(stage, task, node, result_fn)
+        except BaseException as exc:  # re-raised inline at apply time
+            eff.exception = exc
+        finally:
+            effects.deactivate()
+        return eff
+
+    def finish_deferred(
+        self, eff: TaskEffects, stage: Stage, task: Task, node: "NodeSpec",
+        result_fn=None,
+    ) -> Tuple[TaskCostBreakdown, TaskContext, Any]:
+        """Apply a deferred attempt's effects at its serial position.
+
+        Everything the worker thread read is validated first; on any
+        mismatch — or a recorded exception — the attempt simply
+        re-executes inline, which is the bit-exact serial path.
+        """
+        if eff.exception is not None or not self._effects_valid(eff):
+            return self.execute(stage, task, node, result_fn)
+        self._replay(eff)
+        return self.price(eff.tctx, node), eff.tctx, eff.result
+
+    def _execute_body(
+        self, stage: Stage, task: Task, node: "NodeSpec", result_fn=None
+    ) -> Tuple[TaskContext, Any]:
         tctx = TaskContext(node=node.name, task_index=task.partition)
-        metrics = self.ctx.obs.metrics
         try:
             if stage.kind == SHUFFLE_MAP:
                 result = self._run_map_task(stage, task.partition, tctx)
-                metrics.counter("executor.map_tasks", node=node.name).inc()
+                self._inc("executor.map_tasks", node=node.name)
             elif stage.kind == RESULT:
                 records = stage.rdd.materialize(task.partition, tctx)
                 result = result_fn(task.partition, records) if result_fn else records
-                metrics.counter("executor.result_tasks", node=node.name).inc()
+                self._inc("executor.result_tasks", node=node.name)
             else:  # pragma: no cover - defensive
                 raise SchedulingError(f"unknown stage kind {stage.kind!r}")
         except FetchFailure:
             # Shuffle inputs lost to a dead node; the task scheduler
             # hands the task to the DAG scheduler for lineage recovery.
-            metrics.counter("executor.fetch_failures", node=node.name).inc()
+            self._inc("executor.fetch_failures", node=node.name)
             raise
         if tctx.cache_read_bytes:
-            metrics.counter("cache.hits", node=node.name).inc()
-            metrics.counter("cache.read_bytes", node=node.name).inc(
-                tctx.cache_read_bytes
-            )
+            self._inc("cache.hits", node=node.name)
+            self._inc("cache.read_bytes", tctx.cache_read_bytes, node=node.name)
         for src, nbytes in tctx.cache_remote_by_src.items():
-            metrics.counter("cache.remote_read_bytes", src=src).inc(nbytes)
-        return self.price(tctx, node), tctx, result
+            self._inc("cache.remote_read_bytes", nbytes, src=src)
+        return tctx, result
+
+    def _inc(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        """Counter increment that defers (creation included) under a sink."""
+        sink = effects.active()
+        if sink is not None:
+            sink.ops.append(("metric", name, tuple(labels.items()), amount))
+        else:
+            self.ctx.obs.metrics.counter(name, **labels).inc(amount)
+
+    def _effects_valid(self, eff: TaskEffects) -> bool:
+        block_store = self.ctx.block_store
+        shuffle = self.ctx.shuffle_manager
+        for op in eff.ops:
+            tag = op[0]
+            if tag == "cache_get":
+                _, key, block = op
+                if block_store.peek(*key) is not block:
+                    return False
+            elif tag == "shuffle_read":
+                _, shuffle_id, version = op
+                if shuffle.version(shuffle_id) != version:
+                    return False
+        return True
+
+    def _replay(self, eff: TaskEffects) -> None:
+        ctx = self.ctx
+        metrics = ctx.obs.metrics
+        for op in eff.ops:
+            tag = op[0]
+            if tag == "metric":
+                _, name, labels, amount = op
+                metrics.counter(name, **dict(labels)).inc(amount)
+            elif tag == "counter":
+                op[1].inc(op[2])
+            elif tag == "cache_get":
+                if op[2] is not None:
+                    ctx.block_store.touch(*op[1])
+            elif tag == "cache_get_own":
+                ctx.block_store.touch(*op[1])
+            elif tag == "cache_put":
+                _, key, records, nbytes, node_name = op
+                ctx.block_store.put(key[0], key[1], records, nbytes, node_name)
+            elif tag == "shuffle_put":
+                _, shuffle_id, map_id, node_name, partitioned = op
+                written = ctx.shuffle_manager.put_map_output(
+                    shuffle_id, map_id, node_name, partitioned
+                )
+                eff.tctx.note_shuffle_write(written)
+            elif tag == "shuffle_read":
+                pass  # validation-only
+            elif tag == "acc":
+                op[1]._fold(op[2])
+            else:  # pragma: no cover - defensive
+                raise SchedulingError(f"unknown deferred op {tag!r}")
 
     def _run_map_task(self, stage: Stage, split: int, tctx: TaskContext) -> None:
         dep = stage.shuffle_dep
         assert dep is not None, "map task on a stage without a shuffle dep"
         records = stage.rdd.materialize(split, tctx)
 
+        key_fn = dep.key_fn
+        fast_key = None if key_fn is default_key_fn else key_fn
+        out_keys: Optional[List] = None
         if dep.map_side_combine:
             assert dep.aggregator is not None
             agg = dep.aggregator
-            combined: Dict[Any, Any] = {}
-            for record in records:
-                k = dep.key_fn(record)
-                v = record[1]
-                if k in combined:
-                    combined[k] = agg.merge_value(combined[k], v)
-                else:
-                    combined[k] = agg.create_combiner(v)
+            combined: Optional[Dict[Any, Any]] = None
+            if self.ctx.conf.vectorized_kernels and records and agg.numeric_add:
+                combined = combine_numeric_add(fast_key, records)
+            if combined is None:
+                combined = {}
+                for record in records:
+                    k = key_fn(record)
+                    v = record[1]
+                    if k in combined:
+                        combined[k] = agg.merge_value(combined[k], v)
+                    else:
+                        combined[k] = agg.create_combiner(v)
             out_records: List = list(combined.items())
+            if fast_key is None:
+                out_keys = list(combined)  # items() order, zero extraction
             write_scale = 1.0
         else:
             out_records = records
             write_scale = stage.rdd.size_scale
 
         partitioner = dep.partitioner
-        key_fn = dep.key_fn
         # Mutable per-bucket accumulators: append in place rather than
         # rebuilding and reassigning a (records, bytes) tuple per record.
         bucket_records: Dict[int, List] = {}
         bucket_bytes: Dict[int, float] = {}
-        for record in out_records:
-            rid = partitioner.partition(key_fn(record))
-            recs = bucket_records.get(rid)
-            if recs is None:
-                bucket_records[rid] = recs = []
-                bucket_bytes[rid] = 0.0
-            recs.append(record)
-            bucket_bytes[rid] += estimate_size(record) * write_scale
+        if self.ctx.conf.vectorized_kernels and out_records:
+            # Bulk kernels: one partition_many / sizes_array call per task
+            # instead of two Python calls per record, then group records
+            # by bucket with a stable argsort instead of a per-record
+            # dict loop. Bit-identity with the scalar path holds because:
+            # (a) the kernels match their scalar counterparts exactly,
+            # (b) np.add.at is unbuffered and applies additions in element
+            #     order — the same left fold the scalar loop performs, and
+            # (c) stable sort keeps records in arrival order within a
+            #     bucket, and buckets are emitted in first-occurrence
+            #     order, matching the scalar dict's insertion order.
+            if out_keys is None:
+                if fast_key is None:
+                    out_keys = [r[0] for r in out_records]
+                else:
+                    out_keys = [fast_key(r) for r in out_records]
+            rids = partitioner.partition_many(out_keys)
+            rid_arr = np.fromiter(rids, dtype=np.intp, count=len(rids))
+            sizes = sizes_array(out_records)
+            if sizes is None:  # heterogeneous batch: exact scalar sizing
+                sizes = np.array(
+                    [estimate_size(r) for r in out_records], dtype=np.float64
+                )
+            byte_acc = np.zeros(int(rid_arr.max()) + 1, dtype=np.float64)
+            np.add.at(byte_acc, rid_arr, sizes * write_scale)
+            order = np.argsort(rid_arr, kind="stable")
+            sorted_rids = rid_arr[order]
+            cuts = np.flatnonzero(sorted_rids[1:] != sorted_rids[:-1]) + 1
+            groups = np.split(order, cuts)
+            groups.sort(key=lambda g: g[0])  # first-occurrence order
+            for group in groups:
+                rid = int(rid_arr[group[0]])
+                bucket_records[rid] = [out_records[i] for i in group]
+                bucket_bytes[rid] = float(byte_acc[rid])
+        else:
+            for record in out_records:
+                rid = partitioner.partition(key_fn(record))
+                recs = bucket_records.get(rid)
+                if recs is None:
+                    bucket_records[rid] = recs = []
+                    bucket_bytes[rid] = 0.0
+                recs.append(record)
+                bucket_bytes[rid] += estimate_size(record) * write_scale
         buckets: Dict[int, Tuple[List, float]] = {
             rid: (recs, bucket_bytes[rid]) for rid, recs in bucket_records.items()
         }
@@ -106,7 +247,10 @@ class TaskRunner:
         written = self.ctx.shuffle_manager.put_map_output(
             dep.shuffle_id, split, tctx.node, buckets
         )
-        tctx.note_shuffle_write(written)
+        if written is not None:
+            tctx.note_shuffle_write(written)
+        # None = deferred attempt; the byte count lands when the write
+        # replays at the task's serial position (see TaskRunner._replay).
 
     def price(self, tctx: TaskContext, node: "NodeSpec") -> TaskCostBreakdown:
         """Convert a task's measured side effects into time components."""

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import bisect
 import zlib
-from typing import Any, Iterable, List, Optional, Sequence
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,6 +54,85 @@ def stable_hash(key: Any) -> int:
     return zlib.crc32(repr(key).encode("utf-8"))
 
 
+def _crc32_table() -> np.ndarray:
+    table = np.empty(256, dtype=np.uint32)
+    for i in range(256):
+        crc = i
+        for _ in range(8):
+            crc = (crc >> 1) ^ (0xEDB88320 if crc & 1 else 0)
+        table[i] = crc
+    return table
+
+
+_CRC32_TABLE = _crc32_table()
+# Magnitude thresholds for the variable-width int encoding: a key of
+# magnitude >= 2**(8w - 1) needs more than w bytes (see stable_hash).
+_INT_WIDTH_THRESHOLDS = np.array([1 << (8 * w - 1) for w in range(1, 9)], dtype=np.uint64)
+
+
+def _crc32_rows(buf: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    """Vectorized zlib.crc32 over ragged rows of a zero-padded byte matrix."""
+    crc = np.full(buf.shape[0], 0xFFFFFFFF, dtype=np.uint32)
+    for j in range(buf.shape[1]):
+        idx = (crc ^ buf[:, j]) & np.uint32(0xFF)
+        updated = _CRC32_TABLE[idx] ^ (crc >> np.uint32(8))
+        crc = np.where(lens > j, updated, crc)
+    return crc ^ np.uint32(0xFFFFFFFF)
+
+
+def _pack_ragged(chunks: List[bytes]) -> Tuple[np.ndarray, np.ndarray]:
+    """Stack variable-length byte strings into a zero-padded matrix."""
+    lens = np.fromiter(map(len, chunks), dtype=np.int64, count=len(chunks))
+    width = int(lens.max()) if len(chunks) else 0
+    buf = np.zeros((len(chunks), max(width, 1)), dtype=np.uint8)
+    flat = np.frombuffer(b"".join(chunks), dtype=np.uint8)
+    rows = np.repeat(np.arange(len(chunks)), lens)
+    cols = np.arange(len(flat)) - np.repeat(np.cumsum(lens) - lens, lens)
+    buf[rows, cols] = flat
+    return buf, lens
+
+
+def stable_hash_many(keys: Sequence[Any]) -> List[int]:
+    """Batched :func:`stable_hash`, identical per key.
+
+    Homogeneous int batches hash via a table-driven CRC32 over the
+    vectorized variable-width encoding; str/bytes batches via the same
+    kernel over a padded byte matrix. Anything else (floats, tuples,
+    arbitrary-precision ints, mixed batches) falls back to the scalar
+    function — the contract is equality, never approximation.
+    """
+    n = len(keys)
+    if n == 0:
+        return []
+    first = type(keys[0])
+    if any(type(k) is not first for k in keys):
+        return [stable_hash(k) for k in keys]
+    if first is str or first is bytes:
+        chunks = [k.encode("utf-8") for k in keys] if first is str else list(keys)
+        buf, lens = _pack_ragged(chunks)
+        return _crc32_rows(buf, lens).tolist()
+    if first is int or first is bool or issubclass(first, np.integer):
+        try:
+            values = np.array([int(k) for k in keys], dtype=np.int64)
+        except OverflowError:
+            return [stable_hash(k) for k in keys]
+        # Width per key, replicating max((bit_length + 8) // 8, 1) on the
+        # magnitude; -(v + 1) + 1 sidesteps the |int64 min| overflow.
+        mag = np.where(
+            values >= 0,
+            values.astype(np.uint64),
+            (-(values + 1)).astype(np.uint64) + np.uint64(1),
+        )
+        widths = 1 + np.searchsorted(_INT_WIDTH_THRESHOLDS, mag, side="right")
+        # Little-endian two's-complement bytes; a 9th sign byte covers
+        # width-9 keys (int64 min, whose magnitude has 64 bits).
+        le = values.astype("<i8").view(np.uint8).reshape(n, 8)
+        sign = np.where(values < 0, 0xFF, 0x00).astype(np.uint8).reshape(n, 1)
+        buf = np.concatenate([le, sign], axis=1)
+        return _crc32_rows(buf, widths).tolist()
+    return [stable_hash(k) for k in keys]
+
+
 class Partitioner:
     """Maps record keys to partition indices in ``[0, num_partitions)``."""
 
@@ -68,6 +147,15 @@ class Partitioner:
 
     def partition(self, key: Any) -> int:
         raise NotImplementedError
+
+    def partition_many(self, keys: Sequence[Any]) -> List[int]:
+        """Batched :meth:`partition`: one index per key, identical per key.
+
+        Subclasses override this with vectorized kernels; the base
+        implementation is the plain per-key loop, so custom partitioners
+        stay correct without opting in.
+        """
+        return [self.partition(k) for k in keys]
 
     def __eq__(self, other: object) -> bool:
         return type(self) is type(other) and self.__dict__ == other.__dict__  # type: ignore[union-attr]
@@ -89,6 +177,10 @@ class HashPartitioner(Partitioner):
 
     def partition(self, key: Any) -> int:
         return stable_hash(key) % self.num_partitions
+
+    def partition_many(self, keys: Sequence[Any]) -> List[int]:
+        n = self.num_partitions
+        return [h % n for h in stable_hash_many(keys)]
 
 
 class RangePartitioner(Partitioner):
@@ -138,6 +230,68 @@ class RangePartitioner(Partitioner):
             # or Spark's own mis-use); degrade to hashing rather than
             # failing the stage.
             return stable_hash(key) % self.num_partitions
+
+    def partition_many(self, keys: Sequence[Any]) -> List[int]:
+        if not self.bounds:
+            return [0] * len(keys)
+        if len(keys) == 0:
+            return []
+        vectorized = self._searchsorted_many(keys)
+        if vectorized is not None:
+            return vectorized
+        return [self.partition(k) for k in keys]
+
+    def _searchsorted_many(self, keys: Sequence[Any]) -> Optional[List[int]]:
+        """``np.searchsorted`` fast path, or None when it can't match bisect.
+
+        Only homogeneous batches whose comparisons numpy reproduces
+        exactly qualify: str-vs-str, bytes-vs-bytes, or numbers small
+        enough that float64 conversion is exact. NaNs fall back (bisect
+        and searchsorted order them differently), as do arbitrary-
+        precision ints.
+        """
+        str_types = (str,)
+        bytes_types = (bytes,)
+        num_types = (bool, int, float)
+        for probe, exact in ((str_types, True), (bytes_types, True)):
+            if isinstance(keys[0], probe):
+                if not all(type(k) in probe for k in keys):
+                    return None
+                if not all(type(b) in probe for b in self.bounds):
+                    return None
+                karr = np.array(keys)
+                barr = np.array(self.bounds)
+                # Fixed-width string buffers pad with NULs, and a *trailing*
+                # NUL is indistinguishable from padding: numpy compares
+                # "\x00" equal to "" where Python orders them. If any key
+                # or bound lost length in the round trip, keep bisect.
+                if int(np.char.str_len(karr).sum()) != sum(map(len, keys)):
+                    return None
+                if int(np.char.str_len(barr).sum()) != sum(
+                    map(len, self.bounds)
+                ):
+                    return None
+                return np.searchsorted(barr, karr, side="left").tolist()
+        if isinstance(keys[0], num_types):
+            if not all(type(k) in num_types for k in keys):
+                return None
+            if not all(type(b) in num_types for b in self.bounds):
+                return None
+            limit = float(1 << 53)  # beyond this, int -> float64 rounds
+            try:
+                kv = np.asarray(keys, dtype=np.float64)
+                bv = np.asarray(self.bounds, dtype=np.float64)
+            except (OverflowError, ValueError):
+                return None
+            if np.isnan(kv).any() or np.isnan(bv).any():
+                return None
+            ints = [k for k in keys if type(k) is int] + [
+                b for b in self.bounds if type(b) is int
+            ]
+            if any(k > limit or k < -limit for k in ints):
+                return None
+            return np.searchsorted(bv, kv, side="left").tolist()
+        return None
 
     @classmethod
     def from_sample(

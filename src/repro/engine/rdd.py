@@ -125,7 +125,12 @@ class RDD:
                 task.rdd_bytes[self.id] = block.nbytes
                 return block.records
         records = self.compute(split, task)
-        raw_bytes = estimate_partition_size(records) * self.size_scale
+        raw_bytes = (
+            estimate_partition_size(
+                records, vectorized=self.ctx.conf.vectorized_kernels
+            )
+            * self.size_scale
+        )
         input_bytes = task.input_hints.get(self.id, 0.0)
         for dep in self.narrow_deps():
             input_bytes = max(input_bytes, task.rdd_bytes.get(dep.parent.id, 0.0))
@@ -356,11 +361,14 @@ class RDD:
         partitioner: Optional[Partitioner] = None,
         map_side_combine: bool = True,
         op_name: str = "combineByKey",
+        numeric_add: bool = False,
     ) -> "RDD":
         from repro.engine.shuffled import ShuffledRDD
 
         part = partitioner or self._default_partitioner(num_partitions)
-        agg = Aggregator(create_combiner, merge_value, merge_combiners)
+        agg = Aggregator(
+            create_combiner, merge_value, merge_combiners, numeric_add=numeric_add
+        )
         return ShuffledRDD(
             self,
             part,
@@ -376,12 +384,21 @@ class RDD:
         fn: Callable,
         num_partitions: Optional[int] = None,
         partitioner: Optional[Partitioner] = None,
+        numeric_add: bool = False,
     ) -> "RDD":
+        """Fold values per key with ``fn``.
+
+        Pass ``numeric_add=True`` when ``fn`` is plain scalar addition
+        (``lambda a, b: a + b`` over ints or floats) to let the executor
+        use the vectorized map-side combine; see
+        :class:`~repro.engine.dependencies.Aggregator`.
+        """
         return self.combine_by_key(
             lambda v: v, fn, fn,
             num_partitions=num_partitions,
             partitioner=partitioner,
             op_name="reduceByKey",
+            numeric_add=numeric_add,
         )
 
     def aggregate_by_key(
@@ -754,7 +771,12 @@ class SourceRDD(RDD):
 
     def compute(self, split: int, task: TaskContext) -> List:
         records = list(self._generator(split, self._num_partitions))
-        nbytes = estimate_partition_size(records) * self._size_scale
+        nbytes = (
+            estimate_partition_size(
+                records, vectorized=self.ctx.conf.vectorized_kernels
+            )
+            * self._size_scale
+        )
         task.note_input(nbytes)
         return records
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.common.errors import FetchFailure, ShuffleError
+from repro.engine import effects
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import MetricsRegistry
@@ -63,6 +64,12 @@ class _ShuffleState:
     # Non-empty means fetches must fail until a resubmitted map stage
     # re-registers the lost partitions.
     lost: Dict[int, str] = field(default_factory=dict)
+    # Bumped on every block mutation (put / invalidate). Deferred fetches
+    # record the value they read and re-validate it at apply time.
+    version: int = 0
+    # Lazy locality index: reduce_id -> {node: bytes}. None = stale,
+    # rebuilt in one pass on the next map_output_nodes call.
+    reduce_index: Optional[Dict[int, Dict[str, float]]] = None
 
 
 class ShuffleManager:
@@ -76,6 +83,9 @@ class ShuffleManager:
         self._shuffles: Dict[int, _ShuffleState] = {}
         self.block_header = block_header
         self._metrics = metrics
+        # Running count of lost map outputs across all shuffles, so the
+        # task scheduler's "is any shuffle degraded?" gate is O(1).
+        self._lost_blocks = 0
         if metrics is not None:
             # Unlabeled totals, pre-registered so a snapshot always shows
             # them; per-node/per-source series appear alongside as moved.
@@ -111,13 +121,18 @@ class ShuffleManager:
         map_id: int,
         node: str,
         partitioned: Dict[int, Tuple[List, float]],
-    ) -> float:
+    ) -> Optional[float]:
         """Store one map task's output blocks.
 
         ``partitioned`` maps reduce partition id -> (records, payload
         bytes). Returns the total bytes written (payload + headers), which
-        the caller charges as shuffle write.
+        the caller charges as shuffle write — or None from a deferred
+        attempt, whose write (and byte count) lands at apply time.
         """
+        sink = effects.active()
+        if sink is not None:
+            sink.ops.append(("shuffle_put", shuffle_id, map_id, node, partitioned))
+            return None
         state = self._state(shuffle_id)
         if not 0 <= map_id < state.num_maps:
             raise ShuffleError(
@@ -146,7 +161,10 @@ class ShuffleManager:
         state.bytes_written += written
         state.map_nodes[map_id] = node
         # A rebuilt output heals the shuffle for this map partition.
-        state.lost.pop(map_id, None)
+        if state.lost.pop(map_id, None) is not None:
+            self._lost_blocks -= 1
+        state.version += 1
+        state.reduce_index = None
         if self._metrics is not None and written:
             # Re-executed (retried / speculative) maps physically write
             # again, so the counter honestly includes the duplicate I/O
@@ -165,6 +183,12 @@ class ShuffleManager:
         partial view of the data.
         """
         state = self._state(shuffle_id)
+        sink = effects.active()
+        if sink is not None:
+            # Record the version this compound read is based on; the
+            # apply phase rejects the attempt if the shuffle mutated
+            # in between (the attempt then re-executes inline).
+            sink.ops.append(("shuffle_read", shuffle_id, state.version))
         if state.lost:
             map_ids = sorted(state.lost)
             raise FetchFailure(shuffle_id, map_ids, state.lost[map_ids[0]])
@@ -188,25 +212,54 @@ class ShuffleManager:
                     stats.remote_bytes_by_src.get(block.node, 0.0) + block.nbytes
                 )
         if self._metrics is not None:
-            if stats.local_bytes:
-                self._local_total.inc(stats.local_bytes)
-                self._metrics.counter(
-                    "shuffle.local_bytes", node=dst_node
-                ).inc(stats.local_bytes)
-            for src, nbytes in stats.remote_bytes_by_src.items():
-                self._remote_total.inc(nbytes)
-                self._metrics.counter("shuffle.remote_bytes", src=src).inc(nbytes)
+            if sink is not None:
+                # Buffer the increments in the serial order — including
+                # the lazy creation of labeled counters, which must not
+                # happen before the task's apply turn (counter creation
+                # order is visible in metric snapshots).
+                if stats.local_bytes:
+                    sink.ops.append(("counter", self._local_total, stats.local_bytes))
+                    sink.ops.append((
+                        "metric", "shuffle.local_bytes",
+                        (("node", dst_node),), stats.local_bytes,
+                    ))
+                for src, nbytes in stats.remote_bytes_by_src.items():
+                    sink.ops.append(("counter", self._remote_total, nbytes))
+                    sink.ops.append((
+                        "metric", "shuffle.remote_bytes", (("src", src),), nbytes,
+                    ))
+            else:
+                if stats.local_bytes:
+                    self._local_total.inc(stats.local_bytes)
+                    self._metrics.counter(
+                        "shuffle.local_bytes", node=dst_node
+                    ).inc(stats.local_bytes)
+                for src, nbytes in stats.remote_bytes_by_src.items():
+                    self._remote_total.inc(nbytes)
+                    self._metrics.counter("shuffle.remote_bytes", src=src).inc(nbytes)
         return records, stats
 
     def map_output_nodes(self, shuffle_id: int, reduce_id: int) -> Dict[str, float]:
         """Bytes available per node for one reduce partition (for locality)."""
         state = self._state(shuffle_id)
-        by_node: Dict[str, float] = {}
-        for blocks in state.blocks.values():
-            block = blocks.get(reduce_id)
-            if block is not None:
-                by_node[block.node] = by_node.get(block.node, 0.0) + block.nbytes
-        return by_node
+        index = state.reduce_index
+        if index is None:
+            # Rebuild the whole per-reduce index in one pass over the
+            # blocks, amortized over every reduce task of the stage (the
+            # previous code rescanned all maps per call: O(maps x
+            # reduces) per *stage submission* became quadratic in
+            # reduces). For any one reduce id the nodes are visited in
+            # the same map order as the per-call scan, so the float
+            # totals are bit-identical.
+            index = {}
+            for blocks in state.blocks.values():
+                for rid, block in blocks.items():
+                    by_node = index.get(rid)
+                    if by_node is None:
+                        index[rid] = by_node = {}
+                    by_node[block.node] = by_node.get(block.node, 0.0) + block.nbytes
+            state.reduce_index = index
+        return dict(index.get(reduce_id, ()))
 
     def invalidate_node(self, node: str) -> Dict[int, List[int]]:
         """Discard every map output produced on ``node`` (executor loss).
@@ -229,9 +282,20 @@ class ShuffleManager:
                 state.bytes_written -= sum(b.nbytes for b in blocks.values())
                 del state.map_nodes[map_id]
                 state.lost[map_id] = node
+                self._lost_blocks += 1
             if gone:
+                state.version += 1
+                state.reduce_index = None
                 lost[shuffle_id] = gone
         return lost
+
+    def has_lost_blocks(self) -> bool:
+        """O(1): is any shuffle currently missing map outputs?"""
+        return self._lost_blocks > 0
+
+    def version(self, shuffle_id: int) -> int:
+        """Mutation counter of one shuffle (deferred-fetch validation)."""
+        return self._state(shuffle_id).version
 
     def missing_map_ids(self, shuffle_id: int) -> List[int]:
         """Map partitions lost to node failure and not yet rebuilt."""
@@ -245,6 +309,7 @@ class ShuffleManager:
 
     def clear(self) -> None:
         self._shuffles.clear()
+        self._lost_blocks = 0
 
     def _state(self, shuffle_id: int) -> _ShuffleState:
         try:

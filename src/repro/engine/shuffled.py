@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 from repro.common.errors import ConfigurationError
+from repro.engine.combine import combine_numeric_add
 from repro.engine.dependencies import (
     Aggregator,
     Dependency,
@@ -160,6 +161,14 @@ class ShuffledRDD(RDD):
     def _merge(self, records: List, incoming_combined: bool) -> List:
         assert self.aggregator is not None
         agg = self.aggregator
+        if self.ctx.conf.vectorized_kernels and records and agg.numeric_add:
+            # Both branches below are per-key left folds with elementwise
+            # ``+`` (numeric_add's promise covers merge_value AND
+            # merge_combiners), so the vectorized kernel applies to the
+            # reduce side too; None means fold the scalar way.
+            combined = combine_numeric_add(None, records)
+            if combined is not None:
+                return list(combined.items())
         merged: Dict[Any, Any] = {}
         if incoming_combined:
             for k, c in records:

@@ -23,6 +23,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.engine import effects
+
 
 @dataclass
 class CachedBlock:
@@ -67,6 +69,16 @@ class BlockStore:
         # intact, not drop it and then refuse the replacement.
         if capacity is not None and nbytes > capacity:
             return False
+        sink = effects.active()
+        if sink is not None:
+            # Deferred attempt: buffer the insert; the scheduler replays
+            # it at the task's serial position. The capacity rejection
+            # above depends only on (node, nbytes), so deciding it here
+            # matches serial exactly.
+            block = CachedBlock(records=records, nbytes=nbytes, node=node)
+            sink.cache_writes[key] = block
+            sink.ops.append(("cache_put", key, records, nbytes, node))
+            return True
         old = self._index.get(key)
         if old is not None:
             self._remove(key, old)
@@ -86,12 +98,34 @@ class BlockStore:
 
     def get(self, rdd_id: int, split: int) -> Optional[CachedBlock]:
         key = (rdd_id, split)
+        sink = effects.active()
+        if sink is not None:
+            own = sink.cache_writes.get(key)
+            if own is not None:
+                sink.ops.append(("cache_get_own", key))
+                return own
+            block = self._index.get(key)
+            # Record the exact block seen (or the miss); the apply phase
+            # re-validates the identity and replays the LRU touch.
+            sink.ops.append(("cache_get", key, block))
+            return block
         block = self._index.get(key)
         if block is not None:
             # Touch for LRU recency.
             lru = self._by_node[block.node]
             lru.move_to_end(key)
         return block
+
+    def peek(self, rdd_id: int, split: int) -> Optional[CachedBlock]:
+        """Read without the LRU touch (effect validation)."""
+        return self._index.get((rdd_id, split))
+
+    def touch(self, rdd_id: int, split: int) -> None:
+        """Replay the LRU-recency side effect of a deferred get."""
+        key = (rdd_id, split)
+        block = self._index.get(key)
+        if block is not None:
+            self._by_node[block.node].move_to_end(key)
 
     def location(self, rdd_id: int, split: int) -> Optional[str]:
         block = self._index.get((rdd_id, split))

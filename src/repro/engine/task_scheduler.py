@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Deque, Dict, Optional
 
 from repro.common.errors import ConfigurationError, FetchFailure, SchedulingError
 from repro.common.rng import derive_seed, seeded_rng
+from repro.engine import effects
 from repro.engine.executor import TaskRunner
 from repro.engine.listener import TaskMetrics
 from repro.engine.task import Task
@@ -50,7 +51,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.dag_scheduler import StageRun
 
 
-@dataclass
+# eq=False throughout: these are identity objects. Value equality made
+# every `in` / `.remove` on the running-task list an O(fields) deep
+# compare per element — and could remove the *wrong* equal-valued
+# instance.
+
+
+@dataclass(eq=False)
 class _ExecutorState:
     spec: "NodeSpec"
     free_cores: int
@@ -58,7 +65,7 @@ class _ExecutorState:
     alive: bool = True
 
 
-@dataclass
+@dataclass(eq=False)
 class _Attempt:
     """One running attempt of a task (speculation may run two)."""
 
@@ -70,9 +77,13 @@ class _Attempt:
     # Kept for span emission: the priced components and jittered total.
     breakdown: object = None
     duration: float = 0.0
+    # Network-contention sharers, snapshotted at grant time: serial
+    # reads executor.running right after its own reservation, before any
+    # later grant, so a batched apply must not recompute it.
+    sharers: int = 1
 
 
-@dataclass
+@dataclass(eq=False)
 class _QueuedTask:
     stage_run: "StageRun"
     task: Task
@@ -173,13 +184,33 @@ class TaskScheduler:
     def _dispatch(self) -> None:
         if not self._queue:
             return
+        # Fast path: with no free core anywhere, pass 1 would defer every
+        # task unchanged and pass 2 would break immediately — skip the
+        # O(queue) scan (a real cost: _dispatch runs after every task
+        # completion, and busy phases keep thousands of tasks queued).
+        if not any(
+            e.alive and e.free_cores > 0 for e in self._executors.values()
+        ):
+            self._m_queue_depth.set(len(self._queue))
+            return
+        # Batched (threaded) dispatch: grant decisions happen serially in
+        # this scan; granted bodies run on the worker pool; effects apply
+        # in grant order afterwards (see _run_batch). Entries: ("run",
+        # queued, attempt) | ("fail", queued, attempt) | ("hold", queued,
+        # deadline) — recorded in serial event order so every
+        # sim.schedule lands with the same (time, seq) as serial.
+        batch: Optional[list] = [] if self._batching_allowed() else None
         # Pass 1: honor locality preferences where a core is free.
         deferred: Deque[_QueuedTask] = deque()
         while self._queue:
             queued = self._queue.popleft()
             executor = self._match_preference(queued.task)
             if executor is not None:
-                self._launch(queued, executor)
+                if batch is None:
+                    self._launch(queued, executor)
+                else:
+                    attempt, fail = self._grant(queued, executor, False)
+                    batch.append(("fail" if fail else "run", queued, attempt))
             else:
                 deferred.append(queued)
         self._queue = deferred
@@ -202,14 +233,65 @@ class TaskScheduler:
             ):
                 if not queued.attempts and not self._wait_timer_set(queued):
                     deadline = queued.enqueued_at + wait
-                    queued._wait_timer = self.ctx.sim.schedule_at(
-                        deadline, self._dispatch
-                    )
+                    if batch is None:
+                        queued._wait_timer = self.ctx.sim.schedule_at(
+                            deadline, self._dispatch
+                        )
+                    else:
+                        batch.append(("hold", queued, deadline))
                 held.append(queued)
                 continue
-            self._launch(queued, executor)
+            if batch is None:
+                self._launch(queued, executor)
+            else:
+                attempt, fail = self._grant(queued, executor, False)
+                batch.append(("fail" if fail else "run", queued, attempt))
         self._queue.extend(held)
+        if batch:
+            self._run_batch(batch)
         self._m_queue_depth.set(len(self._queue))
+
+    def _batching_allowed(self) -> bool:
+        """Thread granted task bodies this dispatch round?
+
+        Only when no shuffle is degraded: with no lost blocks a task body
+        cannot raise FetchFailure, so no mid-scan core release can change
+        which tasks the rest of the scan would grant — the grant
+        decisions computed up front are exactly serial's. Chaos /
+        node-loss rounds therefore always take the inline serial path.
+        """
+        return (
+            self.ctx.conf.physical_parallelism > 1
+            and not self.ctx.shuffle_manager.has_lost_blocks()
+        )
+
+    def _run_batch(self, batch: list) -> None:
+        """Execute a dispatch round's grants, then apply in grant order."""
+        runnable = [i for i, entry in enumerate(batch) if entry[0] == "run"]
+        futures: Dict[int, object] = {}
+        if len(runnable) > 1:
+            pool = effects.worker_pool(self.ctx.conf.physical_parallelism)
+            for i in runnable:
+                _, queued, attempt = batch[i]
+                futures[i] = pool.submit(
+                    self.runner.execute_deferred,
+                    queued.stage_run.stage,
+                    queued.task,
+                    attempt.executor.spec,
+                    queued.stage_run.result_fn,
+                )
+        for i, entry in enumerate(batch):
+            kind, queued = entry[0], entry[1]
+            if kind == "hold":
+                queued._wait_timer = self.ctx.sim.schedule_at(
+                    entry[2], self._dispatch
+                )
+            elif kind == "fail":
+                self._schedule_failure(queued, entry[2])
+            else:
+                future = futures.get(i)
+                eff = future.result() if future is not None else None
+                self._finish_launch(queued, entry[2], eff)
 
     @staticmethod
     def _wait_timer_set(queued: "_QueuedTask") -> bool:
@@ -246,34 +328,61 @@ class TaskScheduler:
         executor: _ExecutorState,
         speculative: bool = False,
     ) -> None:
+        attempt, fail = self._grant(queued, executor, speculative)
+        if fail:
+            self._schedule_failure(queued, attempt)
+            return
+        self._finish_launch(queued, attempt, None)
+
+    def _grant(
+        self,
+        queued: _QueuedTask,
+        executor: _ExecutorState,
+        speculative: bool,
+    ) -> "tuple[_Attempt, bool]":
+        """Reserve a core and do the launch bookkeeping (serial order)."""
         executor.free_cores -= 1
         executor.running += 1
-        sim = self.ctx.sim
-        start = sim.now
-        task = queued.task
-        stage_run = queued.stage_run
+        start = self.ctx.sim.now
         attempt = _Attempt(executor=executor, start=start, speculative=speculative)
+        attempt.sharers = min(executor.running, executor.spec.cores)
         queued.attempts.append(attempt)
         if queued not in self._running_tasks:
             self._running_tasks.append(queued)
         self._m_tasks_launched.inc()
         if not speculative:
             self._m_queue_wait.observe(max(0.0, start - queued.enqueued_at))
+        return attempt, self._should_fail(queued.stage_run, queued.task, speculative)
 
-        if self._should_fail(stage_run, task, speculative):
-            # The attempt dies partway through: burn some simulated time
-            # on the core, produce no side effects, then retry (unless a
-            # sibling attempt is still running).
-            fail_after = self._failure_delay(stage_run, task)
-            attempt.event = sim.schedule(
-                fail_after, self._on_attempt_failed, queued, attempt
-            )
-            return
+    def _schedule_failure(self, queued: _QueuedTask, attempt: _Attempt) -> None:
+        # The attempt dies partway through: burn some simulated time
+        # on the core, produce no side effects, then retry (unless a
+        # sibling attempt is still running).
+        fail_after = self._failure_delay(queued.stage_run, queued.task)
+        attempt.event = self.ctx.sim.schedule(
+            fail_after, self._on_attempt_failed, queued, attempt
+        )
 
+    def _finish_launch(
+        self,
+        queued: _QueuedTask,
+        attempt: _Attempt,
+        eff: Optional["effects.TaskEffects"],
+    ) -> None:
+        sim = self.ctx.sim
+        start = attempt.start
+        task = queued.task
+        stage_run = queued.stage_run
+        executor = attempt.executor
         try:
-            breakdown, tctx, result = self.runner.execute(
-                stage_run.stage, task, executor.spec, stage_run.result_fn
-            )
+            if eff is None:
+                breakdown, tctx, result = self.runner.execute(
+                    stage_run.stage, task, executor.spec, stage_run.result_fn
+                )
+            else:
+                breakdown, tctx, result = self.runner.finish_deferred(
+                    eff, stage_run.stage, task, executor.spec, stage_run.result_fn
+                )
         except FetchFailure as failure:
             # The task's shuffle inputs died with a node. Free the core,
             # then hand the task to the DAG scheduler: it resubmits the
@@ -292,9 +401,8 @@ class TaskScheduler:
         if self.ctx.conf.cost.network_contention:
             # The NIC is shared: remote fetch slows with the node's
             # concurrency at launch (a coarse fair-share model).
-            sharers = min(executor.running, executor.spec.cores)
-            breakdown.shuffle_fetch *= max(1, sharers)
-        duration = breakdown.total * self._jitter(stage_run, task, speculative)
+            breakdown.shuffle_fetch *= max(1, attempt.sharers)
+        duration = breakdown.total * self._jitter(stage_run, task, attempt.speculative)
         attempt.working_bytes = tctx.max_partition_bytes
         attempt.breakdown = breakdown
         attempt.duration = duration

@@ -36,6 +36,18 @@ class Workload:
         self.physical_scale = physical_scale
         self.seed = seed
 
+    @staticmethod
+    def check_physical_records(value: int) -> int:
+        """Reject a nonsensical physical sample size up front.
+
+        Subclasses clamp small requests up to a workable floor, which
+        would otherwise turn ``physical_records=0`` into a silent
+        default instead of an error.
+        """
+        if value < 1:
+            raise WorkloadError(f"physical_records must be >= 1, got {value}")
+        return value
+
     def run(self, ctx: AnalyticsContext, scale: float = 1.0) -> WorkloadResult:
         raise NotImplementedError
 

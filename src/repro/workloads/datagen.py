@@ -15,8 +15,8 @@ and CHOPPER runs compute identical answers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from dataclasses import astuple, dataclass
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
@@ -27,6 +27,19 @@ from repro.engine.context import AnalyticsContext
 from repro.engine.rdd import SourceRDD
 
 BLOCK = 64  # records per generation micro-block
+
+# Generated micro-blocks, keyed by (generator type, generator fields,
+# stream label, block id). Blocks are pure functions of that key, and the
+# engine re-materializes sources many times per run (and dozens of times
+# per profiling sweep), so memoizing them trades memory for a large
+# constant factor of generation work. Consumers must treat cached records
+# as immutable — every built-in workload already does.
+_BLOCK_CACHE: Dict[tuple, List] = {}
+
+
+def clear_block_cache() -> None:
+    """Drop memoized micro-blocks (isolation hook for benchmarks)."""
+    _BLOCK_CACHE.clear()
 
 
 @dataclass
@@ -58,20 +71,30 @@ class _GenBase:
         return min(BLOCK, self.physical_records - block * BLOCK)
 
     def _gather(
-        self, split: int, num_splits: int, block_fn: Callable[[int], List]
+        self,
+        split: int,
+        num_splits: int,
+        block_fn: Callable[[int], List],
+        label: str,
     ) -> List:
         """Records of one split, assembled from whole/partial micro-blocks.
 
         ``block_fn(b)`` must deterministically return block ``b``'s
-        records (length ``_block_len(b)``).
+        records (length ``_block_len(b)``); ``label`` names the stream
+        (the same label passed to ``_block_rng``) so blocks can be
+        memoized across materializations in ``_BLOCK_CACHE``.
         """
         start, end = self._split_range(split, num_splits)
         if end <= start:
             return []
         out: List = []
+        key_base = (type(self).__name__, astuple(self), label)
         first, last = start // BLOCK, (end - 1) // BLOCK
         for block in range(first, last + 1):
-            records = block_fn(block)
+            key = key_base + (block,)
+            records = _BLOCK_CACHE.get(key)
+            if records is None:
+                _BLOCK_CACHE[key] = records = block_fn(block)
             lo = max(start - block * BLOCK, 0)
             hi = min(end - block * BLOCK, len(records))
             out.extend(records[lo:hi])
@@ -106,7 +129,7 @@ class KMeansDataGen(_GenBase):
 
         scale = self._size_scale(np.zeros(self.dim))
         return ctx.source(
-            lambda split, splits: self._gather(split, splits, block),
+            lambda split, splits: self._gather(split, splits, block, "kmeans"),
             num_partitions, size_scale=scale, op_name="kmeans-points",
             cost=self.parse_cost,
         )
@@ -135,7 +158,7 @@ class PCADataGen(_GenBase):
 
         scale = self._size_scale(np.zeros(self.dim))
         return ctx.source(
-            lambda split, splits: self._gather(split, splits, block),
+            lambda split, splits: self._gather(split, splits, block, "pca"),
             num_partitions, size_scale=scale, op_name="pca-rows",
             cost=self.parse_cost,
         )
@@ -176,7 +199,7 @@ class SQLTableGen(_GenBase):
             / (estimate_size((0, 0, 0, 0.0)) * self.physical_records)
         )
         return ctx.source(
-            lambda split, splits: self._gather(split, splits, block),
+            lambda split, splits: self._gather(split, splits, block, "orders"),
             num_partitions, size_scale=scale, op_name="orders",
             cost=self.parse_cost,
         )
@@ -237,7 +260,7 @@ class LabeledDataGen(_GenBase):
 
         scale = self._size_scale((np.zeros(self.dim), 0))
         return ctx.source(
-            lambda split, splits: self._gather(split, splits, block),
+            lambda split, splits: self._gather(split, splits, block, "lr"),
             num_partitions, size_scale=scale, op_name="labeled-points",
             cost=self.parse_cost,
         )
@@ -260,7 +283,7 @@ class TextDataGen(_GenBase):
         sample = " ".join(["w1000"] * self.words_per_line)
         scale = self._size_scale(sample)
         return ctx.source(
-            lambda split, splits: self._gather(split, splits, block),
+            lambda split, splits: self._gather(split, splits, block, "text"),
             num_partitions, size_scale=scale, op_name="text-lines",
             cost=self.parse_cost,
         )
@@ -285,7 +308,7 @@ class EdgeDataGen(_GenBase):
 
         scale = self._size_scale((0, 0))
         return ctx.source(
-            lambda split, splits: self._gather(split, splits, block),
+            lambda split, splits: self._gather(split, splits, block, "edges"),
             num_partitions, size_scale=scale, op_name="edges",
             cost=self.parse_cost,
         )

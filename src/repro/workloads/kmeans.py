@@ -51,7 +51,8 @@ class KMeansWorkload(Workload):
         self.dim = dim
         self.lloyd_iterations = lloyd_iterations
         self.init_rounds = init_rounds
-        self.physical_records = max(64, int(physical_records * physical_scale))
+        records = self.check_physical_records(physical_records)
+        self.physical_records = max(64, int(records * physical_scale))
 
     def expected_stage_count(self) -> int:
         return 2 + 2 * self.init_rounds + 2 * self.lloyd_iterations + 2
@@ -146,7 +147,8 @@ class KMeansWorkload(Workload):
             return (a[0] + b[0], a[1] + b[1])
 
         assigned = points.map_partitions(assign, op_name="assign", cost=2.0)
-        totals = assigned.reduce_by_key(merge).collect_as_map()
+        # merge is elementwise + over (vec, count) tuples: numeric_add.
+        totals = assigned.reduce_by_key(merge, numeric_add=True).collect_as_map()
         new_centers = centers.copy()
         for cid, (vec_sum, count) in totals.items():
             if count > 0:
@@ -164,7 +166,7 @@ class KMeansWorkload(Workload):
 
         return (
             points.map_partitions(sizes, op_name="clusterSizes", cost=1.6)
-            .reduce_by_key(lambda a, b: a + b)
+            .reduce_by_key(lambda a, b: a + b, numeric_add=True)
             .collect_as_map()
         )
 

@@ -41,7 +41,8 @@ class LogisticRegressionWorkload(Workload):
         self.iterations = iterations
         self.learning_rate = learning_rate
         self.agg_scale = agg_scale
-        self.physical_records = max(128, int(physical_records * physical_scale))
+        records = self.check_physical_records(physical_records)
+        self.physical_records = max(128, int(records * physical_scale))
 
     def expected_stage_count(self) -> int:
         return 1 + 2 * self.iterations + 1
@@ -74,7 +75,9 @@ class LogisticRegressionWorkload(Workload):
                 gradient, op_name="lrGradient", cost=2.0, out_scale=1.0
             )
             total = np.zeros(self.dim)
-            for _k, g in partials.reduce_by_key(lambda a, b: a + b).collect():
+            for _k, g in partials.reduce_by_key(
+                lambda a, b: a + b, numeric_add=True
+            ).collect():
                 total = total + g
             weights = weights - self.learning_rate * total / n
 

@@ -37,7 +37,8 @@ class PageRankWorkload(Workload):
         self.iterations = iterations
         self.damping = damping
         self.link_partitions = link_partitions
-        self.physical_records = max(256, int(physical_records * physical_scale))
+        records = self.check_physical_records(physical_records)
+        self.physical_records = max(256, int(records * physical_scale))
 
     def run(self, ctx: AnalyticsContext, scale: float = 1.0) -> WorkloadResult:
         gen = EdgeDataGen(
@@ -64,7 +65,7 @@ class PageRankWorkload(Workload):
                 op_name="contribByTarget",
             )
             summed = by_target.reduce_by_key(
-                lambda a, b: a + b, partitioner=partitioner
+                lambda a, b: a + b, partitioner=partitioner, numeric_add=True
             )
             ranks = summed.map_values(
                 lambda total: (1.0 - self.damping) + self.damping * total

@@ -48,7 +48,8 @@ class PCAWorkload(Workload):
         self.components = components
         self.power_iterations = power_iterations
         self.agg_scale = agg_scale
-        self.physical_records = max(64, int(physical_records * physical_scale))
+        records = self.check_physical_records(physical_records)
+        self.physical_records = max(64, int(records * physical_scale))
 
     def expected_stage_count(self) -> int:
         return 1 + 2 + 2 + 2 * self.power_iterations + 1
@@ -133,7 +134,7 @@ class PCAWorkload(Workload):
 
         combined = rows.map_partitions(
             partials, op_name=op_name, cost=cost, out_scale=1.0
-        ).reduce_by_key(lambda a, b: a + b, num_partitions=None)
+        ).reduce_by_key(lambda a, b: a + b, num_partitions=None, numeric_add=True)
         acc = zero.copy()
         for _k, v in combined.collect():
             acc = acc + v

@@ -60,7 +60,8 @@ class SQLWorkload(Workload):
         self.input_bytes = virtual_gb * GB
         self.n_customers = n_customers
         self.n_regions = n_regions
-        self.physical_records = max(256, int(physical_records * physical_scale))
+        records = self.check_physical_records(physical_records)
+        self.physical_records = max(256, int(records * physical_scale))
         # When set, the driver pins the per-customer aggregation to an
         # explicit partition count (a user-fixed scheme) — the setup for
         # CHOPPER's gamma-gated repartition insertion (§III-C).
@@ -86,6 +87,7 @@ class SQLWorkload(Workload):
         per_customer = by_customer.reduce_by_key(
             lambda a, b: a + b,
             num_partitions=self.fixed_agg_partitions,
+            numeric_add=True,
         )
 
         joined = per_customer.join(customers)
@@ -94,7 +96,7 @@ class SQLWorkload(Workload):
             op_name="projectRegion",
             cost=1.1,
         )
-        revenue = by_region.reduce_by_key(lambda a, b: a + b)
+        revenue = by_region.reduce_by_key(lambda a, b: a + b, numeric_add=True)
 
         if self.sort_output:
             result = revenue.sort_by_key().collect()

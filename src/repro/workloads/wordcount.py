@@ -28,7 +28,8 @@ class WordCountWorkload(Workload):
         self.input_bytes = virtual_gb * GB
         self.vocabulary = vocabulary
         self.top_n = top_n
-        self.physical_records = max(64, int(physical_records * physical_scale))
+        records = self.check_physical_records(physical_records)
+        self.physical_records = max(64, int(records * physical_scale))
 
     def run(self, ctx: AnalyticsContext, scale: float = 1.0) -> WorkloadResult:
         gen = TextDataGen(
@@ -44,6 +45,6 @@ class WordCountWorkload(Workload):
 
         counts = lines.map_partitions(
             tokenize, op_name="tokenize", cost=1.3
-        ).reduce_by_key(lambda a, b: a + b)
+        ).reduce_by_key(lambda a, b: a + b, numeric_add=True)
         top = sorted(counts.collect(), key=lambda kv: (-kv[1], kv[0]))[: self.top_n]
         return WorkloadResult(value=top, details={"distinct": counts.count()})

@@ -80,9 +80,12 @@ def _capture_payloads(monkeypatch, job, reference: bool):
     if reference:
         monkeypatch.setattr(TaskRunner, "_run_map_task", _reference_run_map_task)
     cost = CostModelConfig(jitter_sigma=0.0, driver_dispatch_interval=0.0)
+    # physical_parallelism pinned to 1: this test intercepts
+    # put_map_output at the worker boundary, where threaded execution
+    # calls it in completion order (the *applied* order stays serial).
     ctx = AnalyticsContext(
         uniform_cluster(n_workers=2, cores=2),
-        EngineConf(default_parallelism=4, cost=cost),
+        EngineConf(default_parallelism=4, cost=cost, physical_parallelism=1),
     )
     result = job(ctx)
     monkeypatch.undo()

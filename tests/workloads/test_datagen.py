@@ -33,7 +33,7 @@ class TestInvariantsAcrossSplits:
             for split in range(n_splits):
                 rows.extend(
                     tuple(v) for v in gen._gather(
-                        split, n_splits, self._kmeans_block(gen)
+                        split, n_splits, self._kmeans_block(gen), "kmeans"
                     )
                 )
             return rows
