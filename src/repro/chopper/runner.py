@@ -18,6 +18,7 @@ Mirrors the paper's system flow (§III, Fig. 5):
 
 from __future__ import annotations
 
+import dataclasses
 from contextlib import ExitStack, nullcontext
 from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -33,7 +34,7 @@ from repro.chopper.workload_db import WorkloadDB, WorkloadDag
 from repro.cluster.cluster import Cluster, paper_cluster
 from repro.common.errors import ConfigurationError, ModelError
 from repro.engine.context import AnalyticsContext, EngineConf
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import LedgerCollector, MetricsRegistry, RunLedger, Tracer
 from repro.workloads.base import Workload, WorkloadResult
 
 
@@ -72,9 +73,11 @@ class ChopperRunner:
     gamma: float = GAMMA_DEFAULT
     # Observability: when set, every measured run of this pipeline lands
     # on one shared trace timeline / metrics registry (CLI --trace /
-    # --metrics on `compare`).
+    # --metrics on `compare`), and/or appends a structured entry to the
+    # run ledger (CLI --ledger).
     tracer: Optional[Tracer] = None
     metrics_registry: Optional[MetricsRegistry] = None
+    ledger: Optional[RunLedger] = None
 
     def __post_init__(self) -> None:
         if self.weights is None:
@@ -102,12 +105,17 @@ class ChopperRunner:
         ``jobs`` > 1 fans the independent test runs over a process pool
         (default: ``base_conf.physical_parallelism``); records merge
         into the DB in the serial loop's order, so the DB is
-        bit-identical to a serial sweep. Traced/metered runners and
-        unpicklable workloads fall back to the serial loop.
+        bit-identical to a serial sweep. Traced/metered/ledgered runners
+        and unpicklable workloads fall back to the serial loop.
         """
         jobs = self._resolve_jobs(jobs)
         with self._phase("profile", grid=list(p_grid), scales=list(scales)):
-            if jobs > 1 and self.tracer is None and self.metrics_registry is None:
+            if (
+                jobs > 1
+                and self.tracer is None
+                and self.metrics_registry is None
+                and self.ledger is None
+            ):
                 runs = self._profile_parallel(p_grid, kinds, scales, jobs)
                 if runs is not None:
                     return runs
@@ -263,7 +271,12 @@ class ChopperRunner:
         driver); their outcomes carry ``ctx=None``.
         """
         jobs = self._resolve_jobs(jobs)
-        if jobs > 1 and self.tracer is None and self.metrics_registry is None:
+        if (
+            jobs > 1
+            and self.tracer is None
+            and self.metrics_registry is None
+            and self.ledger is None
+        ):
             outcomes = self._compare_parallel(mode, scale, jobs)
             if outcomes is not None:
                 return outcomes
@@ -314,6 +327,9 @@ class ChopperRunner:
         collector = StatisticsCollector(
             self.workload.name, self.workload.virtual_bytes(scale)
         )
+        ledger_collector = (
+            LedgerCollector() if self.ledger is not None else None
+        )
         with ExitStack() as stack:
             if self.tracer is not None:
                 # Each measured run gets its own context (sim clock starts
@@ -321,11 +337,83 @@ class ChopperRunner:
                 # pipeline renders as consecutive runs on one timeline.
                 ctx.obs.set_tracer(self.tracer)
                 stack.enter_context(self.tracer.scope(label, scale=scale))
+            if ledger_collector is not None:
+                stack.enter_context(ledger_collector.attached(ctx))
             stack.enter_context(collector.attached(ctx))
             result = self.workload.run(ctx, scale=scale)
         record = collector.record
         record.total_time = ctx.now
+        if ledger_collector is not None:
+            assert self.ledger is not None
+            body = ledger_collector.body()
+            body["scale"] = scale
+            body["input_bytes"] = self.workload.virtual_bytes(scale)
+            body["config"] = dataclasses.asdict(conf)
+            body["cluster"] = dict(ctx.obs.nodes)
+            body["chopper"] = self._advisor_summary(advisor)
+            body["model_eval"] = self._model_eval(record)
+            self.ledger.append(self.workload.name, label, body)
         return RunOutcome(label=label, record=record, result=result, ctx=ctx)
+
+    @staticmethod
+    def _advisor_summary(advisor) -> Optional[dict]:
+        """What partitioning advice drove the run, for the ledger entry."""
+        if advisor is None:
+            return None
+        if isinstance(advisor, ChopperAdvisor):
+            return {
+                "advisor": "chopper",
+                "schemes": [
+                    e.to_dict() for e in advisor.config.entries.values()
+                ],
+            }
+        if isinstance(advisor, ProfilingAdvisor):
+            return {
+                "advisor": "profiling",
+                "kind": advisor.scheme.kind,
+                "P": advisor.scheme.num_partitions,
+            }
+        return {"advisor": type(advisor).__name__}
+
+    def _model_eval(self, record: RunRecord) -> Optional[dict]:
+        """Predicted-vs-actual per stage, where trained models exist.
+
+        None before train(); after it, one row per observed stage whose
+        (signature, partitioner kind) has a fitted model — actuals from
+        this run, predictions and fit quality (R² on the DB's training
+        samples) from :mod:`repro.chopper.model`.
+        """
+        rows = []
+        for o in record.observations:
+            kind = o.partitioner_kind or "hash"
+            if not self.db.has_model(record.workload, o.signature, kind):
+                continue
+            model = self.db.model(record.workload, o.signature, kind)
+            predicted_time = model.predict_time(o.input_bytes, o.num_partitions)
+            predicted_shuffle = model.predict_shuffle(
+                o.input_bytes, o.num_partitions
+            )
+            training = self.db.observations(
+                record.workload, signature=o.signature, partitioner_kind=kind
+            )
+            rows.append(
+                {
+                    "signature": o.signature,
+                    "partitioner": kind,
+                    "P": o.num_partitions,
+                    "input_bytes": o.input_bytes,
+                    "predicted_time": predicted_time,
+                    "actual_time": o.duration,
+                    "time_residual": o.duration - predicted_time,
+                    "predicted_shuffle": predicted_shuffle,
+                    "actual_shuffle": o.shuffle_bytes,
+                    "shuffle_residual": o.shuffle_bytes - predicted_shuffle,
+                    "r2_time": model.r2_time(training),
+                    "r2_shuffle": model.r2_shuffle(training),
+                    "n_training_samples": model.n_samples,
+                }
+            )
+        return {"per_stage": rows} if rows else None
 
 
 def improvement(vanilla: RunOutcome, chopper: RunOutcome) -> float:

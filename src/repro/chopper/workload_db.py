@@ -212,6 +212,14 @@ class WorkloadDB:
     ) -> bool:
         return (workload, signature, partitioner_kind) in self._models
 
+    def models(self, workload: str) -> Dict[Tuple[str, str], StagePerfModel]:
+        """All trained models of one workload: (signature, kind) -> model."""
+        return {
+            (signature, kind): model
+            for (w, signature, kind), model in sorted(self._models.items())
+            if w == workload
+        }
+
     # -- persistence -------------------------------------------------------
 
     def save(self, path: str | Path) -> None:

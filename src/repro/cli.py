@@ -23,10 +23,15 @@ from dataclasses import replace
 from repro.chopper import ChopperAdvisor, ChopperRunner, WorkloadConfig, improvement
 from repro.chopper.workload_db import WorkloadDB
 from repro.cluster import paper_cluster
-from repro.common.errors import ConfigurationError, ReproError, WorkloadError
+from repro.common.errors import (
+    ConfigurationError,
+    LedgerError,
+    ReproError,
+    WorkloadError,
+)
 from repro.common.units import fmt_bytes, fmt_duration
 from repro.engine import AnalyticsContext, EngineConf
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import LedgerCollector, MetricsRegistry, RunLedger, Tracer
 from repro.workloads import (
     KMeansWorkload,
     LogisticRegressionWorkload,
@@ -98,6 +103,8 @@ def make_runner(args: argparse.Namespace) -> ChopperRunner:
         runner.tracer = Tracer()
     if getattr(args, "metrics", None):
         runner.metrics_registry = MetricsRegistry()
+    if getattr(args, "ledger", None):
+        runner.ledger = RunLedger(args.ledger)
     return runner
 
 
@@ -127,6 +134,8 @@ def cmd_workloads(args: argparse.Namespace, out) -> int:
 
 
 def cmd_run(args: argparse.Namespace, out) -> int:
+    import dataclasses
+
     workload = build_workload(args)
     metrics = MetricsRegistry() if args.metrics else None
     ctx = AnalyticsContext(
@@ -140,18 +149,35 @@ def cmd_run(args: argparse.Namespace, out) -> int:
     if args.trace:
         tracer = Tracer()
         ctx.obs.set_tracer(tracer)
+    advisor = None
     if args.config:
         ctx.conf.copartition_scheduling = True
-        ctx.set_advisor(ChopperAdvisor(WorkloadConfig.load(args.config)))
+        advisor = ChopperAdvisor(WorkloadConfig.load(args.config))
+        ctx.set_advisor(advisor)
     from repro.chopper import HistoryLogger, StatisticsCollector
+    from repro.chopper.runner import ChopperRunner as _Runner
 
     logger = HistoryLogger.attach(ctx, args.history) if args.history else None
+    ledger_collector = LedgerCollector() if args.ledger else None
+    if ledger_collector is not None:
+        ledger_collector.attach(ctx)
     collector = StatisticsCollector(workload.name, workload.virtual_bytes(args.scale))
     with collector.attached(ctx):
         workload.run(ctx, scale=args.scale)
     if logger is not None:
         logger.detach()
         out.write(f"history -> {args.history}\n")
+    if ledger_collector is not None:
+        ledger_collector.detach()
+        body = ledger_collector.body()
+        body["scale"] = args.scale
+        body["input_bytes"] = workload.virtual_bytes(args.scale)
+        body["config"] = dataclasses.asdict(ctx.conf)
+        body["cluster"] = dict(ctx.obs.nodes)
+        body["chopper"] = _Runner._advisor_summary(advisor)
+        body["model_eval"] = None
+        run_id = RunLedger(args.ledger).append(workload.name, "run", body)
+        out.write(f"ledger {run_id} -> {args.ledger}\n")
     if tracer is not None:
         tracer.save(args.trace)
         out.write(f"trace -> {args.trace}\n")
@@ -168,14 +194,91 @@ def cmd_run(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def cmd_report(args: argparse.Namespace, out) -> int:
-    """Render a history file as a per-stage table."""
-    from repro.chopper import load_history_record
+def _sniff_report_input(path: str) -> str:
+    """Classify a report input file: 'history' or 'ledger'.
 
-    record = load_history_record(args.history, workload="history", input_bytes=1.0)
-    print_stage_table(out, record.observations)
-    out.write(f"total stage span: {fmt_duration(record.total_time)}\n")
+    Both are JSONL; a history file starts with its ``{"event": "header"}``
+    line, a ledger entry carries a ``run_id``.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            first = fh.readline().strip()
+    except OSError as exc:
+        raise LedgerError(f"cannot read {path}: {exc.strerror or exc}") from None
+    if not first:
+        raise LedgerError(f"{path} is empty")
+    try:
+        head = json.loads(first)
+    except json.JSONDecodeError:
+        raise LedgerError(
+            f"{path} is neither a history file nor a run ledger "
+            f"(first line is not JSON)"
+        ) from None
+    if isinstance(head, dict) and head.get("event") == "header":
+        return "history"
+    if isinstance(head, dict) and "run_id" in head:
+        return "ledger"
+    raise LedgerError(
+        f"{path} is neither a history file nor a run ledger "
+        f"(unrecognized first line)"
+    )
+
+
+def cmd_report(args: argparse.Namespace, out) -> int:
+    """Render a history file (text table) or a ledger run (HTML)."""
+    if _sniff_report_input(args.history) == "history":
+        from repro.chopper import load_history_record
+
+        record = load_history_record(
+            args.history, workload="history", input_bytes=1.0
+        )
+        print_stage_table(out, record.observations)
+        out.write(f"total stage span: {fmt_duration(record.total_time)}\n")
+        return 0
+
+    from repro.reporting import html_report
+
+    ledger = RunLedger(args.history)
+    if args.run:
+        entry = ledger.read(args.run)
+    else:
+        entries = ledger.entries()
+        if not entries:
+            raise LedgerError(f"{args.history} holds no runs")
+        entry = entries[-1]
+    html = html_report(entry)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(html)
+        out.write(f"report {entry['run_id']} -> {args.out}\n")
+    else:
+        out.write(html + "\n")
     return 0
+
+
+def cmd_diff_runs(args: argparse.Namespace, out) -> int:
+    """Compare two ledger runs; non-zero exit on a regression (CI gate)."""
+    from repro.obs.diagnostics import diff_runs
+
+    ledger = RunLedger(args.ledger)
+    diff = diff_runs(
+        ledger.read(args.run_a),
+        ledger.read(args.run_b),
+        time_threshold=args.threshold,
+        shuffle_threshold=args.shuffle_threshold,
+    )
+    out.write(
+        f"wall clock: {diff.wall_clock_a:.3f}s -> {diff.wall_clock_b:.3f}s "
+        f"({diff.time_delta * 100:+.1f}%)\n"
+        f"shuffle:    {fmt_bytes(diff.shuffle_a)} -> "
+        f"{fmt_bytes(diff.shuffle_b)} ({diff.shuffle_delta * 100:+.1f}%)\n"
+    )
+    if diff.ok:
+        out.write("ok: no regression\n")
+        return 0
+    for line in diff.regressions:
+        out.write(f"REGRESSION: {line}\n")
+    return 1
 
 
 def cmd_profile(args: argparse.Namespace, out) -> int:
@@ -239,6 +342,9 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
                         help="write a Chrome-trace JSON of the run(s)")
     parser.add_argument("--metrics", default=None, metavar="PATH",
                         help="write a metrics-registry JSON snapshot")
+    parser.add_argument("--ledger", default=None, metavar="PATH",
+                        help="append structured run entries to this JSONL "
+                             "run ledger")
 
 
 def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
@@ -293,8 +399,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(p_run)
     _add_chaos_args(p_run)
 
-    p_report = sub.add_parser("report", help="render a history file")
-    p_report.add_argument("history", help="history JSONL produced by run --history")
+    p_report = sub.add_parser(
+        "report", help="render a history file (text) or a ledger run (HTML)"
+    )
+    p_report.add_argument(
+        "history",
+        help="history JSONL (run --history) or run ledger (--ledger)",
+    )
+    p_report.add_argument("--run", default=None, metavar="RUN_ID",
+                          help="ledger run to render (default: the latest)")
+    p_report.add_argument("--out", default=None, metavar="PATH",
+                          help="write the HTML report here instead of stdout")
 
     p_profile = sub.add_parser("profile", help="test-run sweep -> workload DB")
     _add_workload_args(p_profile)
@@ -302,6 +417,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--grid", type=int, nargs="+",
                            default=[100, 200, 300, 500, 800])
     p_profile.add_argument("--scales", type=float, nargs="+", default=[0.33, 1.0])
+    p_profile.add_argument("--ledger", default=None, metavar="PATH",
+                           help="append every profiling run to this run "
+                                "ledger (disables --jobs fan-out)")
     _add_jobs_arg(p_profile)
 
     p_opt = sub.add_parser("optimize", help="workload DB -> config file")
@@ -319,6 +437,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_arg(p_cmp)
     _add_obs_args(p_cmp)
     _add_chaos_args(p_cmp)
+
+    p_diff = sub.add_parser(
+        "diff-runs",
+        help="compare two ledger runs; exit 1 on regression (CI gate)",
+    )
+    p_diff.add_argument("ledger", help="run ledger JSONL")
+    p_diff.add_argument("run_a", help="baseline run id")
+    p_diff.add_argument("run_b", help="candidate run id")
+    p_diff.add_argument("--threshold", type=float, default=0.2,
+                        help="fractional wall-clock regression tolerated "
+                             "(default 0.2 = 20%%)")
+    p_diff.add_argument("--shuffle-threshold", type=float, default=None,
+                        help="fractional shuffle-volume regression tolerated "
+                             "(default: same as --threshold)")
     return parser
 
 
@@ -329,6 +461,7 @@ COMMANDS = {
     "profile": cmd_profile,
     "optimize": cmd_optimize,
     "compare": cmd_compare,
+    "diff-runs": cmd_diff_runs,
 }
 
 

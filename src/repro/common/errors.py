@@ -52,5 +52,9 @@ class ModelError(ReproError):
     """A CHOPPER performance model could not be fitted or evaluated."""
 
 
+class LedgerError(ReproError):
+    """A run ledger file is missing, corrupt, or lacks the requested run."""
+
+
 class WorkloadError(ReproError):
     """A workload was driven with invalid parameters or data."""

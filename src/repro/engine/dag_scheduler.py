@@ -307,6 +307,15 @@ class DAGScheduler:
         stage.completed = True
         job.running.discard(stage.stage_id)
         run.stats.completed_at = self.ctx.sim.now
+        if stage.kind == SHUFFLE_MAP:
+            assert stage.shuffle_dep is not None
+            # Snapshot how the map output landed across reduce partitions
+            # (the skew detector's data-side signal).
+            run.stats.output_partition_bytes = (
+                self.ctx.shuffle_manager.partition_sizes(
+                    stage.shuffle_dep.shuffle_id
+                )
+            )
         self.ctx.stage_stats.append(run.stats)
         job.stats.stages.append(run.stats)
         self.ctx.obs.span(
@@ -317,6 +326,7 @@ class DAGScheduler:
             P=run.stats.num_partitions,
             partitioner=run.stats.partitioner_kind,
             tasks=len(run.stats.tasks),
+            attempt=run.stats.attempt,
             shuffle_read_bytes=run.stats.shuffle_read_bytes,
             shuffle_write_bytes=run.stats.shuffle_write_bytes,
         )

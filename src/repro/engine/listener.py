@@ -31,6 +31,10 @@ class TaskMetrics:
     shuffle_read_local: float = 0.0
     shuffle_read_remote: float = 0.0
     shuffle_write: float = 0.0
+    # Which retry of the logical task this was (0 = first run), and
+    # whether it ran as a speculative backup copy.
+    attempt: int = 0
+    speculative: bool = False
 
     @property
     def duration(self) -> float:
@@ -70,6 +74,10 @@ class StageStats:
     # recovery), covering only the lost map partitions — not a clean
     # observation of the stage at its partition count.
     attempt: int = 0
+    # Per-reduce-partition output bytes of a shuffle-map stage, filled at
+    # completion from the shuffle manager; empty for result stages. The
+    # data-side skew signal (task durations only show the compute side).
+    output_partition_bytes: List[float] = field(default_factory=list)
 
     @property
     def duration(self) -> float:

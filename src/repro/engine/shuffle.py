@@ -307,6 +307,19 @@ class ShuffleManager:
     def num_reduces(self, shuffle_id: int) -> int:
         return self._state(shuffle_id).num_reduces
 
+    def partition_sizes(self, shuffle_id: int) -> List[float]:
+        """Bytes registered per reduce partition (index = reduce id).
+
+        The data-side view of partition skew: how the map outputs actually
+        distributed over the reduce partitions, including empty ones.
+        """
+        state = self._state(shuffle_id)
+        sizes = [0.0] * state.num_reduces
+        for blocks in state.blocks.values():
+            for reduce_id, block in blocks.items():
+                sizes[reduce_id] += block.nbytes
+        return sizes
+
     def clear(self) -> None:
         self._shuffles.clear()
         self._lost_blocks = 0

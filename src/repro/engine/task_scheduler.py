@@ -419,6 +419,8 @@ class TaskScheduler:
             shuffle_read_local=tctx.shuffle_read_local,
             shuffle_read_remote=tctx.shuffle_read_remote,
             shuffle_write=tctx.shuffle_write,
+            attempt=queued.task.attempt,
+            speculative=attempt.speculative,
         )
         self._record_io_events(tctx, executor.spec, start)
         attempt.event = sim.schedule(
@@ -739,7 +741,7 @@ class TaskScheduler:
     ) -> None:
         """Emit one task-attempt span (plus phase sub-spans for winners)."""
         obs = self.ctx.obs
-        if not obs.tracing:
+        if not obs.emitting:
             return
         task = queued.task
         stats = queued.stage_run.stats

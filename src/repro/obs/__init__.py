@@ -20,8 +20,17 @@ constructed when one is listening.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.diagnostics import (
+    RunDiff,
+    detect_stragglers,
+    diff_runs,
+    gini,
+    model_drift,
+    partition_skew,
+)
+from repro.obs.ledger import LEDGER_VERSION, LedgerCollector, RunLedger
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import TraceEvent, Tracer, save_chrome_trace, to_chrome
 
@@ -45,10 +54,20 @@ class Observability:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.nodes = dict(nodes or {})
         self.tracer: Optional[Tracer] = None
+        self._span_listeners: List[Any] = []
 
     @property
     def tracing(self) -> bool:
         return self.tracer is not None
+
+    @property
+    def emitting(self) -> bool:
+        """Is anyone listening for spans (tracer or e.g. a ledger collector)?
+
+        Span construction is skipped entirely when nothing listens, so
+        the engine's hot paths stay free when unobserved.
+        """
+        return self.tracer is not None or bool(self._span_listeners)
 
     def set_tracer(self, tracer: Optional[Tracer]) -> None:
         """Attach (or detach, with None) a tracer to the listener bus."""
@@ -58,6 +77,19 @@ class Observability:
         if tracer is not None:
             tracer.declare_nodes(self.nodes)
             self._bus.add(tracer)
+
+    def add_span_listener(self, listener: Any) -> None:
+        """Register a listener that wants spans even with no tracer.
+
+        The listener joins the bus like any other (all callbacks fire);
+        additionally its presence turns span emission on.
+        """
+        self._bus.add(listener)
+        self._span_listeners.append(listener)
+
+    def remove_span_listener(self, listener: Any) -> None:
+        self._bus.remove(listener)
+        self._span_listeners.remove(listener)
 
     def span(
         self,
@@ -69,8 +101,8 @@ class Observability:
         key: Optional[Tuple] = None,
         **args: Any,
     ) -> None:
-        """Emit one span through the listener bus; no-op when untraced."""
-        if self.tracer is None:
+        """Emit one span through the listener bus; no-op when unobserved."""
+        if not self.emitting:
             return
         self._bus.span(
             TraceEvent(
@@ -84,10 +116,19 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LEDGER_VERSION",
+    "LedgerCollector",
     "MetricsRegistry",
     "Observability",
+    "RunDiff",
+    "RunLedger",
     "TraceEvent",
     "Tracer",
+    "detect_stragglers",
+    "diff_runs",
+    "gini",
+    "model_drift",
+    "partition_skew",
     "save_chrome_trace",
     "to_chrome",
 ]

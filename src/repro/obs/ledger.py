@@ -1,0 +1,293 @@
+"""Run ledger: an append-only, versioned record of every measured run.
+
+Every engine or CHOPPER run appends one structured JSONL entry — config,
+per-stage timeline, shuffle local/remote byte split, partition-size
+histograms, task-attempt outcomes, chaos events, and (for CHOPPER runs)
+the chosen schemes plus the cost model's predicted-vs-actual numbers.
+The ledger is what the diagnostics passes (:mod:`repro.obs.diagnostics`)
+and the ``repro report`` / ``repro diff-runs`` commands read, so a run is
+explainable and comparable after the fact without re-running it.
+
+Layout: ``<path>`` is the JSONL file (one entry per line), and
+``<path>.index.json`` is a derived sidecar mapping run ids to byte
+offsets so :meth:`RunLedger.read` can seek instead of scan. The sidecar
+is rebuilt from the JSONL whenever it is missing or stale; the JSONL is
+the single source of truth.
+
+Run ids are deterministic — ``{seq:04d}-{workload}-{label}`` — so CI can
+append two runs and diff ``0000-…`` against ``0001-…`` without parsing
+output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.common.errors import LedgerError
+
+LEDGER_VERSION = 1
+
+
+class RunLedger:
+    """Append-only JSONL ledger of run entries, with a seek index."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+
+    @property
+    def index_path(self) -> str:
+        return self.path + ".index.json"
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def append(self, workload: str, label: str, body: Dict[str, Any]) -> str:
+        """Append one entry; returns its assigned deterministic run id."""
+        index = self._index(allow_missing=True)
+        seq = len(index)
+        run_id = f"{seq:04d}-{workload}-{label}"
+        entry = {
+            "version": LEDGER_VERSION,
+            "run_id": run_id,
+            "seq": seq,
+            "workload": workload,
+            "label": label,
+            **body,
+        }
+        offset = os.path.getsize(self.path) if os.path.exists(self.path) else 0
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        index.append(
+            {"run_id": run_id, "workload": workload, "label": label,
+             "offset": offset}
+        )
+        with open(self.index_path, "w", encoding="utf-8") as fh:
+            json.dump({"version": LEDGER_VERSION, "runs": index}, fh, indent=2)
+            fh.write("\n")
+        return run_id
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def runs(self) -> List[Dict[str, Any]]:
+        """Index rows ({run_id, workload, label, offset}) in append order."""
+        if not os.path.exists(self.path):
+            raise LedgerError(f"ledger file not found: {self.path}")
+        return self._index(allow_missing=False)
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """All entries, in append order."""
+        return list(self._scan())
+
+    def read(self, run_id: str) -> Dict[str, Any]:
+        """One entry by run id (seeks via the index)."""
+        for row in self.runs():
+            if row["run_id"] == run_id:
+                with open(self.path, "r", encoding="utf-8") as fh:
+                    fh.seek(row["offset"])
+                    return self._parse(fh.readline(), row["offset"])
+        known = ", ".join(row["run_id"] for row in self._index(True)) or "none"
+        raise LedgerError(
+            f"run {run_id!r} not found in {self.path} (known runs: {known})"
+        )
+
+    # ------------------------------------------------------------------
+
+    def _scan(self) -> Iterator[Dict[str, Any]]:
+        if not os.path.exists(self.path):
+            raise LedgerError(f"ledger file not found: {self.path}")
+        with open(self.path, "r", encoding="utf-8") as fh:
+            offset = 0
+            for line in fh:
+                if line.strip():
+                    yield self._parse(line, offset)
+                offset += len(line.encode("utf-8"))
+
+    def _parse(self, line: str, offset: int) -> Dict[str, Any]:
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise LedgerError(
+                f"corrupt ledger entry in {self.path} at byte {offset}: {exc}"
+            ) from None
+        if not isinstance(entry, dict) or "run_id" not in entry:
+            raise LedgerError(
+                f"corrupt ledger entry in {self.path} at byte {offset}: "
+                f"not a run entry"
+            )
+        return entry
+
+    def _index(self, allow_missing: bool) -> List[Dict[str, Any]]:
+        """Load the sidecar, rebuilding it from the JSONL when stale.
+
+        Staleness test: the sidecar's last offset must point inside the
+        current file and its row count match the entry count implied by
+        appends (a hand-edited or half-copied pair falls back to a scan).
+        """
+        if not os.path.exists(self.path):
+            if allow_missing:
+                return []
+            raise LedgerError(f"ledger file not found: {self.path}")
+        if os.path.exists(self.index_path):
+            try:
+                with open(self.index_path, "r", encoding="utf-8") as fh:
+                    payload = json.load(fh)
+                rows = payload["runs"]
+                size = os.path.getsize(self.path)
+                if all(
+                    isinstance(r, dict) and 0 <= r["offset"] < size
+                    for r in rows
+                ) or not rows:
+                    return rows
+            except (json.JSONDecodeError, KeyError, TypeError, OSError):
+                pass  # fall through to rebuild
+        return [
+            {
+                "run_id": entry["run_id"],
+                "workload": entry.get("workload", ""),
+                "label": entry.get("label", ""),
+                "offset": offset,
+            }
+            for entry, offset in self._scan_with_offsets()
+        ]
+
+    def _scan_with_offsets(self) -> Iterator[tuple]:
+        with open(self.path, "r", encoding="utf-8") as fh:
+            offset = 0
+            for line in fh:
+                if line.strip():
+                    yield self._parse(line, offset), offset
+                offset += len(line.encode("utf-8"))
+
+
+class LedgerCollector:
+    """Listener that assembles one run's ledger entry body.
+
+    Attach around a workload run (it registers as a span listener, so
+    task/chaos spans flow even with no tracer); :meth:`body` afterwards
+    returns the per-run portion of the entry — the caller adds identity
+    (workload/label), the config snapshot, and any CHOPPER extras before
+    handing it to :meth:`RunLedger.append`.
+    """
+
+    def __init__(self) -> None:
+        self.stages: List[Dict[str, Any]] = []
+        self.jobs: List[Dict[str, Any]] = []
+        self.chaos_events: List[Dict[str, Any]] = []
+        self.task_attempts: Dict[str, int] = {}
+        self._shuffle = {"local_bytes": 0.0, "remote_bytes": 0.0,
+                         "write_bytes": 0.0}
+        self._ctx = None
+        self._started_at = 0.0
+
+    # -- Listener callbacks (duck-typed) --------------------------------
+
+    def on_stage_submitted(self, stage_stats) -> None:
+        pass
+
+    def on_task_end(self, task_metrics) -> None:
+        self._shuffle["local_bytes"] += task_metrics.shuffle_read_local
+        self._shuffle["remote_bytes"] += task_metrics.shuffle_read_remote
+        self._shuffle["write_bytes"] += task_metrics.shuffle_write
+
+    def on_stage_completed(self, stats) -> None:
+        tasks = stats.tasks
+        self.stages.append(
+            {
+                "stage_run_id": stats.stage_run_id,
+                "name": stats.name,
+                "signature": stats.signature,
+                "kind": stats.kind,
+                "attempt": stats.attempt,
+                "num_partitions": stats.num_partitions,
+                "partitioner": stats.partitioner_kind,
+                "start": stats.submitted_at,
+                "end": stats.completed_at,
+                "duration": stats.duration,
+                "input_bytes": stats.input_bytes,
+                "shuffle_read_bytes": stats.shuffle_read_bytes,
+                "shuffle_write_bytes": stats.shuffle_write_bytes,
+                "remote_read_bytes": stats.remote_shuffle_read,
+                "skew": stats.skew(),
+                # Parallel arrays, one slot per finished task: the
+                # material for straggler and compute-skew analysis.
+                "tasks": {
+                    "count": len(tasks),
+                    "index": [t.task_index for t in tasks],
+                    "node": [t.node for t in tasks],
+                    "duration": [round(t.duration, 6) for t in tasks],
+                    "attempt": [t.attempt for t in tasks],
+                    "speculative": [t.speculative for t in tasks],
+                    "input_bytes": [round(t.input_bytes, 1) for t in tasks],
+                    "records_out": [t.records_out for t in tasks],
+                },
+                # Bytes per reduce partition of this stage's shuffle
+                # output (data-side skew); empty for result stages.
+                "output_partition_bytes": [
+                    round(b, 1) for b in stats.output_partition_bytes
+                ],
+            }
+        )
+
+    def on_job_end(self, stats) -> None:
+        self.jobs.append(
+            {
+                "job_id": stats.job_id,
+                "start": stats.submitted_at,
+                "end": stats.completed_at,
+                "duration": stats.duration,
+                "stages": len(stats.stages),
+            }
+        )
+
+    def on_span(self, event) -> None:
+        if event.cat == "chaos":
+            self.chaos_events.append(
+                {"t": event.start, "event": event.name, **event.args}
+            )
+        elif event.cat == "task":
+            outcome = event.args.get("outcome", "ok")
+            self.task_attempts[outcome] = self.task_attempts.get(outcome, 0) + 1
+
+    # -- lifecycle -------------------------------------------------------
+
+    def attach(self, ctx) -> "LedgerCollector":
+        ctx.obs.add_span_listener(self)
+        self._ctx = ctx
+        self._started_at = ctx.now
+        return self
+
+    def detach(self) -> None:
+        if self._ctx is not None:
+            self._ctx.obs.remove_span_listener(self)
+
+    def attached(self, ctx) -> "_LedgerScope":
+        return _LedgerScope(self, ctx)
+
+    def body(self) -> Dict[str, Any]:
+        """The run-record portion of a ledger entry."""
+        wall = (self._ctx.now - self._started_at) if self._ctx else 0.0
+        return {
+            "wall_clock": wall,
+            "jobs": self.jobs,
+            "stages": self.stages,
+            "shuffle": dict(self._shuffle),
+            "task_attempts": dict(sorted(self.task_attempts.items())),
+            "chaos_events": self.chaos_events,
+        }
+
+
+class _LedgerScope:
+    def __init__(self, collector: LedgerCollector, ctx) -> None:
+        self.collector = collector
+        self.ctx = ctx
+
+    def __enter__(self) -> LedgerCollector:
+        return self.collector.attach(self.ctx)
+
+    def __exit__(self, *exc) -> None:
+        self.collector.detach()

@@ -64,15 +64,23 @@ class Gauge:
 
 
 class Histogram:
-    """Summary statistics of observed samples (queue waits, durations)."""
+    """Summary statistics of observed samples (queue waits, durations).
 
-    __slots__ = ("count", "total", "min", "max")
+    Samples are retained, so exact quantiles are available — the straggler
+    detector reads p50/p95/p99 via :meth:`quantile` instead of re-deriving
+    them from buckets. At this simulator's scale (thousands of tasks per
+    run) retention is a few hundred KB at worst.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_samples", "_sorted")
 
     def __init__(self) -> None:
         self.count: int = 0
         self.total: float = 0.0
         self.min: float = math.inf
         self.max: float = -math.inf
+        self._samples: list = []
+        self._sorted: bool = True
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -81,10 +89,33 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if self._samples and value < self._samples[-1]:
+            self._sorted = False
+        self._samples.append(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Exact sample quantile by linear interpolation (q in [0, 1]).
+
+        Returns 0.0 on an empty histogram, so callers can treat "no
+        samples" and "all-zero samples" uniformly.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        samples = self._samples
+        pos = q * (len(samples) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(samples) - 1)
+        frac = pos - lo
+        return samples[lo] * (1.0 - frac) + samples[hi] * frac
 
     def to_dict(self) -> dict:
         return {
@@ -93,6 +124,9 @@ class Histogram:
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
             "mean": self.mean,
+            "p50": self.quantile(0.5) if self.count else None,
+            "p95": self.quantile(0.95) if self.count else None,
+            "p99": self.quantile(0.99) if self.count else None,
         }
 
 
@@ -153,9 +187,15 @@ class MetricsRegistry:
         return instrument.value if instrument is not None else 0.0
 
     def counter_labels(self, name: str) -> Dict[LabelKey, float]:
-        """All (label set -> value) series of one counter name."""
+        """All (label set -> value) series of one counter name.
+
+        Sorted by label set, so iteration order is independent of the
+        order series were first touched (which differs between serial and
+        threaded execution).
+        """
         return {
-            key: c.value for key, c in self._counters.get(name, {}).items()
+            key: c.value
+            for key, c in sorted(self._counters.get(name, {}).items())
         }
 
     # ------------------------------------------------------------------
@@ -163,7 +203,12 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """A JSON-serializable dump of every registered instrument."""
+        """A JSON-serializable dump of every registered instrument.
+
+        Names and label sets are sorted, so two runs that touched the
+        same series — in any order, e.g. serial vs threaded task
+        execution — produce byte-identical snapshots.
+        """
 
         def render(series: Dict[str, Dict[LabelKey, Any]], value_of) -> dict:
             return {

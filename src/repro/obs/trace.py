@@ -23,7 +23,7 @@ from __future__ import annotations
 import json
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 DRIVER_PID = 1
@@ -97,8 +97,14 @@ class Tracer:
 
     def on_span(self, event: TraceEvent) -> None:
         if self._offset:
-            event.start += self._offset
-            event.end += self._offset
+            # Copy before shifting: the bus hands the same event object to
+            # every span listener (e.g. a ledger collector records the
+            # run-local times), so the shift must stay private.
+            event = replace(
+                event,
+                start=event.start + self._offset,
+                end=event.end + self._offset,
+            )
         self._append(event)
 
     def on_stage_submitted(self, stage_stats) -> None:

@@ -1,0 +1,240 @@
+"""Tests for the run ledger: storage, collection, and chaos coverage."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import uniform_cluster
+from repro.common.errors import LedgerError
+from repro.engine import AnalyticsContext, EngineConf
+from repro.engine.costmodel import CostModelConfig
+from repro.obs import LEDGER_VERSION, LedgerCollector, RunLedger, Tracer
+
+
+def quiet_conf(**kwargs) -> EngineConf:
+    kwargs.setdefault("default_parallelism", 8)
+    kwargs.setdefault(
+        "cost", CostModelConfig(jitter_sigma=0.0, driver_dispatch_interval=0.0)
+    )
+    return EngineConf(**kwargs)
+
+
+def make_ctx(**conf_kwargs) -> AnalyticsContext:
+    return AnalyticsContext(
+        uniform_cluster(n_workers=3, cores=2), quiet_conf(**conf_kwargs)
+    )
+
+
+def shuffle_job(ctx):
+    pairs = ctx.parallelize([(i % 13, 1) for i in range(8000)], 8)
+    return pairs.reduce_by_key(lambda a, b: a + b, 6).collect_as_map()
+
+
+def collected_run(**conf_kwargs) -> dict:
+    """Run the shuffle job with a collector attached; return the body."""
+    ctx = make_ctx(**conf_kwargs)
+    collector = LedgerCollector()
+    with collector.attached(ctx):
+        shuffle_job(ctx)
+    return collector.body()
+
+
+class TestRunLedger:
+    def test_append_assigns_deterministic_sequential_ids(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "runs.jsonl"))
+        assert ledger.append("wordcount", "run", {}) == "0000-wordcount-run"
+        assert ledger.append("wordcount", "run", {}) == "0001-wordcount-run"
+        assert ledger.append("kmeans", "vanilla", {}) == "0002-kmeans-vanilla"
+
+    def test_entries_round_trip_in_append_order(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "runs.jsonl"))
+        ledger.append("w", "a", {"wall_clock": 1.0})
+        ledger.append("w", "b", {"wall_clock": 2.0})
+        entries = ledger.entries()
+        assert [e["label"] for e in entries] == ["a", "b"]
+        assert [e["seq"] for e in entries] == [0, 1]
+        assert all(e["version"] == LEDGER_VERSION for e in entries)
+
+    def test_read_seeks_by_run_id(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "runs.jsonl"))
+        ledger.append("w", "a", {"wall_clock": 1.0})
+        run_id = ledger.append("w", "b", {"wall_clock": 2.0})
+        assert ledger.read(run_id)["wall_clock"] == 2.0
+
+    def test_read_unknown_run_raises_with_known_ids(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "runs.jsonl"))
+        ledger.append("w", "a", {})
+        with pytest.raises(LedgerError, match="0000-w-a"):
+            ledger.read("nope")
+
+    def test_missing_file_raises_ledger_error(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "absent.jsonl"))
+        with pytest.raises(LedgerError, match="not found"):
+            ledger.entries()
+        with pytest.raises(LedgerError, match="not found"):
+            ledger.runs()
+
+    def test_corrupt_line_raises_ledger_error(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text('{"run_id": "0000-w-a", "version": 1}\nnot json\n')
+        with pytest.raises(LedgerError, match="corrupt"):
+            RunLedger(str(path)).entries()
+
+    def test_non_entry_line_raises_ledger_error(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text('{"something": "else"}\n')
+        with pytest.raises(LedgerError, match="not a run entry"):
+            RunLedger(str(path)).entries()
+
+    def test_index_rebuilt_when_missing(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "runs.jsonl"))
+        ledger.append("w", "a", {"wall_clock": 1.0})
+        run_id = ledger.append("w", "b", {"wall_clock": 2.0})
+        (tmp_path / "runs.jsonl.index.json").unlink()
+        assert ledger.read(run_id)["wall_clock"] == 2.0
+        # Appends keep numbering from the rebuilt index.
+        assert ledger.append("w", "c", {}) == "0002-w-c"
+
+    def test_index_rebuilt_when_corrupt(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "runs.jsonl"))
+        run_id = ledger.append("w", "a", {"wall_clock": 1.0})
+        (tmp_path / "runs.jsonl.index.json").write_text("garbage")
+        assert ledger.read(run_id)["wall_clock"] == 1.0
+
+
+class TestLedgerCollector:
+    def test_body_covers_stages_tasks_and_shuffle(self):
+        body = collected_run()
+        assert body["wall_clock"] > 0
+        assert len(body["jobs"]) == 1
+        kinds = [s["kind"] for s in body["stages"]]
+        assert kinds == ["shuffle_map", "result"]
+        map_stage = body["stages"][0]
+        assert map_stage["tasks"]["count"] == 8
+        assert len(map_stage["tasks"]["duration"]) == 8
+        # Per-reduce-partition histogram from the shuffle manager.
+        assert len(map_stage["output_partition_bytes"]) == 6
+        assert sum(map_stage["output_partition_bytes"]) > 0
+        assert body["shuffle"]["write_bytes"] > 0
+        assert (
+            body["shuffle"]["local_bytes"] + body["shuffle"]["remote_bytes"]
+            > 0
+        )
+
+    def test_task_attempt_outcomes_counted_without_tracer(self):
+        # Span emission must flow to the collector even when no tracer is
+        # attached (obs.emitting, not obs.tracing, gates the spans).
+        body = collected_run()
+        assert body["task_attempts"]["ok"] == 8 + 6
+        assert body["chaos_events"] == []
+
+    def test_detach_restores_unobserved_state(self):
+        ctx = make_ctx()
+        collector = LedgerCollector()
+        with collector.attached(ctx):
+            assert ctx.obs.emitting
+        assert not ctx.obs.emitting
+
+    def test_coexists_with_tracer_without_double_shifting(self):
+        # The tracer shifts span times by its horizon offset; the ledger
+        # collector registered alongside must still see run-local times.
+        tracer = Tracer()
+        tracer.emit("earlier-run", "run", 0.0, 100.0)
+        ctx = make_ctx()
+        ctx.obs.set_tracer(tracer)
+        collector = LedgerCollector()
+        with tracer.scope("second-run"):
+            with collector.attached(ctx):
+                shuffle_job(ctx)
+        body = collector.body()
+        ends = [s["end"] for s in body["stages"]]
+        assert max(ends) < 100.0  # run-local, not horizon-shifted
+
+
+def mid_reduce_kill_time() -> float:
+    """A kill time strictly inside the reduce stage of the baseline run.
+
+    Losing a node then guarantees registered map outputs disappear, so
+    the run exercises fetch failure -> stage resubmission.
+    """
+    baseline = make_ctx()
+    shuffle_job(baseline)
+    reduce_stats = next(s for s in baseline.stage_stats if s.kind == "result")
+    start = min(t.start for t in reduce_stats.tasks)
+    first_end = min(t.end for t in reduce_stats.tasks)
+    return (start + first_end) / 2.0
+
+
+class TestChaosRunsInLedger:
+    def chaos_run(self, kill_at: float):
+        ctx = make_ctx(
+            node_failure_times={"w0": kill_at}, node_recovery_delay=1e9
+        )
+        collector = LedgerCollector()
+        with collector.attached(ctx):
+            result = shuffle_job(ctx)
+        return ctx, collector.body(), result
+
+    def test_node_loss_and_resubmission_recorded(self):
+        # Kill one worker mid-reduce: the ledger must carry the chaos
+        # events and the resubmitted stage records, with attempt
+        # numbering consistent between the two.
+        kill_at = mid_reduce_kill_time()
+        ctx, body, result = self.chaos_run(kill_at)
+        assert result == {k: len(range(k, 8000, 13)) for k in range(13)}
+        events = [e["event"] for e in body["chaos_events"]]
+        assert "node-lost" in events
+        assert "fetch-failure" in events
+        assert "stage-resubmit" in events
+        lost = [e for e in body["chaos_events"] if e["event"] == "node-lost"]
+        assert lost[0]["t"] == pytest.approx(kill_at)
+        # Attempt numbering: every stage-resubmit event has a matching
+        # attempt > 0 stage record, and vice versa.
+        resubmits = [
+            e for e in body["chaos_events"] if e["event"] == "stage-resubmit"
+        ]
+        retried = [s for s in body["stages"] if s["attempt"] > 0]
+        assert retried, "mid-reduce kill must force a stage resubmission"
+        assert {s["attempt"] for s in retried} == {
+            e["attempt"] for e in resubmits
+        }
+        # The resubmitted map stage re-ran only the lost partitions.
+        first_map = next(s for s in body["stages"] if s["kind"] == "shuffle_map")
+        for s in retried:
+            assert s["tasks"]["count"] < first_map["tasks"]["count"]
+        # Task-level attempt outcomes include the failures.
+        assert body["task_attempts"].get("ok", 0) > 0
+        assert (
+            body["task_attempts"].get("node-lost", 0)
+            + body["task_attempts"].get("fetch-failed", 0)
+            > 0
+        )
+
+    def test_chaos_body_serializes_through_the_ledger(self, tmp_path):
+        _, body, _ = self.chaos_run(mid_reduce_kill_time())
+        ledger = RunLedger(str(tmp_path / "runs.jsonl"))
+        run_id = ledger.append("shuffle", "chaos", body)
+        entry = ledger.read(run_id)
+        assert entry["chaos_events"]
+        assert json.dumps(entry)  # fully JSON-serializable
+
+    def test_chaos_run_identical_with_and_without_collector(self):
+        # Attaching the collector turns span emission on; that must not
+        # change simulated behaviour.
+        kill_at = mid_reduce_kill_time()
+
+        def run(with_collector: bool) -> float:
+            ctx = make_ctx(
+                node_failure_times={"w0": kill_at}, node_recovery_delay=1e9
+            )
+            if with_collector:
+                collector = LedgerCollector()
+                with collector.attached(ctx):
+                    shuffle_job(ctx)
+            else:
+                shuffle_job(ctx)
+            return ctx.now
+
+        assert run(True) == run(False)

@@ -109,3 +109,113 @@ class TestSnapshot:
         reg.counter("c").inc()
         reg.reset()
         assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestHistogramQuantile:
+    def test_quantiles_on_known_distribution(self):
+        h = MetricsRegistry().histogram("d")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+        assert h.quantile(0.5) == pytest.approx(50.5)
+        assert h.quantile(0.95) == pytest.approx(95.05)
+        assert h.quantile(0.99) == pytest.approx(99.01)
+
+    def test_interpolates_between_samples(self):
+        h = MetricsRegistry().histogram("d")
+        h.observe(0.0)
+        h.observe(10.0)
+        assert h.quantile(0.25) == pytest.approx(2.5)
+
+    def test_single_sample(self):
+        h = MetricsRegistry().histogram("d")
+        h.observe(42.0)
+        for q in (0.0, 0.5, 1.0):
+            assert h.quantile(q) == 42.0
+
+    def test_empty_histogram_is_zero(self):
+        assert MetricsRegistry().histogram("d").quantile(0.5) == 0.0
+
+    def test_unsorted_observation_order_is_irrelevant(self):
+        a = MetricsRegistry().histogram("d")
+        b = MetricsRegistry().histogram("d")
+        values = [5.0, 1.0, 9.0, 3.0, 7.0]
+        for v in values:
+            a.observe(v)
+        for v in sorted(values):
+            b.observe(v)
+        assert a.quantile(0.5) == b.quantile(0.5) == 5.0
+
+    def test_observing_after_quantile_is_seen(self):
+        h = MetricsRegistry().histogram("d")
+        h.observe(1.0)
+        assert h.quantile(1.0) == 1.0
+        h.observe(10.0)
+        assert h.quantile(1.0) == 10.0
+
+    def test_out_of_range_q_rejected(self):
+        h = MetricsRegistry().histogram("d")
+        h.observe(1.0)
+        with pytest.raises(ConfigurationError):
+            h.quantile(1.5)
+        with pytest.raises(ConfigurationError):
+            h.quantile(-0.1)
+
+    def test_to_dict_includes_quantiles(self):
+        h = MetricsRegistry().histogram("d")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        stats = h.to_dict()
+        assert stats["p50"] == 2.0
+        assert stats["p95"] == pytest.approx(2.9)
+        assert stats["p99"] == pytest.approx(2.98)
+
+    def test_empty_to_dict_has_null_quantiles(self):
+        stats = MetricsRegistry().histogram("d").to_dict()
+        assert stats["p50"] is None and stats["p95"] is None
+
+
+class TestSnapshotDeterminism:
+    def test_counter_labels_sorted_regardless_of_touch_order(self):
+        a = MetricsRegistry()
+        a.counter("x", node="n2").inc(2)
+        a.counter("x", node="n1").inc(1)
+        b = MetricsRegistry()
+        b.counter("x", node="n1").inc(1)
+        b.counter("x", node="n2").inc(2)
+        assert list(a.counter_labels("x")) == list(b.counter_labels("x"))
+
+    def test_snapshot_byte_identical_across_touch_orders(self):
+        def populate(reg, order):
+            for node in order:
+                reg.counter("shuffle.remote_bytes", src=node).inc(5)
+                reg.histogram("wait", node=node).observe(1.0)
+            reg.gauge("depth").set(3)
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        populate(a, ["n1", "n2", "n3"])
+        populate(b, ["n3", "n1", "n2"])
+        assert json.dumps(a.snapshot(), sort_keys=True) == json.dumps(
+            b.snapshot(), sort_keys=True
+        )
+
+    def test_snapshot_byte_identical_serial_vs_threaded_run(self):
+        # The regression this guards: a threaded engine run touches metric
+        # series in a nondeterministic order; the exported snapshot must
+        # not care (REPRO_PHYSICAL_PARALLELISM > 1 stays byte-identical).
+        from repro.cluster import paper_cluster
+        from repro.engine import AnalyticsContext, EngineConf
+        from repro.workloads import WordCountWorkload
+
+        def snapshot_bytes(par: int) -> str:
+            reg = MetricsRegistry()
+            ctx = AnalyticsContext(
+                paper_cluster(),
+                EngineConf(physical_parallelism=par, default_parallelism=10),
+                metrics_registry=reg,
+            )
+            WordCountWorkload().run(ctx, scale=0.05)
+            return json.dumps(reg.snapshot(), sort_keys=True)
+
+        assert snapshot_bytes(1) == snapshot_bytes(4)

@@ -271,3 +271,171 @@ class TestObservabilityFlags:
         with open(metrics) as fh:
             snap = json.load(fh)
         assert "scheduler.tasks_completed" in snap["counters"]
+
+
+WC_FAST = (
+    "wordcount", "--virtual-gb", "1.0", "--physical-records", "400",
+    "--parallelism", "16",
+)
+
+
+class TestLedgerCommands:
+    def ledger_with_two_runs(self, tmp_path):
+        ledger = str(tmp_path / "runs.jsonl")
+        for _ in range(2):
+            code, text, _ = run_cli("run", *WC_FAST, "--ledger", ledger)
+            assert code == 0
+        return ledger
+
+    def test_run_appends_ledger_entries(self, tmp_path):
+        ledger = self.ledger_with_two_runs(tmp_path)
+        with open(ledger) as fh:
+            entries = [json.loads(line) for line in fh]
+        assert [e["run_id"] for e in entries] == [
+            "0000-wordcount-run", "0001-wordcount-run",
+        ]
+        entry = entries[0]
+        assert entry["stages"] and entry["jobs"]
+        assert entry["config"]["default_parallelism"] == 16
+        map_stage = next(
+            s for s in entry["stages"] if s["kind"] == "shuffle_map"
+        )
+        assert len(map_stage["output_partition_bytes"]) == 16
+
+    def test_report_renders_ledger_run_as_html(self, tmp_path):
+        ledger = self.ledger_with_two_runs(tmp_path)
+        out_path = str(tmp_path / "report.html")
+        code, text, _ = run_cli("report", ledger, "--out", out_path)
+        assert code == 0
+        assert f"-> {out_path}" in text
+        with open(out_path) as fh:
+            html = fh.read()
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.count("<html") == html.count("</html>") == 1
+        assert "<svg" in html  # the stage waterfall
+        assert "0001-wordcount-run" in html  # defaults to the latest run
+
+    def test_report_selects_run_and_writes_stdout(self, tmp_path):
+        ledger = self.ledger_with_two_runs(tmp_path)
+        code, html, _ = run_cli("report", ledger, "--run", "0000-wordcount-run")
+        assert code == 0
+        assert html.startswith("<!DOCTYPE html>")
+        assert "0000-wordcount-run" in html
+
+    def test_report_still_reads_history_files(self, tmp_path):
+        history = str(tmp_path / "run.jsonl")
+        code, _, _ = run_cli("run", *WC_FAST, "--history", history)
+        assert code == 0
+        code, text, _ = run_cli("report", history)
+        assert code == 0
+        assert "total stage span" in text
+
+    def test_diff_runs_identical_exit_zero(self, tmp_path):
+        ledger = self.ledger_with_two_runs(tmp_path)
+        code, text, _ = run_cli(
+            "diff-runs", ledger, "0000-wordcount-run", "0001-wordcount-run"
+        )
+        assert code == 0
+        assert "ok: no regression" in text
+
+    def test_diff_runs_regression_exit_nonzero(self, tmp_path):
+        ledger = str(tmp_path / "runs.jsonl")
+        code, _, _ = run_cli("run", *WC_FAST, "--ledger", ledger)
+        assert code == 0
+        # Degrade the candidate: half the parallelism makes the run
+        # materially slower than the 16-partition baseline.
+        code, _, _ = run_cli(
+            "run", "wordcount", "--virtual-gb", "1.0",
+            "--physical-records", "400", "--parallelism", "8",
+            "--ledger", ledger,
+        )
+        assert code == 0
+        code, text, _ = run_cli(
+            "diff-runs", ledger, "0000-wordcount-run", "0001-wordcount-run",
+            "--threshold", "0.2",
+        )
+        assert code == 1
+        assert "REGRESSION" in text
+        # The same pair passes with a huge tolerance.
+        code, _, _ = run_cli(
+            "diff-runs", ledger, "0000-wordcount-run", "0001-wordcount-run",
+            "--threshold", "1000", "--shuffle-threshold", "1000",
+        )
+        assert code == 0
+
+    def test_profile_ledger_records_every_sweep_run(self, tmp_path):
+        ledger = str(tmp_path / "runs.jsonl")
+        db = str(tmp_path / "db.json")
+        code, _, _ = run_cli(
+            "profile", *WC_FAST, "--db", db,
+            "--grid", "8", "16", "--scales", "1.0", "--ledger", ledger,
+        )
+        assert code == 0
+        with open(ledger) as fh:
+            entries = [json.loads(line) for line in fh]
+        # 1 reference + 2 kinds x 2 grid points.
+        assert len(entries) == 5
+        labels = {e["label"] for e in entries}
+        assert "reference@1.0" in labels
+        assert any(label.startswith("profile-hash-") for label in labels)
+
+
+class TestLedgerErrorHandling:
+    def test_report_missing_ledger_one_line_error(self, tmp_path):
+        code, text, err = run_cli("report", str(tmp_path / "missing.jsonl"))
+        assert code == 2
+        assert text == ""
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+
+    def test_report_corrupt_ledger_one_line_error(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json\n")
+        code, _, err = run_cli("report", str(bad))
+        assert code == 2
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+
+    def test_report_empty_file_one_line_error(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        code, _, err = run_cli("report", str(empty))
+        assert code == 2
+        assert "empty" in err
+        assert err.count("\n") == 1
+
+    def test_report_unknown_run_one_line_error(self, tmp_path):
+        ledger = str(tmp_path / "runs.jsonl")
+        code, _, _ = run_cli("run", *WC_FAST, "--ledger", ledger)
+        assert code == 0
+        code, _, err = run_cli("report", ledger, "--run", "9999-nope-run")
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "9999-nope-run" in err
+        assert err.count("\n") == 1
+
+    def test_diff_runs_missing_ledger_one_line_error(self, tmp_path):
+        code, _, err = run_cli(
+            "diff-runs", str(tmp_path / "missing.jsonl"), "a", "b"
+        )
+        assert code == 2
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+
+    def test_diff_runs_unknown_run_one_line_error(self, tmp_path):
+        ledger = str(tmp_path / "runs.jsonl")
+        code, _, _ = run_cli("run", *WC_FAST, "--ledger", ledger)
+        assert code == 0
+        code, _, err = run_cli("diff-runs", ledger, "0000-wordcount-run", "nope")
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "nope" in err
+        assert err.count("\n") == 1
+
+    def test_diff_runs_corrupt_ledger_one_line_error(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"run_id": "0000-w-a"}\n{broken\n')
+        code, _, err = run_cli("diff-runs", str(bad), "0000-w-a", "0001-w-b")
+        assert code == 2
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
