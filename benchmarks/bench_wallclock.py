@@ -32,8 +32,16 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.chopper import ChopperRunner
 from repro.chopper.workload_db import WorkloadDB
 from repro.engine import EngineConf
-from repro.workloads import KMeansWorkload, WordCountWorkload
+from repro.workloads import (
+    KMeansWorkload,
+    ShuffleWordCountWorkload,
+    WordCountWorkload,
+)
 from repro.workloads.datagen import clear_block_cache
+
+_COLUMNAR = dict(
+    vectorized_kernels=True, record_format="columnar", operator_fusion=True
+)
 
 # name -> (EngineConf overrides, process-pool jobs)
 CONFIGS = [
@@ -43,6 +51,8 @@ CONFIGS = [
     ("vectorized", dict(vectorized_kernels=True, physical_parallelism=1), 1),
     ("vectorized+threads4", dict(vectorized_kernels=True, physical_parallelism=4), 1),
     ("vectorized+procs4", dict(vectorized_kernels=True, physical_parallelism=1), 4),
+    ("columnar", dict(physical_parallelism=1, **_COLUMNAR), 1),
+    ("columnar+procs4", dict(physical_parallelism=1, **_COLUMNAR), 4),
 ]
 
 FULL_SWEEPS = {
@@ -55,6 +65,13 @@ FULL_SWEEPS = {
         parallelism=100, p_grid=[50, 100], kinds=["hash", "range"],
         scales=[0.25],
     ),
+    # Map-side combine off: every tokenized pair crosses the shuffle, so
+    # this sweep is bucketing/fetch/fold bound — the columnar format's
+    # home turf (and the fused filter/mapValues chain's).
+    "wordcount_shuffle": dict(
+        factory=lambda: ShuffleWordCountWorkload(physical_records=150_000),
+        parallelism=100, p_grid=[50, 100], kinds=["hash"], scales=[0.25],
+    ),
 }
 
 TINY_SWEEPS = {
@@ -64,6 +81,10 @@ TINY_SWEEPS = {
     ),
     "wordcount": dict(
         factory=lambda: WordCountWorkload(physical_records=4_000),
+        parallelism=16, p_grid=[8], kinds=["hash"], scales=[0.05],
+    ),
+    "wordcount_shuffle": dict(
+        factory=lambda: ShuffleWordCountWorkload(physical_records=4_000),
         parallelism=16, p_grid=[8], kinds=["hash"], scales=[0.05],
     ),
 }

@@ -19,6 +19,7 @@ the serial path.
 
 from __future__ import annotations
 
+import multiprocessing
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
@@ -26,6 +27,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.chopper.advisor import ChopperAdvisor, ProfilingAdvisor
 from repro.chopper.stats import RunRecord, StatisticsCollector
+from repro.engine.effects import dumps_payload, loads_payload
 
 # (workload, cluster_factory, base_conf, advisor_spec, scale, label,
 #  copartition) where advisor_spec is None | ("profiling", kind, P) |
@@ -77,8 +79,70 @@ def picklable(*objects: Any) -> bool:
     return True
 
 
+def measure_chunk(blob: bytes) -> bytes:
+    """Worker-side chunk runner for the pickle-light protocol.
+
+    ``blob`` decodes (protocol 5) to ``(header, variations)`` where
+    ``header`` is the ``(workload, cluster_factory, base_conf)`` triple
+    every spec of the sweep shares — pickled once per chunk instead of
+    once per spec — and each variation is a ``(advisor_spec, scale,
+    label, copartition)`` tail. Results come back as one encoded list,
+    so a chunk of N runs costs one IPC round trip, not N.
+    """
+    header, variations = loads_payload(blob)
+    return dumps_payload([measure_one(header + tail) for tail in variations])
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The fork start method when the platform offers it, else None.
+
+    Forked workers inherit the driver's memoized datagen micro-blocks
+    (copy-on-write), so running the first spec inline on the driver
+    pre-warms every worker's block cache for free.
+    """
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
 def run_specs(specs: Sequence[RunSpec], jobs: int) -> List[Tuple[str, RunRecord, Any]]:
-    """Run measured-run specs on a process pool; results in spec order."""
+    """Run measured-run specs on a process pool; results in spec order.
+
+    Sweeps (every spec sharing one ``(workload, cluster_factory,
+    base_conf)`` header) use the pickle-light chunked protocol: the
+    driver runs the first spec inline — warming the datagen block cache
+    that forked workers then inherit — and ships the rest as
+    round-robin chunks with the shared header pickled once per chunk
+    (protocol 5). Heterogeneous spec lists fall back to one-task-per-
+    spec ``pool.map``. Either way the returned list is in spec order,
+    so callers merge records exactly as the serial loop would.
+    """
     workers = max(1, min(jobs, len(specs)))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(measure_one, specs))
+    if workers == 1 or len(specs) == 1:
+        return [measure_one(spec) for spec in specs]
+    head = specs[0]
+    shared = all(
+        s[0] is head[0] and s[1] is head[1] and s[2] is head[2] for s in specs
+    )
+    if not shared:
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_fork_context()
+        ) as pool:
+            return list(pool.map(measure_one, specs))
+    results: List[Optional[Tuple[str, RunRecord, Any]]] = [None] * len(specs)
+    results[0] = measure_one(head)  # inline: pre-warms the block cache
+    rest = list(range(1, len(specs)))
+    workers = min(workers, len(rest))
+    chunks = [rest[i::workers] for i in range(workers)]
+    header = head[:3]
+    blobs = [
+        dumps_payload((header, [specs[j][3:] for j in chunk]))
+        for chunk in chunks
+    ]
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=_fork_context()
+    ) as pool:
+        for chunk, out in zip(chunks, pool.map(measure_chunk, blobs)):
+            for j, res in zip(chunk, loads_payload(out)):
+                results[j] = res
+    return results  # type: ignore[return-value]

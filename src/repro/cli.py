@@ -37,6 +37,7 @@ from repro.workloads import (
     LogisticRegressionWorkload,
     PCAWorkload,
     PageRankWorkload,
+    ShuffleWordCountWorkload,
     SQLWorkload,
     Workload,
     WordCountWorkload,
@@ -47,6 +48,7 @@ WORKLOADS: Dict[str, Type[Workload]] = {
     "pca": PCAWorkload,
     "sql": SQLWorkload,
     "wordcount": WordCountWorkload,
+    "wordcount-shuffle": ShuffleWordCountWorkload,
     "logistic": LogisticRegressionWorkload,
     "pagerank": PageRankWorkload,
 }
@@ -94,10 +96,26 @@ def chaos_conf_kwargs(args: argparse.Namespace) -> dict:
     return kwargs
 
 
+def perf_conf_kwargs(args: argparse.Namespace) -> dict:
+    """Translate the perf flags into EngineConf keyword arguments.
+
+    Invalid values are EngineConf's to reject (ConfigurationError), so
+    every entry point shares the one-line ``error: ...`` diagnostic.
+    """
+    kwargs: dict = {}
+    if getattr(args, "record_format", None) is not None:
+        kwargs["record_format"] = args.record_format
+    if getattr(args, "fuse", False):
+        kwargs["operator_fusion"] = True
+    return kwargs
+
+
 def make_runner(args: argparse.Namespace) -> ChopperRunner:
     runner = ChopperRunner(
         build_workload(args),
-        base_conf=EngineConf(default_parallelism=args.parallelism),
+        base_conf=EngineConf(
+            default_parallelism=args.parallelism, **perf_conf_kwargs(args)
+        ),
     )
     if getattr(args, "trace", None):
         runner.tracer = Tracer()
@@ -141,7 +159,9 @@ def cmd_run(args: argparse.Namespace, out) -> int:
     ctx = AnalyticsContext(
         paper_cluster(),
         EngineConf(
-            default_parallelism=args.parallelism, **chaos_conf_kwargs(args)
+            default_parallelism=args.parallelism,
+            **chaos_conf_kwargs(args),
+            **perf_conf_kwargs(args),
         ),
         metrics_registry=metrics,
     )
@@ -370,6 +390,17 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
                         help="physical sample size (speed knob)")
     parser.add_argument("--parallelism", type=int, default=300,
                         help="vanilla default parallelism (paper: 300)")
+    # No argparse `choices=` here either: EngineConf validates the value
+    # and the ConfigurationError surfaces as the standard one-line
+    # `error: ...` diagnostic (exit 2).
+    parser.add_argument("--record-format", default=None,
+                        help="shuffle block format: 'list' (default) or "
+                             "'columnar' (numpy-backed batches; "
+                             "bit-identical results)")
+    parser.add_argument("--fuse", action="store_true",
+                        help="fuse narrow map/filter/mapValues chains into "
+                             "one per-partition kernel (bit-identical "
+                             "results)")
 
 
 def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:

@@ -21,6 +21,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.engine.batch import RecordBatch
+
 
 def combine_numeric_add(
     key_fn: Optional[Callable], records: List
@@ -61,6 +63,90 @@ def combine_numeric_add(
         }
     totals = folded[0]
     return {keys[int(i)]: totals[g] for g, i in enumerate(first_idx)}
+
+
+def fold_batch(batch: RecordBatch) -> Optional[RecordBatch]:
+    """Per-key sums of a :class:`RecordBatch`, or ``None`` if not foldable.
+
+    The columnar twin of :func:`combine_numeric_add`: output keys are the
+    first occurrence of each distinct key, in first-occurrence order, and
+    each value is the left-fold sum of that key's values in record order.
+    Key columns stored as arrays group via ``np.unique`` (relabeled to
+    first-occurrence order); list columns group via the dict loop. The
+    same exactness guards apply — anything the kernel cannot fold exactly
+    returns ``None`` and the caller materializes the batch for the scalar
+    loop.
+    """
+    if len(batch) == 0:
+        return None
+    grouped = _group_column(batch.keys)
+    if grouped is None:
+        return None
+    gids, first_idx = grouped
+    values = _fold_values(batch.values, gids, len(first_idx))
+    if values is None:
+        return None
+    if isinstance(batch.keys, np.ndarray):
+        keys: Any = batch.keys[first_idx]
+    else:
+        keys = [batch.keys[int(i)] for i in first_idx]
+    return RecordBatch(keys, values)
+
+
+def _group_column(col) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Group ids + first index per group for one key column.
+
+    Array columns use ``np.unique`` (stable when return_index is asked
+    for, so ``index`` is each group's first occurrence) and relabel the
+    sorted group ids back to first-occurrence order — matching the dict
+    loop's insertion order exactly. Float columns with NaNs fall back
+    (``np.unique`` treats NaNs as distinct-but-grouped differently from
+    dict key hashing).
+    """
+    if not isinstance(col, np.ndarray):
+        return group_ids(col)
+    if col.dtype.kind == "f" and bool(np.isnan(col).any()):
+        return group_ids(col.tolist())
+    _, index, inverse = np.unique(col, return_index=True, return_inverse=True)
+    order = np.argsort(index, kind="stable")
+    rank = np.empty(len(index), dtype=np.intp)
+    rank[order] = np.arange(len(index), dtype=np.intp)
+    gids = rank[inverse.reshape(-1)]
+    first_idx = index[order]
+    return gids, first_idx
+
+
+def _fold_values(col, gids: np.ndarray, n_groups: int) -> Optional[Any]:
+    """Column-wise per-group left folds; array in, array out when exact."""
+    if isinstance(col, np.ndarray):
+        if col.dtype.kind == "i":
+            if max(int(col.max()), -int(col.min())) * col.size >= 2**62:
+                return None
+            acc = np.zeros(n_groups, dtype=np.int64)
+            np.add.at(acc, gids, col)
+            return acc
+        if col.dtype.kind == "f":
+            zeros = col == 0.0
+            if zeros.any() and np.signbit(col[zeros]).any():
+                return None  # 0.0 + (-0.0) would flip the sign vs serial
+            acc = np.zeros(n_groups, dtype=np.float64)
+            np.add.at(acc, gids, col)
+            return acc
+        col = col.tolist()
+    vtypes = set(map(type, col))
+    if len(vtypes) != 1:
+        return None
+    if vtypes == {tuple}:
+        if len(set(map(len, col))) != 1:
+            return None
+        folded = []
+        for j in range(len(col[0])):
+            f = _fold_column([v[j] for v in col], gids, n_groups)
+            if f is None:
+                return None
+            folded.append(f)
+        return [tuple(f[g] for f in folded) for g in range(n_groups)]
+    return _fold_column(list(col), gids, n_groups)
 
 
 def group_ids(keys: List) -> Tuple[np.ndarray, np.ndarray]:

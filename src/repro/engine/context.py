@@ -94,8 +94,22 @@ class EngineConf:
     # per-record hot paths. Off = the scalar per-record loops; outputs
     # are bit-identical either way (benchmark knob).
     vectorized_kernels: bool = True
+    # Shuffle block container: "list" stores per-reduce record lists,
+    # "columnar" stores numpy-backed RecordBatch column slices (bucketed,
+    # concatenated and folded as arrays). Outputs are bit-identical
+    # either way; columnar is the fast path for large shuffles.
+    record_format: str = "list"
+    # Fuse chains of narrow record ops (map / filter / mapValues) into
+    # one per-partition kernel instead of materializing each step's list.
+    # Accounting replays per step, so metrics stay bit-identical.
+    operator_fusion: bool = False
 
     def __post_init__(self) -> None:
+        if self.record_format not in ("list", "columnar"):
+            raise ConfigurationError(
+                f"record_format must be 'list' or 'columnar',"
+                f" got {self.record_format!r}"
+            )
         if self.physical_parallelism is None:
             env = os.environ.get("REPRO_PHYSICAL_PARALLELISM", "").strip()
             try:

@@ -20,7 +20,8 @@ import numpy as np
 from repro.common.errors import FetchFailure, SchedulingError
 from repro.common.sizing import estimate_size, sizes_array
 from repro.engine import effects
-from repro.engine.combine import combine_numeric_add
+from repro.engine.batch import RecordBatch
+from repro.engine.combine import combine_numeric_add, fold_batch
 from repro.engine.dependencies import default_key_fn
 from repro.engine.costmodel import CostModel, TaskCostBreakdown
 from repro.engine.effects import TaskEffects
@@ -164,40 +165,94 @@ class TaskRunner:
     def _run_map_task(self, stage: Stage, split: int, tctx: TaskContext) -> None:
         dep = stage.shuffle_dep
         assert dep is not None, "map task on a stage without a shuffle dep"
-        records = stage.rdd.materialize(split, tctx)
-
         key_fn = dep.key_fn
         fast_key = None if key_fn is default_key_fn else key_fn
+        # Columnar blocks require the default record[0] key: the key IS
+        # the batch's key column. Custom key functions see whole records.
+        columnar = self.ctx.conf.record_format == "columnar" and fast_key is None
+        if columnar:
+            records = stage.rdd.materialize_batch(split, tctx)
+        else:
+            records = stage.rdd.materialize(split, tctx)
+
         out_keys: Optional[List] = None
+        batch: Optional[RecordBatch] = None
         if dep.map_side_combine:
             assert dep.aggregator is not None
             agg = dep.aggregator
-            combined: Optional[Dict[Any, Any]] = None
-            if self.ctx.conf.vectorized_kernels and records and agg.numeric_add:
-                combined = combine_numeric_add(fast_key, records)
-            if combined is None:
-                combined = {}
-                for record in records:
-                    k = key_fn(record)
-                    v = record[1]
-                    if k in combined:
-                        combined[k] = agg.merge_value(combined[k], v)
-                    else:
-                        combined[k] = agg.create_combiner(v)
-            out_records: List = list(combined.items())
-            if fast_key is None:
-                out_keys = list(combined)  # items() order, zero extraction
+            if columnar and self.ctx.conf.vectorized_kernels and agg.numeric_add:
+                # Fold on columns only when the input already *is* a batch
+                # (a fused vec chain produced it). Columnarizing a list
+                # input just to fold it costs more than the dict-grouped
+                # fold below — instead the (much smaller) combined output
+                # is columnarized on the way out.
+                if isinstance(records, RecordBatch):
+                    batch = fold_batch(records)
+            if batch is None:
+                plain = (
+                    records.to_records()
+                    if isinstance(records, RecordBatch)
+                    else records
+                )
+                combined: Optional[Dict[Any, Any]] = None
+                if self.ctx.conf.vectorized_kernels and plain and agg.numeric_add:
+                    combined = combine_numeric_add(fast_key, plain)
+                if combined is None:
+                    combined = {}
+                    for record in plain:
+                        k = key_fn(record)
+                        v = record[1]
+                        if k in combined:
+                            combined[k] = agg.merge_value(combined[k], v)
+                        else:
+                            combined[k] = agg.create_combiner(v)
+                out_records: List = list(combined.items())
+                if fast_key is None:
+                    out_keys = list(combined)  # items() order, zero extraction
+                if columnar and out_records:
+                    batch = RecordBatch.from_records(out_records)
             write_scale = 1.0
         else:
-            out_records = records
+            if columnar:
+                if isinstance(records, RecordBatch):
+                    batch = records if len(records) else None
+                elif records:
+                    batch = RecordBatch.from_records(records)
+            if batch is None:
+                out_records = (
+                    records.to_records()
+                    if isinstance(records, RecordBatch)
+                    else records
+                )
             write_scale = stage.rdd.size_scale
 
         partitioner = dep.partitioner
         # Mutable per-bucket accumulators: append in place rather than
         # rebuilding and reassigning a (records, bytes) tuple per record.
-        bucket_records: Dict[int, List] = {}
+        bucket_records: Dict[int, Any] = {}
         bucket_bytes: Dict[int, float] = {}
-        if self.ctx.conf.vectorized_kernels and out_records:
+        if batch is not None:
+            # Columnar bucketing: hash/range-partition the key column in
+            # one kernel call, accumulate per-bucket bytes with the same
+            # unbuffered np.add.at left fold the list path uses, then
+            # slice each bucket's records as column views via a stable
+            # argsort — buckets emitted in first-occurrence order, records
+            # in arrival order, exactly like the scalar dict loop.
+            rids = partitioner.partition_many(batch.keys)
+            rid_arr = np.fromiter(rids, dtype=np.intp, count=len(rids))
+            sizes = batch.sizes_array()
+            byte_acc = np.zeros(int(rid_arr.max()) + 1, dtype=np.float64)
+            np.add.at(byte_acc, rid_arr, sizes * write_scale)
+            order = np.argsort(rid_arr, kind="stable")
+            sorted_rids = rid_arr[order]
+            cuts = np.flatnonzero(sorted_rids[1:] != sorted_rids[:-1]) + 1
+            groups = np.split(order, cuts)
+            groups.sort(key=lambda g: g[0])  # first-occurrence order
+            for group in groups:
+                rid = int(rid_arr[group[0]])
+                bucket_records[rid] = batch.take(group)
+                bucket_bytes[rid] = float(byte_acc[rid])
+        elif self.ctx.conf.vectorized_kernels and out_records:
             # Bulk kernels: one partition_many / sizes_array call per task
             # instead of two Python calls per record, then group records
             # by bucket with a stable argsort instead of a per-record

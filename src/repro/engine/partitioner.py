@@ -104,6 +104,11 @@ def stable_hash_many(keys: Sequence[Any]) -> List[int]:
     n = len(keys)
     if n == 0:
         return []
+    if isinstance(keys, np.ndarray):
+        hashed = _stable_hash_array(keys)
+        if hashed is not None:
+            return hashed
+        keys = keys.tolist()  # exact scalar equivalence for odd dtypes
     first = type(keys[0])
     if any(type(k) is not first for k in keys):
         return [stable_hash(k) for k in keys]
@@ -133,6 +138,44 @@ def stable_hash_many(keys: Sequence[Any]) -> List[int]:
     return [stable_hash(k) for k in keys]
 
 
+def _stable_hash_array(keys: np.ndarray) -> Optional[List[int]]:
+    """CRC32 of an ndarray key column without per-element Python objects.
+
+    Unicode columns encode to a zero-padded UTF-8 byte matrix in one
+    ``np.char.encode`` call; integer columns reuse the vectorized
+    variable-width encoding. Reading an element of a fixed-width U array
+    always strips the NUL padding, so the byte lengths below match
+    ``len(key.encode("utf-8"))`` exactly — multi-byte UTF-8 sequences
+    never contain a 0x00 byte, only U+0000 itself does, and a key whose
+    *last* character is U+0000 cannot exist in an array element.
+    """
+    if keys.dtype.kind == "U":
+        encoded = np.char.encode(keys, "utf-8")
+        lens = np.char.str_len(encoded).astype(np.int64)
+        width = encoded.dtype.itemsize
+        if width == 0:  # all-empty-string column
+            buf = np.zeros((len(keys), 1), dtype=np.uint8)
+        else:
+            buf = (
+                np.frombuffer(encoded.tobytes(), dtype=np.uint8)
+                .reshape(len(keys), width)
+            )
+        return _crc32_rows(buf, lens).tolist()
+    if keys.dtype.kind == "i" and keys.dtype.itemsize <= 8:
+        values = keys.astype("<i8")
+        mag = np.where(
+            values >= 0,
+            values.astype(np.uint64),
+            (-(values + 1)).astype(np.uint64) + np.uint64(1),
+        )
+        widths = 1 + np.searchsorted(_INT_WIDTH_THRESHOLDS, mag, side="right")
+        le = values.view(np.uint8).reshape(len(keys), 8)
+        sign = np.where(values < 0, 0xFF, 0x00).astype(np.uint8).reshape(len(keys), 1)
+        buf = np.concatenate([le, sign], axis=1)
+        return _crc32_rows(buf, widths).tolist()
+    return None
+
+
 class Partitioner:
     """Maps record keys to partition indices in ``[0, num_partitions)``."""
 
@@ -153,8 +196,12 @@ class Partitioner:
 
         Subclasses override this with vectorized kernels; the base
         implementation is the plain per-key loop, so custom partitioners
-        stay correct without opting in.
+        stay correct without opting in. Array key columns (columnar
+        shuffle blocks) are materialized to Python scalars first so a
+        custom ``partition`` never sees numpy scalar types.
         """
+        if isinstance(keys, np.ndarray):
+            keys = keys.tolist()
         return [self.partition(k) for k in keys]
 
     def __eq__(self, other: object) -> bool:
@@ -239,6 +286,10 @@ class RangePartitioner(Partitioner):
         vectorized = self._searchsorted_many(keys)
         if vectorized is not None:
             return vectorized
+        if isinstance(keys, np.ndarray):
+            # Exact scalar equivalence: the per-key path must see Python
+            # scalars (stable_hash of a numpy float reprs differently).
+            keys = keys.tolist()
         return [self.partition(k) for k in keys]
 
     def _searchsorted_many(self, keys: Sequence[Any]) -> Optional[List[int]]:
@@ -250,6 +301,8 @@ class RangePartitioner(Partitioner):
         and searchsorted order them differently), as do arbitrary-
         precision ints.
         """
+        if isinstance(keys, np.ndarray):
+            return self._searchsorted_array(keys)
         str_types = (str,)
         bytes_types = (bytes,)
         num_types = (bool, int, float)
@@ -289,6 +342,43 @@ class RangePartitioner(Partitioner):
                 b for b in self.bounds if type(b) is int
             ]
             if any(k > limit or k < -limit for k in ints):
+                return None
+            return np.searchsorted(bv, kv, side="left").tolist()
+        return None
+
+    def _searchsorted_array(self, keys: np.ndarray) -> Optional[List[int]]:
+        """Array-column fast path (columnar shuffle blocks).
+
+        Array elements never carry trailing NULs (reading a fixed-width
+        U element strips the padding), so only the *bounds* need the
+        round-trip length guard. Integer keys beyond 2**53 would round in
+        the float64 comparison; those columns fall back to the exact
+        per-key bisect.
+        """
+        num_types = (bool, int, float)
+        if keys.dtype.kind == "U":
+            if not all(type(b) is str for b in self.bounds):
+                return None
+            barr = np.array(self.bounds)
+            if int(np.char.str_len(barr).sum()) != sum(map(len, self.bounds)):
+                return None
+            return np.searchsorted(barr, keys, side="left").tolist()
+        if keys.dtype.kind in "if":
+            if not all(type(b) in num_types for b in self.bounds):
+                return None
+            if keys.dtype.kind == "i":
+                limit = 1 << 53
+                if int(keys.max()) > limit or int(keys.min()) < -limit:
+                    return None
+            kv = keys.astype(np.float64)
+            try:
+                bv = np.asarray(self.bounds, dtype=np.float64)
+            except (OverflowError, ValueError):
+                return None
+            if np.isnan(kv).any() or np.isnan(bv).any():
+                return None
+            ints = [b for b in self.bounds if type(b) is int]
+            if any(b > (1 << 53) or b < -(1 << 53) for b in ints):
                 return None
             return np.searchsorted(bv, kv, side="left").tolist()
         return None

@@ -19,11 +19,14 @@ to the virtual dataset size it represents (see DESIGN.md).
 from __future__ import annotations
 
 import hashlib
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.common.errors import ConfigurationError, WorkloadError
 from repro.common.rng import derive_seed, seeded_rng
-from repro.common.sizing import estimate_partition_size
+from repro.common.sizing import estimate_partition_size, estimate_size
+from repro.engine.batch import RecordBatch
 from repro.engine.dependencies import (
     Aggregator,
     CoalesceDependency,
@@ -38,6 +41,89 @@ from repro.engine.task import TaskContext
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.context import AnalyticsContext
+
+
+class RecordOp:
+    """Per-record description of a narrow op, the unit of operator fusion.
+
+    ``kind`` is ``"map"`` / ``"filter"`` / ``"map_values"``; ``fn`` is the
+    user's per-record function (the same one the unfused lambda applies).
+    ``vec`` is an optional columnar kernel the workload opts in with:
+
+    * map: ``vec(keys, values) -> (keys, values)``
+    * filter: ``vec(keys, values) -> bool mask``
+    * map_values: ``vec(values) -> values``
+
+    The opt-in contract is elementwise bit-identity with ``fn`` after the
+    round trip to Python scalars — the engine only invokes ``vec`` on
+    ndarray columns and treats its outputs exactly like scalar results.
+    """
+
+    __slots__ = ("kind", "fn", "vec")
+
+    def __init__(self, kind: str, fn: Callable, vec: Optional[Callable] = None):
+        self.kind = kind
+        self.fn = fn
+        self.vec = vec
+
+
+def _run_chain(
+    chain: List["MapPartitionsRDD"], base_records: List
+) -> Tuple[List, List[int], List[float]]:
+    """Loop-fused evaluation of a narrow chain over one partition.
+
+    One pass over the base records applies every step's per-record
+    function in sequence — no intermediate partition lists — while
+    accumulating each step's record count and raw size sum in the same
+    record order the unfused path sums them, so per-step accounting
+    (``_note_chain``) reproduces ``materialize``'s numbers exactly.
+    """
+    k = len(chain)
+    ops = [step._record_op for step in chain]
+    counts = [0] * k
+    sums = [0.0] * k
+    out: List = []
+    for r in base_records:
+        v = r
+        dead = False
+        for i, op in enumerate(ops):
+            if op.kind == "map":
+                v = op.fn(v)
+            elif op.kind == "filter":
+                if not op.fn(v):
+                    dead = True
+                    break
+            else:  # map_values
+                key, value = v  # same unpacking (and errors) as unfused
+                v = (key, op.fn(value))
+            counts[i] += 1
+            sums[i] += estimate_size(v)
+        if not dead:
+            out.append(v)
+    return out, counts, sums
+
+
+def _run_chain_vec(
+    chain: List["MapPartitionsRDD"], batch: RecordBatch
+) -> Tuple[RecordBatch, List[int], List[float]]:
+    """Columnar evaluation of a fully vec-enabled narrow chain."""
+    counts: List[int] = []
+    sums: List[float] = []
+    for step in chain:
+        op = step._record_op
+        if op.kind == "map":
+            keys, values = op.vec(batch.keys, batch.values)
+            batch = RecordBatch(keys, values)
+        elif op.kind == "filter":
+            mask = np.asarray(op.vec(batch.keys, batch.values))
+            batch = batch.take(np.flatnonzero(mask))
+        else:  # map_values
+            batch = RecordBatch(batch.keys, op.vec(batch.values))
+        counts.append(len(batch))
+        # Left-fold sum over the per-record sizes, matching the scalar
+        # path's summation order (np.sum is pairwise — not equivalent).
+        sums.append(float(sum(batch.sizes_array().tolist())))
+    return batch, counts, sums
 
 
 class RDD:
@@ -141,6 +227,17 @@ class RDD:
             self.ctx.block_store.put(self.id, split, records, raw_bytes, task.node)
         return records
 
+    def materialize_batch(
+        self, split: int, task: TaskContext
+    ) -> Union[List, "RecordBatch"]:
+        """Like :meth:`materialize`, but may return a columnar batch.
+
+        Only callers prepared for a :class:`RecordBatch` (the map-task
+        shuffle write path) use this; the base implementation is the
+        plain list path. Accounting is identical either way.
+        """
+        return self.materialize(split, task)
+
     # ------------------------------------------------------------------
     # Caching
     # ------------------------------------------------------------------
@@ -172,6 +269,7 @@ class RDD:
         preserves_partitioning: bool = False,
         cost: float = 1.0,
         out_scale: Optional[float] = None,
+        record_op: Optional[RecordOp] = None,
     ) -> "RDD":
         """Apply ``fn(split_index, records) -> records`` per partition.
 
@@ -187,12 +285,14 @@ class RDD:
         gigabytes.
         """
         return MapPartitionsRDD(
-            self, fn, op_name, preserves_partitioning, cost, out_scale
+            self, fn, op_name, preserves_partitioning, cost, out_scale,
+            record_op=record_op,
         )
 
-    def map(self, f: Callable, cost: float = 1.0) -> "RDD":
+    def map(self, f: Callable, cost: float = 1.0, vec: Optional[Callable] = None) -> "RDD":
         return self.map_partitions(
-            lambda _s, recs: [f(r) for r in recs], op_name="map", cost=cost
+            lambda _s, recs: [f(r) for r in recs], op_name="map", cost=cost,
+            record_op=RecordOp("map", f, vec),
         )
 
     def flat_map(self, f: Callable, cost: float = 1.0) -> "RDD":
@@ -202,12 +302,15 @@ class RDD:
             cost=cost,
         )
 
-    def filter(self, pred: Callable, cost: float = 1.0) -> "RDD":
+    def filter(
+        self, pred: Callable, cost: float = 1.0, vec: Optional[Callable] = None
+    ) -> "RDD":
         return self.map_partitions(
             lambda _s, recs: [r for r in recs if pred(r)],
             op_name="filter",
             preserves_partitioning=True,
             cost=cost,
+            record_op=RecordOp("filter", pred, vec),
         )
 
     def glom(self) -> "RDD":
@@ -233,12 +336,15 @@ class RDD:
             lambda _s, recs: [v for _k, v in recs], op_name="values"
         )
 
-    def map_values(self, f: Callable, cost: float = 1.0) -> "RDD":
+    def map_values(
+        self, f: Callable, cost: float = 1.0, vec: Optional[Callable] = None
+    ) -> "RDD":
         return self.map_partitions(
             lambda _s, recs: [(k, f(v)) for k, v in recs],
             op_name="mapValues",
             preserves_partitioning=True,
             cost=cost,
+            record_op=RecordOp("map_values", f, vec),
         )
 
     def flat_map_values(self, f: Callable, cost: float = 1.0) -> "RDD":
@@ -385,6 +491,7 @@ class RDD:
         num_partitions: Optional[int] = None,
         partitioner: Optional[Partitioner] = None,
         numeric_add: bool = False,
+        map_side_combine: bool = True,
     ) -> "RDD":
         """Fold values per key with ``fn``.
 
@@ -392,11 +499,14 @@ class RDD:
         (``lambda a, b: a + b`` over ints or floats) to let the executor
         use the vectorized map-side combine; see
         :class:`~repro.engine.dependencies.Aggregator`.
+        ``map_side_combine=False`` ships raw records through the shuffle
+        (more shuffle volume — useful for shuffle-bound workloads).
         """
         return self.combine_by_key(
             lambda v: v, fn, fn,
             num_partitions=num_partitions,
             partitioner=partitioner,
+            map_side_combine=map_side_combine,
             op_name="reduceByKey",
             numeric_add=numeric_add,
         )
@@ -792,6 +902,7 @@ class MapPartitionsRDD(RDD):
         preserves_partitioning: bool = False,
         cost: float = 1.0,
         out_scale: Optional[float] = None,
+        record_op: Optional[RecordOp] = None,
     ) -> None:
         super().__init__(
             parent.ctx, [OneToOneDependency(parent)], op_name, compute_factor=cost
@@ -799,6 +910,7 @@ class MapPartitionsRDD(RDD):
         self._fn = fn
         self._preserves = preserves_partitioning
         self._out_scale = out_scale
+        self._record_op = record_op
 
     @property
     def partitioner(self) -> Optional[Partitioner]:
@@ -813,6 +925,107 @@ class MapPartitionsRDD(RDD):
     def compute(self, split: int, task: TaskContext) -> List:
         parent_records = self.deps[0].parent.materialize(split, task)
         return list(self._fn(split, parent_records))
+
+    # ------------------------------------------------------------------
+    # Operator fusion
+    # ------------------------------------------------------------------
+
+    def _fusion_chain(self) -> Optional[List["MapPartitionsRDD"]]:
+        """The longest fusible narrow chain ending at this RDD, or None.
+
+        Fusible steps are per-record ops (map / filter / mapValues, which
+        carry a :class:`RecordOp`); the chain breaks at a cached
+        intermediate (its partitions must land in the block store), at
+        any partition-level op (mapPartitions, flatMap, sample, ...) and
+        at stage boundaries. A chain needs >= 2 steps to be worth fusing.
+        """
+        if self._record_op is None or not self.ctx.conf.operator_fusion:
+            return None
+        chain: List[MapPartitionsRDD] = [self]
+        node = self.deps[0].parent
+        while (
+            isinstance(node, MapPartitionsRDD)
+            and node._record_op is not None
+            and not node._cached
+        ):
+            chain.append(node)
+            node = node.deps[0].parent
+        if len(chain) < 2:
+            return None
+        chain.reverse()
+        return chain
+
+    def _note_chain(
+        self,
+        chain: List["MapPartitionsRDD"],
+        counts: List[int],
+        sums: List[float],
+        task: TaskContext,
+    ) -> None:
+        """Replay :meth:`RDD.materialize`'s per-step accounting, exactly."""
+        for step, count, raw_sum in zip(chain, counts, sums):
+            raw_bytes = raw_sum * step.size_scale
+            input_bytes = task.input_hints.get(step.id, 0.0)
+            for dep in step.narrow_deps():
+                input_bytes = max(
+                    input_bytes, task.rdd_bytes.get(dep.parent.id, 0.0)
+                )
+            work_bytes = max(raw_bytes, input_bytes)
+            task.note_compute(
+                work_bytes * step.compute_factor, count, work_bytes
+            )
+            task.rdd_bytes[step.id] = raw_bytes
+
+    def materialize(self, split: int, task: TaskContext) -> List:
+        chain = self._fusion_chain()
+        if chain is None:
+            return super().materialize(split, task)
+        if self._cached:
+            block = self.ctx.block_store.get(self.id, split)
+            if block is not None:
+                task.note_cache_read(block.nbytes, src_node=block.node)
+                task.rdd_bytes[self.id] = block.nbytes
+                return block.records
+        base_records = chain[0].deps[0].parent.materialize(split, task)
+        records, counts, sums = _run_chain(chain, base_records)
+        self._note_chain(chain, counts, sums, task)
+        if self._cached and not task.probe:
+            self.ctx.block_store.put(
+                self.id, split, records, task.rdd_bytes[self.id], task.node
+            )
+        return records
+
+    def materialize_batch(
+        self, split: int, task: TaskContext
+    ) -> Union[List, RecordBatch]:
+        conf = self.ctx.conf
+        chain = self._fusion_chain()
+        if chain is None or self._cached:
+            # Cached tops keep list blocks in the store (one container
+            # type for cache consumers); materialize() handles both the
+            # cache hit and the loop-fused recompute.
+            return self.materialize(split, task)
+        base_records = chain[0].deps[0].parent.materialize(split, task)
+        batch: Optional[RecordBatch] = None
+        if (
+            conf.record_format == "columnar"
+            and conf.vectorized_kernels
+            and base_records
+            and all(step._record_op.vec is not None for step in chain)
+        ):
+            batch = RecordBatch.from_records(base_records)
+            if batch is not None and not (
+                isinstance(batch.keys, np.ndarray)
+                and isinstance(batch.values, np.ndarray)
+            ):
+                batch = None  # vec kernels consume ndarray columns only
+        if batch is not None:
+            out, counts, sums = _run_chain_vec(chain, batch)
+            self._note_chain(chain, counts, sums, task)
+            return out
+        records, counts, sums = _run_chain(chain, base_records)
+        self._note_chain(chain, counts, sums, task)
+        return records
 
 
 class UnionRDD(RDD):

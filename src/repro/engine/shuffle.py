@@ -16,22 +16,46 @@ aggregations the payload grows linearly with the map partition count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from repro.common.errors import FetchFailure, ShuffleError
 from repro.engine import effects
+from repro.engine.batch import RecordBatch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import MetricsRegistry
+
+# A block payload: a list of (k, v) tuples or a columnar RecordBatch.
+Records = Union[List, RecordBatch]
 
 
 @dataclass
 class ShuffleBlock:
     """One (map partition, reduce partition) output block."""
 
-    records: List
+    records: Records
     nbytes: float
     node: str
+
+
+def _gather(contributing: List[Records]) -> Records:
+    """Merge the non-empty blocks of one reduce partition, in map order.
+
+    One block returns the registered container itself (zero copy); a mix
+    of batches and lists — possible when one map task's bucket resisted
+    columnarization — degrades to a concatenated list, preserving the
+    exact record order of the all-list path.
+    """
+    if not contributing:
+        return []
+    if len(contributing) == 1:
+        return contributing[0]
+    if all(isinstance(c, RecordBatch) for c in contributing):
+        return RecordBatch.concat(contributing)
+    out: List = []
+    for c in contributing:
+        out.extend(c.to_records() if isinstance(c, RecordBatch) else c)
+    return out
 
 
 @dataclass
@@ -120,7 +144,7 @@ class ShuffleManager:
         shuffle_id: int,
         map_id: int,
         node: str,
-        partitioned: Dict[int, Tuple[List, float]],
+        partitioned: Dict[int, Tuple[Records, float]],
     ) -> Optional[float]:
         """Store one map task's output blocks.
 
@@ -175,8 +199,16 @@ class ShuffleManager:
 
     def fetch(
         self, shuffle_id: int, reduce_id: int, dst_node: str
-    ) -> Tuple[List, FetchStats]:
+    ) -> Tuple[Records, FetchStats]:
         """Collect all records for ``reduce_id``, with byte accounting.
+
+        When exactly one non-empty map block feeds the reduce partition
+        (common at small map counts), its records container is returned
+        **as-is, without copying** — callers must treat fetched records
+        as read-only and copy before mutating (``ShuffledRDD`` already
+        does for its sorting mode). Multiple blocks concatenate: list
+        blocks by extend, columnar :class:`RecordBatch` blocks by
+        column-wise ``np.concatenate``.
 
         Raises :class:`FetchFailure` when any of the shuffle's map
         outputs were discarded by a node loss — never silently serves a
@@ -197,13 +229,13 @@ class ShuffleManager:
                 f"shuffle {shuffle_id}: fetch before all map outputs ready "
                 f"({len(state.blocks)}/{state.num_maps})"
             )
-        records: List = []
+        contributing: List[Records] = []
         stats = FetchStats()
         for map_id in range(state.num_maps):
             block = state.blocks[map_id].get(reduce_id)
             if block is None:
                 continue
-            records.extend(block.records)
+            contributing.append(block.records)
             stats.n_blocks += 1
             if block.node == dst_node:
                 stats.local_bytes += block.nbytes
@@ -211,6 +243,7 @@ class ShuffleManager:
                 stats.remote_bytes_by_src[block.node] = (
                     stats.remote_bytes_by_src.get(block.node, 0.0) + block.nbytes
                 )
+        records = _gather(contributing)
         if self._metrics is not None:
             if sink is not None:
                 # Buffer the increments in the serial order — including

@@ -13,7 +13,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 from repro.common.errors import ConfigurationError
-from repro.engine.combine import combine_numeric_add
+from repro.engine.batch import RecordBatch, as_record_list
+from repro.engine.combine import combine_numeric_add, fold_batch
 from repro.engine.dependencies import (
     Aggregator,
     Dependency,
@@ -149,26 +150,39 @@ class ShuffledRDD(RDD):
             out = self._merge(records, incoming_combined)
         elif self.mode == "group":
             groups: Dict[Any, List] = {}
-            for k, v in records:
+            for k, v in as_record_list(records):
                 groups.setdefault(k, []).append(v)
             out = list(groups.items())
         else:
-            out = list(records)
+            # to_records/list both produce a fresh list: fetch may have
+            # returned a shared block container that must not be mutated
+            # (the sort below happens on the copy).
+            if isinstance(records, RecordBatch):
+                out = records.to_records()
+            else:
+                out = list(records)
         if self._sort:
             out.sort(key=lambda r: r[0])
         return out
 
-    def _merge(self, records: List, incoming_combined: bool) -> List:
+    def _merge(self, records, incoming_combined: bool) -> List:
         assert self.aggregator is not None
         agg = self.aggregator
-        if self.ctx.conf.vectorized_kernels and records and agg.numeric_add:
+        if self.ctx.conf.vectorized_kernels and len(records) and agg.numeric_add:
             # Both branches below are per-key left folds with elementwise
             # ``+`` (numeric_add's promise covers merge_value AND
             # merge_combiners), so the vectorized kernel applies to the
-            # reduce side too; None means fold the scalar way.
-            combined = combine_numeric_add(None, records)
-            if combined is not None:
-                return list(combined.items())
+            # reduce side too; None means fold the scalar way. Columnar
+            # blocks fold directly on their value columns.
+            if isinstance(records, RecordBatch):
+                folded = fold_batch(records)
+                if folded is not None:
+                    return folded.to_records()
+            else:
+                combined = combine_numeric_add(None, records)
+                if combined is not None:
+                    return list(combined.items())
+        records = as_record_list(records)
         merged: Dict[Any, Any] = {}
         if incoming_combined:
             for k, c in records:
@@ -294,7 +308,7 @@ class CogroupRDD(RDD):
                 task.note_input_hint(self.id, stats.total_bytes)
             else:
                 records = dep.parent.materialize(split, task)
-            for k, v in records:
+            for k, v in as_record_list(records):
                 if k not in buckets:
                     buckets[k] = [[] for _ in range(n_sides)]
                 buckets[k][side].append(v)

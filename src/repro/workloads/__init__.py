@@ -21,7 +21,7 @@ from repro.workloads.kmeans import KMeansWorkload
 from repro.workloads.logistic import LogisticRegressionWorkload
 from repro.workloads.pca import PCAWorkload
 from repro.workloads.sql import SQLWorkload
-from repro.workloads.wordcount import WordCountWorkload
+from repro.workloads.wordcount import ShuffleWordCountWorkload, WordCountWorkload
 from repro.workloads.pagerank import PageRankWorkload
 
 __all__ = [
@@ -37,6 +37,7 @@ __all__ = [
     "LogisticRegressionWorkload",
     "PCAWorkload",
     "SQLWorkload",
+    "ShuffleWordCountWorkload",
     "WordCountWorkload",
     "PageRankWorkload",
 ]

@@ -88,7 +88,14 @@ class _GenBase:
         if end <= start:
             return []
         out: List = []
-        key_base = (type(self).__name__, astuple(self), label)
+        # Key on the fields records actually depend on: virtual_bytes and
+        # parse_cost only rescale accounting, so e.g. a benchmark's tiny
+        # and full variants of the same stream share cached blocks.
+        key_base = (
+            (type(self).__name__, self.physical_records, self.seed)
+            + tuple(astuple(self)[4:])
+            + (label,)
+        )
         first, last = start // BLOCK, (end - 1) // BLOCK
         for block in range(first, last + 1):
             key = key_base + (block,)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from repro.common.units import GB
 from repro.engine.context import AnalyticsContext
 from repro.workloads.base import Workload, WorkloadResult
@@ -46,5 +48,51 @@ class WordCountWorkload(Workload):
         counts = lines.map_partitions(
             tokenize, op_name="tokenize", cost=1.3
         ).reduce_by_key(lambda a, b: a + b, numeric_add=True)
+        top = sorted(counts.collect(), key=lambda kv: (-kv[1], kv[0]))[: self.top_n]
+        return WorkloadResult(value=top, details={"distinct": counts.count()})
+
+
+class ShuffleWordCountWorkload(WordCountWorkload):
+    """Shuffle-heavy WordCount: raw pairs cross the wire, not combiners.
+
+    Disabling the map-side combine ships every ``(word, weight)`` record
+    through the shuffle, so runtime is dominated by bucketing, block
+    transfer and the reduce-side fold — the path the columnar record
+    format accelerates. The narrow pre-shuffle chain (filter short words,
+    lift counts to float weights) is a fusible ``filter``/``mapValues``
+    pair with vectorized kernels, exercising operator fusion on both the
+    loop-fused and columnar paths.
+    """
+
+    name = "wordcount-shuffle"
+
+    def __init__(self, *args, min_word_len: int = 3, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.min_word_len = min_word_len
+
+    def run(self, ctx: AnalyticsContext, scale: float = 1.0) -> WorkloadResult:
+        gen = TextDataGen(
+            virtual_bytes=self.virtual_bytes(scale),
+            physical_records=self.physical_records,
+            vocabulary=self.vocabulary,
+            seed=self.seed,
+        )
+        lines = gen.rdd(ctx, ctx.default_parallelism)
+
+        def tokenize(_split: int, records: List[str]) -> List[tuple]:
+            return [(word, 1) for line in records for word in line.split()]
+
+        min_len = self.min_word_len
+        weighted = (
+            lines.map_partitions(tokenize, op_name="tokenize", cost=1.3)
+            .filter(
+                lambda kv: len(kv[0]) >= min_len,
+                vec=lambda keys, values: np.char.str_len(keys) >= min_len,
+            )
+            .map_values(float, vec=lambda values: values.astype(np.float64))
+        )
+        counts = weighted.reduce_by_key(
+            lambda a, b: a + b, numeric_add=True, map_side_combine=False
+        )
         top = sorted(counts.collect(), key=lambda kv: (-kv[1], kv[0]))[: self.top_n]
         return WorkloadResult(value=top, details={"distinct": counts.count()})

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.common.errors import ShuffleError
+from repro.engine.batch import RecordBatch
 from repro.engine.shuffle import ShuffleManager
 
 
@@ -140,6 +141,58 @@ class TestReexecution:
         _records, stats = mgr.fetch(1, 0, "b")
         assert stats.local_bytes == pytest.approx(110.0)
         assert stats.remote_bytes_by_src == {"c": pytest.approx(50.0)}
+
+
+class TestZeroCopyFetch:
+    def test_single_block_returns_registered_container(self, mgr):
+        """One non-empty contributing block: fetch hands it back uncopied."""
+        mgr.register(1, 2, 2)
+        block = [("x", 1), ("y", 2)]
+        put(mgr, 1, 0, "a", {0: (block, 1.0)})
+        put(mgr, 1, 1, "b", {1: ([("z", 3)], 1.0)})
+        records, _stats = mgr.fetch(1, 0, "a")
+        assert records is block
+
+    def test_single_batch_block_returns_same_batch(self, mgr):
+        mgr.register(1, 2, 2)
+        batch = RecordBatch.from_records([("x", 1), ("y", 2)])
+        put(mgr, 1, 0, "a", {0: (batch, 1.0)})
+        put(mgr, 1, 1, "b", {1: ([("z", 3)], 1.0)})
+        records, _stats = mgr.fetch(1, 0, "a")
+        assert records is batch
+
+    def test_multi_block_fetch_does_not_mutate_registered_lists(self, mgr):
+        mgr.register(1, 2, 1)
+        block_a = [("x", 1)]
+        block_b = [("y", 2)]
+        put(mgr, 1, 0, "a", {0: (block_a, 1.0)})
+        put(mgr, 1, 1, "b", {0: (block_b, 1.0)})
+        records, _stats = mgr.fetch(1, 0, "a")
+        assert records == [("x", 1), ("y", 2)]
+        assert records is not block_a and records is not block_b
+        # Repeated fetches (task retries, speculation) see pristine blocks.
+        assert block_a == [("x", 1)] and block_b == [("y", 2)]
+        again, _stats = mgr.fetch(1, 0, "a")
+        assert again == [("x", 1), ("y", 2)]
+
+    def test_multi_block_fetch_does_not_mutate_registered_batches(self, mgr):
+        mgr.register(1, 2, 1)
+        batch_a = RecordBatch.from_records([("x", 1.5), ("y", 2.5)])
+        batch_b = RecordBatch.from_records([("z", 3.5)])
+        put(mgr, 1, 0, "a", {0: (batch_a, 1.0)})
+        put(mgr, 1, 1, "b", {0: (batch_b, 1.0)})
+        records, _stats = mgr.fetch(1, 0, "a")
+        assert isinstance(records, RecordBatch)
+        assert records.to_records() == [("x", 1.5), ("y", 2.5), ("z", 3.5)]
+        assert batch_a.to_records() == [("x", 1.5), ("y", 2.5)]
+        assert batch_b.to_records() == [("z", 3.5)]
+
+    def test_mixed_block_types_flatten_to_records(self, mgr):
+        mgr.register(1, 2, 1)
+        put(mgr, 1, 0, "a", {0: (RecordBatch.from_records([("x", 1)]), 1.0)})
+        put(mgr, 1, 1, "b", {0: ([("y", 2)], 1.0)})
+        records, _stats = mgr.fetch(1, 0, "a")
+        assert list(records) == [("x", 1), ("y", 2)]
 
 
 class TestNodeLoss:

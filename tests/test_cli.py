@@ -86,6 +86,50 @@ class TestRunCommand:
         assert code == 0
 
 
+class TestRecordFormatFlag:
+    WORKLOAD = (
+        "run", "wordcount-shuffle",
+        "--virtual-gb", "1.0", "--physical-records", "400",
+        "--parallelism", "16",
+    )
+
+    def test_invalid_record_format_one_line_error(self):
+        code, text, err = run_cli(*self.WORKLOAD, "--record-format", "parquet")
+        assert code == 2
+        assert text == ""
+        assert err.startswith("error: ")
+        assert "parquet" in err and "columnar" in err
+        assert err.count("\n") == 1  # one line, no traceback
+
+    def test_columnar_output_matches_list(self):
+        code_a, text_a, _ = run_cli(*self.WORKLOAD)
+        code_b, text_b, _ = run_cli(
+            *self.WORKLOAD, "--record-format", "columnar", "--fuse"
+        )
+        assert code_a == 0 and code_b == 0
+        assert text_a == text_b
+
+    def test_list_vs_columnar_ledger_gate(self, tmp_path):
+        # The CI identity gate: two ledgered runs, then diff-runs with a
+        # near-zero threshold must pass (simulated time and shuffle
+        # volume are bit-identical across record formats).
+        ledger = str(tmp_path / "runs.jsonl")
+        code, _, _ = run_cli(*self.WORKLOAD, "--ledger", ledger)
+        assert code == 0
+        code, _, _ = run_cli(
+            *self.WORKLOAD, "--record-format", "columnar", "--fuse",
+            "--ledger", ledger,
+        )
+        assert code == 0
+        code, text, _ = run_cli(
+            "diff-runs", ledger,
+            "0000-wordcount-shuffle-run", "0001-wordcount-shuffle-run",
+            "--threshold", "0.001",
+        )
+        assert code == 0
+        assert "ok: no regression" in text
+
+
 class TestChaosFlags:
     WORKLOAD = (
         "run", "wordcount",
