@@ -53,6 +53,12 @@ CONFIGS = [
     ("vectorized+procs4", dict(vectorized_kernels=True, physical_parallelism=1), 4),
     ("columnar", dict(physical_parallelism=1, **_COLUMNAR), 1),
     ("columnar+procs4", dict(physical_parallelism=1, **_COLUMNAR), 4),
+    # Memory budget at 1/10th of the sweep's virtual input: most shuffle
+    # blocks spill to disk and read back transparently; the DB must stay
+    # byte-identical to the unbudgeted serial run.
+    ("columnar+spill", dict(
+        physical_parallelism=1, memory_budget_fraction=0.1, **_COLUMNAR
+    ), 1),
 ]
 
 FULL_SWEEPS = {
@@ -92,8 +98,17 @@ TINY_SWEEPS = {
 
 def run_config(sweep: dict, conf_kwargs: dict, jobs: int):
     """One timed sweep; returns (seconds, db JSON bytes, chosen config)."""
+    conf_kwargs = dict(conf_kwargs)
+    budget_fraction = conf_kwargs.pop("memory_budget_fraction", None)
+    workload = sweep["factory"]()
+    if budget_fraction is not None:
+        # Budget as a fraction of the sweep's largest virtual input — the
+        # "input 10x bigger than memory" configuration.
+        conf_kwargs["memory_budget"] = (
+            workload.virtual_bytes(max(sweep["scales"])) * budget_fraction
+        )
     conf = EngineConf(default_parallelism=sweep["parallelism"], **conf_kwargs)
-    runner = ChopperRunner(sweep["factory"](), base_conf=conf, db=WorkloadDB())
+    runner = ChopperRunner(workload, base_conf=conf, db=WorkloadDB())
     clear_block_cache()  # every config pays cold data generation
     start = time.perf_counter()
     runner.profile(
@@ -113,25 +128,61 @@ def run_config(sweep: dict, conf_kwargs: dict, jobs: int):
     return elapsed, db_bytes, chosen
 
 
-def bench_workload(name: str, sweep: dict) -> dict:
+def _median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def bench_workload(name: str, sweep: dict, repeats: int = 1) -> dict:
     results: dict = {"configs": {}, "speedups": {}}
-    baseline_time = baseline_db = baseline_chosen = None
-    for config_name, conf_kwargs, jobs in CONFIGS:
-        elapsed, db_bytes, chosen = run_config(sweep, conf_kwargs, jobs)
-        if config_name == "serial":
-            baseline_time, baseline_db, baseline_chosen = (
-                elapsed, db_bytes, chosen,
+    rounds: dict = {config: [] for config, _, _ in CONFIGS}
+    dbs: dict = {}
+    chosens: dict = {}
+    # Interleaved rounds: each round times every config back to back,
+    # so slow drift on a shared box (frequency scaling, noisy
+    # neighbors) hits all configs alike instead of biasing whichever
+    # config's block of repeats landed in the slow stretch. Speedups
+    # are the median of the *paired* per-round ratios — the estimator
+    # that stays at 1.0x when two configs run identical code through
+    # noise. Every repeat must also reproduce the identical DB.
+    for _round in range(max(1, repeats)):
+        for config_name, conf_kwargs, jobs in CONFIGS:
+            elapsed, db_bytes, chosen = run_config(sweep, conf_kwargs, jobs)
+            if config_name in dbs:
+                assert dbs[config_name] == db_bytes and (
+                    chosens[config_name] == chosen
+                ), f"{name}/{config_name}: repeat diverged from its first run"
+            else:
+                dbs[config_name] = db_bytes
+                chosens[config_name] = chosen
+            rounds[config_name].append(elapsed)
+            print(
+                f"  {name:10s} {config_name:18s} {elapsed:8.2f}s"
+                f"  (round {_round + 1}/{max(1, repeats)})",
+                flush=True,
             )
-        identical = db_bytes == baseline_db and chosen == baseline_chosen
+    for config_name, _conf_kwargs, _jobs in CONFIGS:
+        elapsed = min(rounds[config_name])
+        speedup = _median(
+            [s / c for s, c in zip(rounds["serial"], rounds[config_name])]
+        )
+        identical = (
+            dbs[config_name] == dbs["serial"]
+            and chosens[config_name] == chosens["serial"]
+        )
         results["configs"][config_name] = {
             "seconds": round(elapsed, 3),
+            "round_seconds": [round(s, 3) for s in rounds[config_name]],
             "identical_to_serial": identical,
         }
-        results["speedups"][config_name] = round(baseline_time / elapsed, 3)
+        results["speedups"][config_name] = round(speedup, 3)
         marker = "" if identical else "  << DIVERGED"
         print(
             f"  {name:10s} {config_name:18s} {elapsed:8.2f}s"
-            f"  x{baseline_time / elapsed:5.2f}{marker}",
+            f"  x{speedup:5.2f}{marker}",
             flush=True,
         )
     return results
@@ -144,6 +195,9 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="output JSON (default: repo root "
                              "BENCH_wallclock.json)")
+    parser.add_argument("--repeats", type=int, default=1, metavar="N",
+                        help="timed runs per config; the minimum is "
+                             "reported (default 1)")
     args = parser.parse_args(argv)
     sweeps = TINY_SWEEPS if args.tiny else FULL_SWEEPS
     out_path = Path(
@@ -158,23 +212,32 @@ def main(argv=None) -> int:
     }
     print(f"wall-clock bench ({payload['mode']}, {payload['cpu_count']} cpus)")
     for name, sweep in sweeps.items():
-        payload["workloads"][name] = bench_workload(name, sweep)
-    # Combined = all workloads back to back, the sweep a CHOPPER user
-    # actually runs; per-config total serial seconds over total seconds.
-    serial_total = sum(
-        wl["configs"]["serial"]["seconds"]
-        for wl in payload["workloads"].values()
-    )
-    payload["combined_speedups"] = {
-        config: round(
-            serial_total
-            / sum(
-                wl["configs"][config]["seconds"]
-                for wl in payload["workloads"].values()
-            ),
-            3,
+        payload["workloads"][name] = bench_workload(
+            name, sweep, repeats=max(1, args.repeats)
         )
-        for config, _, _ in CONFIGS
+    # Combined = all workloads back to back, the sweep a CHOPPER user
+    # actually runs; per round, total serial seconds over total config
+    # seconds, then the median of the paired per-round ratios.
+    def combined(config: str) -> float:
+        n_rounds = len(
+            next(iter(payload["workloads"].values()))
+            ["configs"]["serial"]["round_seconds"]
+        )
+        ratios = []
+        for r in range(n_rounds):
+            serial_total = sum(
+                wl["configs"]["serial"]["round_seconds"][r]
+                for wl in payload["workloads"].values()
+            )
+            config_total = sum(
+                wl["configs"][config]["round_seconds"][r]
+                for wl in payload["workloads"].values()
+            )
+            ratios.append(serial_total / config_total)
+        return round(_median(ratios), 3)
+
+    payload["combined_speedups"] = {
+        config: combined(config) for config, _, _ in CONFIGS
     }
     best = max(
         speedup

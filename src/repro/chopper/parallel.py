@@ -10,6 +10,20 @@ driver merges the records into the workload DB **in the serial loop's
 order**, so the DB contents (and every downstream model/optimizer
 decision) are bit-identical to a serial sweep.
 
+Payloads cross the process boundary through the zero-copy shared-memory
+data plane (:mod:`repro.engine.shm`): the driver packs each chunk's
+pickle stream and ndarray buffers into one segment and ships only the
+segment name plus byte spans; workers attach and read the buffers in
+place, then park their result chunk in a segment of their own (named by
+the driver up front, so crashed workers cannot leak them).
+
+Pool dispatch is not free — fork + segment setup + result merge costs
+tens of milliseconds per chunk — so :func:`run_specs` falls back to the
+in-process serial loop when it cannot win: single-core hosts, and sweeps
+whose physical record batches are below :data:`SMALL_RUN_RECORDS`
+(the ``procs4`` regression case). The fallback is byte-identical by
+construction: it *is* the serial loop.
+
 Run specs carry (workload, cluster factory, base conf, advisor spec)
 rather than live objects with context references; advisors are rebuilt
 worker-side from their constructor arguments. Anything unpicklable (a
@@ -20,19 +34,32 @@ the serial path.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.chopper.advisor import ChopperAdvisor, ProfilingAdvisor
 from repro.chopper.stats import RunRecord, StatisticsCollector
-from repro.engine.effects import dumps_payload, loads_payload
+from repro.engine import shm
 
 # (workload, cluster_factory, base_conf, advisor_spec, scale, label,
 #  copartition) where advisor_spec is None | ("profiling", kind, P) |
 #  ("config", WorkloadConfig).
 RunSpec = Tuple[Any, Any, Any, Optional[tuple], float, str, bool]
+
+# Sweeps whose largest run materializes fewer physical records than this
+# run inline: pool dispatch overhead dwarfs the work being distributed.
+# Override with REPRO_POOL_MIN_RECORDS (0 disables the size guard).
+SMALL_RUN_RECORDS = 25_000
+
+# How the last run_specs call dispatched, for tests and diagnostics:
+# "serial" (trivial), "inline-small", "inline-cores", "pool", or
+# "pool-heterogeneous"; "+recovered" is appended when a broken pool made
+# the remainder run inline.
+last_dispatch: str = ""
 
 
 def measure_one(spec: RunSpec) -> Tuple[str, RunRecord, Any]:
@@ -66,6 +93,7 @@ def measure_one(spec: RunSpec) -> Tuple[str, RunRecord, Any]:
         result = workload.run(ctx, scale=scale)
     record = collector.record
     record.total_time = ctx.now
+    ctx.close()
     return label, record, result
 
 
@@ -79,18 +107,27 @@ def picklable(*objects: Any) -> bool:
     return True
 
 
-def measure_chunk(blob: bytes) -> bytes:
-    """Worker-side chunk runner for the pickle-light protocol.
+def measure_chunk(task: Tuple[shm.SharedPayload, str]) -> shm.SharedPayload:
+    """Worker-side chunk runner for the shared-memory protocol.
 
-    ``blob`` decodes (protocol 5) to ``(header, variations)`` where
-    ``header`` is the ``(workload, cluster_factory, base_conf)`` triple
-    every spec of the sweep shares — pickled once per chunk instead of
-    once per spec — and each variation is a ``(advisor_spec, scale,
-    label, copartition)`` tail. Results come back as one encoded list,
-    so a chunk of N runs costs one IPC round trip, not N.
+    ``task`` is (payload handle, result segment name). The handle decodes
+    — zero-copy where the chunk carries array buffers — to ``(header,
+    variations)``: ``header`` is the ``(workload, cluster_factory,
+    base_conf)`` triple every spec of the sweep shares, packed once per
+    chunk instead of once per spec, and each variation is an
+    ``(advisor_spec, scale, label, copartition)`` tail. The results of
+    the whole chunk come back as one shared segment (created under the
+    driver-chosen ``out_name``), so a chunk of N runs costs one segment
+    round trip, not N pipe payloads.
     """
-    header, variations = loads_payload(blob)
-    return dumps_payload([measure_one(header + tail) for tail in variations])
+    payload, out_name = task
+    decoded = shm.decode_shared(payload)
+    try:
+        header, variations = decoded.obj
+        results = [measure_one(header + tail) for tail in variations]
+    finally:
+        decoded.close()
+    return shm.encode_shared(results, name=out_name)
 
 
 def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
@@ -105,44 +142,130 @@ def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
     return None
 
 
+def _usable_cores() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _min_pool_records() -> int:
+    env = os.environ.get("REPRO_POOL_MIN_RECORDS", "").strip()
+    if env:
+        try:
+            return int(env)
+        except ValueError:
+            pass
+    return SMALL_RUN_RECORDS
+
+
+def _pool_forced() -> bool:
+    return os.environ.get("REPRO_POOL_FORCE", "").strip() == "1"
+
+
+def _inline_reason(specs: Sequence[RunSpec]) -> Optional[str]:
+    """Why pool dispatch cannot win for this spec list, or None.
+
+    The 0.86x ``procs4`` case: forking workers, round-tripping segments
+    and double-running the scheduler loop costs more than the sweep
+    itself when the per-run record batches are small — and buys nothing
+    at all when the host only has one usable core.
+    """
+    if _pool_forced():
+        return None
+    if _usable_cores() <= 1:
+        return "inline-cores"
+    floor = _min_pool_records()
+    if floor > 0:
+        largest = 0
+        for spec in specs:
+            records = getattr(spec[0], "physical_records", None)
+            if records is None:
+                return None  # unknown size: give the pool the benefit
+            largest = max(largest, int(records))
+        if largest < floor:
+            return "inline-small"
+    return None
+
+
 def run_specs(specs: Sequence[RunSpec], jobs: int) -> List[Tuple[str, RunRecord, Any]]:
     """Run measured-run specs on a process pool; results in spec order.
 
     Sweeps (every spec sharing one ``(workload, cluster_factory,
-    base_conf)`` header) use the pickle-light chunked protocol: the
+    base_conf)`` header) use the shared-memory chunked protocol: the
     driver runs the first spec inline — warming the datagen block cache
-    that forked workers then inherit — and ships the rest as
-    round-robin chunks with the shared header pickled once per chunk
-    (protocol 5). Heterogeneous spec lists fall back to one-task-per-
-    spec ``pool.map``. Either way the returned list is in spec order,
-    so callers merge records exactly as the serial loop would.
+    that forked workers then inherit — and parks the rest as round-robin
+    chunks in shared segments, header packed once per chunk. Workers
+    return their chunk's results through driver-named segments, which
+    the driver copies out and unlinks. Heterogeneous spec lists fall
+    back to one-task-per-spec ``pool.map``. Either way the returned list
+    is in spec order, so callers merge records exactly as the serial
+    loop would.
+
+    Small sweeps and single-core hosts skip the pool entirely (see
+    :func:`_inline_reason`), and a pool that breaks mid-flight (a killed
+    worker) is swept clean and the unfinished specs re-run inline — the
+    result is byte-identical in every case because each fallback *is*
+    the serial loop.
     """
+    global last_dispatch
     workers = max(1, min(jobs, len(specs)))
     if workers == 1 or len(specs) == 1:
+        last_dispatch = "serial"
+        return [measure_one(spec) for spec in specs]
+    reason = _inline_reason(specs)
+    if reason is not None:
+        last_dispatch = reason
         return [measure_one(spec) for spec in specs]
     head = specs[0]
     shared = all(
         s[0] is head[0] and s[1] is head[1] and s[2] is head[2] for s in specs
     )
     if not shared:
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=_fork_context()
-        ) as pool:
-            return list(pool.map(measure_one, specs))
+        last_dispatch = "pool-heterogeneous"
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=_fork_context()
+            ) as pool:
+                return list(pool.map(measure_one, specs))
+        except BrokenProcessPool:
+            last_dispatch += "+recovered"
+            return [measure_one(spec) for spec in specs]
     results: List[Optional[Tuple[str, RunRecord, Any]]] = [None] * len(specs)
     results[0] = measure_one(head)  # inline: pre-warms the block cache
     rest = list(range(1, len(specs)))
     workers = min(workers, len(rest))
     chunks = [rest[i::workers] for i in range(workers)]
     header = head[:3]
-    blobs = [
-        dumps_payload((header, [specs[j][3:] for j in chunk]))
-        for chunk in chunks
-    ]
-    with ProcessPoolExecutor(
-        max_workers=workers, mp_context=_fork_context()
-    ) as pool:
-        for chunk, out in zip(chunks, pool.map(measure_chunk, blobs)):
-            for j, res in zip(chunk, loads_payload(out)):
-                results[j] = res
+    last_dispatch = "pool"
+    out_names = [shm.next_name(f"out{i}-") for i in range(len(chunks))]
+    try:
+        tasks = [
+            (
+                shm.encode_shared((header, [specs[j][3:] for j in chunk])),
+                out_name,
+            )
+            for chunk, out_name in zip(chunks, out_names)
+        ]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=_fork_context()
+            ) as pool:
+                for chunk, out in zip(chunks, pool.map(measure_chunk, tasks)):
+                    decoded = shm.decode_shared(out, copy=True)
+                    for j, res in zip(chunk, decoded.obj):
+                        results[j] = res
+                    if out.segment is not None:
+                        shm.unlink_ref(out.segment)
+        except BrokenProcessPool:
+            last_dispatch += "+recovered"
+            for j in rest:
+                if results[j] is None:
+                    results[j] = measure_one(specs[j])
+    finally:
+        # Sweep every segment this fan-out may have created: the chunk
+        # segments the driver owns, and any result segment a worker
+        # parked before dying (driver-chosen names, so no reply needed).
+        shm.cleanup_segments()
+        for name in out_names:
+            shm.unlink_ref((shm._backend(), name))
     return results  # type: ignore[return-value]

@@ -29,7 +29,7 @@ from repro.common.errors import (
     ReproError,
     WorkloadError,
 )
-from repro.common.units import fmt_bytes, fmt_duration
+from repro.common.units import fmt_bytes, fmt_duration, parse_bytes
 from repro.engine import AnalyticsContext, EngineConf
 from repro.obs import LedgerCollector, MetricsRegistry, RunLedger, Tracer
 from repro.workloads import (
@@ -107,6 +107,13 @@ def perf_conf_kwargs(args: argparse.Namespace) -> dict:
         kwargs["record_format"] = args.record_format
     if getattr(args, "fuse", False):
         kwargs["operator_fusion"] = True
+    if getattr(args, "memory_budget", None) is not None:
+        try:
+            kwargs["memory_budget"] = parse_bytes(args.memory_budget)
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from None
+    if getattr(args, "spill_dir", None) is not None:
+        kwargs["spill_dir"] = args.spill_dir
     return kwargs
 
 
@@ -211,6 +218,7 @@ def cmd_run(args: argparse.Namespace, out) -> int:
         from repro.reporting import gantt
 
         out.write(gantt(ctx, width=72) + "\n")
+    ctx.close()
     return 0
 
 
@@ -401,6 +409,14 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
                         help="fuse narrow map/filter/mapValues chains into "
                              "one per-partition kernel (bit-identical "
                              "results)")
+    parser.add_argument("--memory-budget", default=None, metavar="BYTES",
+                        help="physical memory budget over block payloads "
+                             "in virtual bytes (e.g. '2G', '512M'); "
+                             "payloads past it spill LRU to disk and read "
+                             "back transparently (bit-identical results)")
+    parser.add_argument("--spill-dir", default=None, metavar="DIR",
+                        help="directory for spill block files (default: a "
+                             "tempdir); requires --memory-budget")
 
 
 def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:

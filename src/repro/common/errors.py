@@ -48,6 +48,10 @@ class FetchFailure(ShuffleError):
         )
 
 
+class StorageError(ReproError):
+    """Block storage / spill-file state is inconsistent or unreadable."""
+
+
 class ModelError(ReproError):
     """A CHOPPER performance model could not be fitted or evaluated."""
 

@@ -34,6 +34,43 @@ def fmt_bytes(n: float) -> str:
     return f"{n:.0f} B"
 
 
+_SUFFIXES = {
+    "": 1.0, "b": 1.0,
+    "k": KB, "kb": KB,
+    "m": MB, "mb": MB,
+    "g": GB, "gb": GB,
+    "t": TB, "tb": TB,
+}
+
+
+def parse_bytes(text: str) -> float:
+    """Parse a human byte count: ``"64M"``, ``"1.5GB"``, ``"4096"``.
+
+    Binary units (1K = 1024), case-insensitive, optional ``B`` suffix.
+    Raises ``ValueError`` on anything else, so argparse renders it as a
+    clean usage error.
+
+    >>> parse_bytes("1.5K")
+    1536.0
+    >>> parse_bytes("100")
+    100.0
+    """
+    s = str(text).strip().lower()
+    i = len(s)
+    while i > 0 and (s[i - 1].isalpha()):
+        i -= 1
+    number, suffix = s[:i].strip(), s[i:]
+    if suffix not in _SUFFIXES or not number:
+        raise ValueError(f"unrecognized byte size {text!r} (try e.g. '64M', '1.5GB')")
+    try:
+        value = float(number)
+    except ValueError:
+        raise ValueError(f"unrecognized byte size {text!r}") from None
+    if value < 0:
+        raise ValueError(f"byte size must be >= 0, got {text!r}")
+    return value * _SUFFIXES[suffix]
+
+
 def fmt_duration(seconds: float) -> str:
     """Format a duration in seconds as a compact h/m/s string.
 

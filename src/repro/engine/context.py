@@ -22,7 +22,7 @@ from repro.engine.dag_scheduler import DAGScheduler
 from repro.engine.listener import JobStats, ListenerBus, StageStats
 from repro.engine.rdd import RDD, SourceRDD, parallelize_generator
 from repro.engine.shuffle import ShuffleManager
-from repro.engine.storage import BlockStore
+from repro.engine.storage import BlockStore, SpillManager
 from repro.engine.task_scheduler import TaskScheduler
 from repro.obs import MetricsRegistry, Observability
 from repro.simul.engine import SimEngine
@@ -103,6 +103,15 @@ class EngineConf:
     # one per-partition kernel instead of materializing each step's list.
     # Accounting replays per step, so metrics stay bit-identical.
     operator_fusion: bool = False
+    # Physical memory budget over block payloads (cached partitions and
+    # shuffle blocks), in the engine's virtual byte units. Payloads past
+    # the budget spill LRU to an on-disk block directory and read back
+    # transparently; simulated results are bit-identical with or without
+    # a budget. None = unbudgeted (everything stays resident).
+    memory_budget: Optional[float] = None
+    # Directory for spill block files; each context creates a private
+    # subdirectory inside it and removes it on close(). None = a tempdir.
+    spill_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.record_format not in ("list", "columnar"):
@@ -141,6 +150,14 @@ class EngineConf:
             raise ConfigurationError("max_stage_attempts must be >= 1")
         if self.stage_resubmit_delay < 0:
             raise ConfigurationError("stage_resubmit_delay must be >= 0")
+        if self.memory_budget is not None and self.memory_budget <= 0:
+            raise ConfigurationError(
+                f"memory_budget must be > 0 bytes, got {self.memory_budget}"
+            )
+        if self.spill_dir is not None and self.memory_budget is None:
+            raise ConfigurationError(
+                "spill_dir requires memory_budget (nothing spills without one)"
+            )
 
 
 class Broadcast:
@@ -172,9 +189,20 @@ class AnalyticsContext:
             nodes={w.name: w.cores for w in self.cluster.workers},
         )
         self.obs.metrics.gauge("cluster.total_cores").set(self.cluster.total_cores)
+        # One spill manager spans cached partitions and shuffle blocks:
+        # the memory budget is over every payload the engine holds.
+        self.spill: Optional[SpillManager] = None
+        if self.conf.memory_budget is not None:
+            self.spill = SpillManager(
+                self.conf.memory_budget,
+                directory=self.conf.spill_dir,
+                obs=self.obs,
+                clock=lambda: self.sim.now,
+            )
         self.shuffle_manager = ShuffleManager(
             block_header=self.conf.cost.shuffle_block_header,
             metrics=self.obs.metrics,
+            spill=self.spill,
         )
         if self.conf.cache_memory_fraction > 0:
             fraction = self.conf.cache_memory_fraction
@@ -183,9 +211,11 @@ class AnalyticsContext:
             def cache_capacity(node_name: str) -> float:
                 return topology.node(node_name).executor_memory * fraction
 
-            self.block_store = BlockStore(capacity_for=cache_capacity)
+            self.block_store = BlockStore(
+                capacity_for=cache_capacity, spill=self.spill
+            )
         else:
-            self.block_store = BlockStore()
+            self.block_store = BlockStore(spill=self.spill)
         self.task_scheduler = TaskScheduler(self)
         self.dag_scheduler = DAGScheduler(self)
         self.advisor: Optional[Any] = None
@@ -331,3 +361,19 @@ class AnalyticsContext:
     def reset_stats(self) -> None:
         self.stage_stats.clear()
         self.job_stats.clear()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release physical resources (spill files). Idempotent.
+
+        In-memory state stays readable — stats, metrics and cached
+        results survive close() — but spilled payloads do not; close a
+        context only once its results are collected.
+        """
+        self.block_store.clear()
+        self.shuffle_manager.clear()
+        if self.spill is not None:
+            self.spill.close()

@@ -1,0 +1,347 @@
+"""Zero-copy shared-memory data plane for cross-process payloads.
+
+The process pool used to ship every payload — run specs out, records and
+results back — through pickle *bytes* travelling over the executor's IPC
+pipe: one serialization copy on the sender, one pipe write, one pipe
+read, one deserialization copy on the receiver. This module replaces the
+pipe payload with a **shared-memory segment**: the sender packs the
+pickle stream and every out-of-band buffer (pickle protocol 5 —
+numpy-backed :class:`~repro.engine.batch.RecordBatch` columns in
+particular) into one segment, registered once, and sends only a tiny
+:class:`SharedPayload` handle (segment name + per-buffer byte spans +
+dtype/shape metadata inside the pickle stream). The receiver attaches
+the segment by name and rebuilds ndarrays as **views into the segment**
+— the column bytes are never copied again.
+
+Backends
+--------
+
+* ``shm`` — :class:`multiprocessing.shared_memory.SharedMemory`
+  (``/dev/shm`` on Linux). The default wherever available.
+* ``mmap`` — plain files in a scratch directory, memory-mapped on
+  attach. The fallback for platforms (or sandboxes) without POSIX
+  shared memory; page-cache backed, so reads are still zero-copy.
+
+``REPRO_SHM_BACKEND`` forces a backend (``shm`` / ``mmap`` / ``off``;
+``off`` disables segments entirely — payloads inline into the handle).
+
+Lifecycle
+---------
+
+Segments are owned by their **creator**: every segment created by this
+process is tracked in a module registry and unlinked by
+:func:`cleanup_segments` (called by the pool driver after each fan-out,
+and at interpreter exit). Receivers attach and close but never unlink.
+A worker that dies mid-task therefore cannot leak driver-created
+segments — the driver's ``finally`` sweeps them — and worker-created
+result segments use driver-chosen names, so the driver can sweep those
+too without hearing back from the worker (see
+:func:`repro.chopper.parallel.run_specs`).
+"""
+
+from __future__ import annotations
+
+import atexit
+import mmap
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+PICKLE_PROTOCOL = 5
+
+# Payloads whose out-of-band buffers total fewer bytes than this inline
+# into the handle instead of paying segment setup (two syscalls + a
+# page-granular mapping) for a few KB.
+MIN_SEGMENT_BYTES = 16 * 1024
+
+_ALIGN = 64  # buffer alignment inside a segment (cache line / SIMD)
+
+
+def _backend() -> str:
+    forced = os.environ.get("REPRO_SHM_BACKEND", "").strip().lower()
+    if forced in ("shm", "mmap", "off"):
+        return forced
+    try:  # pragma: no cover - import always succeeds on CPython >= 3.8
+        import multiprocessing.shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - exotic platforms
+        return "mmap"
+    return "shm"
+
+
+def _untrack(name: str) -> None:
+    """Opt a segment out of the resource tracker's leak accounting.
+
+    Lifecycle here is explicit (creator unlinks, :mod:`atexit` sweeps),
+    and the tracker double-unlinking a segment that crossed a process
+    boundary only produces shutdown noise. Private API, so best-effort.
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:
+        pass
+
+
+class Segment:
+    """One shared-memory (or mmap-file) region with a name and a buffer."""
+
+    def __init__(
+        self, backend: str, name: str, buf, closer, owner: bool, shm_obj=None
+    ) -> None:
+        self.backend = backend
+        self.name = name
+        self.buf = buf  # writable memoryview over the whole region
+        self._closer = closer
+        self.owner = owner
+        self._shm_obj = shm_obj  # the SharedMemory object, shm backend only
+
+    @property
+    def ref(self) -> Tuple[str, str]:
+        return (self.backend, self.name)
+
+    def close(self) -> None:
+        """Drop this process's mapping (views must be released first)."""
+        if self._closer is None:
+            return
+        closer, self._closer = self._closer, None
+        self.buf = None
+        try:
+            closer()
+        except BufferError:
+            # A live ndarray still views the mapping; leave it to the
+            # garbage collector — unlink (below) already happened or
+            # will happen by name, which does not need the mapping.
+            pass
+        if self._shm_obj is not None:
+            # SharedMemory.__del__ retries close() and would spam
+            # "Exception ignored: BufferError" for mappings with live
+            # views; the instance attribute shadows the method, so the
+            # retry becomes a no-op and the GC reclaims the mapping
+            # together with the last view.
+            self._shm_obj.close = lambda: None
+            self._shm_obj = None
+
+    def unlink(self) -> None:
+        self.close()
+        unlink_ref((self.backend, self.name))
+        _LIVE.pop(self.name, None)
+
+
+# Segments created (and thus owned) by this process, by name.
+_LIVE: Dict[str, Segment] = {}
+
+
+def _scratch_dir() -> str:
+    path = os.path.join(
+        tempfile.gettempdir(), f"repro-shm-{os.getuid() if hasattr(os, 'getuid') else 0}"
+    )
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+_seq = 0
+
+
+def next_name(prefix: str = "") -> str:
+    """A process-unique segment name (creator's pid + a counter)."""
+    global _seq
+    _seq += 1
+    return f"repro-{prefix}{os.getpid()}-{_seq}"
+
+
+def create_segment(nbytes: int, name: Optional[str] = None) -> Segment:
+    """Allocate a named segment of ``nbytes`` and register it as owned."""
+    backend = _backend()
+    name = name or next_name()
+    if backend == "shm":
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes), name=name)
+        _untrack(shm.name)
+        seg = Segment("shm", shm.name, shm.buf, shm.close, owner=True, shm_obj=shm)
+    else:
+        path = os.path.join(_scratch_dir(), name)
+        with open(path, "wb") as fh:
+            fh.truncate(max(1, nbytes))
+        fh = open(path, "r+b")
+        mapping = mmap.mmap(fh.fileno(), 0)
+        fh.close()
+        seg = Segment("mmap", name, memoryview(mapping), mapping.close, owner=True)
+    _LIVE[seg.name] = seg
+    return seg
+
+
+def attach_segment(ref: Tuple[str, str]) -> Segment:
+    """Map an existing segment created by another process (read/write)."""
+    backend, name = ref
+    if backend == "shm":
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        _untrack(shm.name)
+        return Segment("shm", name, shm.buf, shm.close, owner=False, shm_obj=shm)
+    path = os.path.join(_scratch_dir(), name)
+    fh = open(path, "r+b")
+    mapping = mmap.mmap(fh.fileno(), 0)
+    fh.close()
+    return Segment("mmap", name, memoryview(mapping), mapping.close, owner=False)
+
+
+def unlink_ref(ref: Tuple[str, str]) -> bool:
+    """Remove a segment by name, regardless of which process created it.
+
+    Returns True when something was actually removed — False means the
+    segment never existed or is already gone (idempotent sweeps).
+    """
+    backend, name = ref
+    if backend == "shm":
+        from multiprocessing import shared_memory
+
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            return False
+        # No _untrack here: attaching registered the name once, and
+        # unlink() below unregisters it — balanced without our help.
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - unlink race
+            return False
+        return True
+    path = os.path.join(_scratch_dir(), name)
+    try:
+        os.unlink(path)
+    except FileNotFoundError:
+        return False
+    return True
+
+
+def cleanup_segments() -> int:
+    """Unlink every segment this process still owns; returns the count."""
+    count = 0
+    for name in list(_LIVE):
+        seg = _LIVE.pop(name, None)
+        if seg is None:
+            continue
+        seg.close()
+        if unlink_ref(seg.ref):
+            count += 1
+    return count
+
+
+atexit.register(cleanup_segments)
+
+
+@dataclass
+class SharedPayload:
+    """A picklable handle to a payload parked in shared memory.
+
+    ``meta_span`` is the byte span of the pickle stream inside the
+    segment and ``buffer_spans`` the spans of its out-of-band buffers
+    (in ``buffer_callback`` order). When ``segment`` is None the payload
+    was too small to justify a segment and travels inline instead.
+    """
+
+    segment: Optional[Tuple[str, str]]
+    meta_span: Tuple[int, int]
+    buffer_spans: List[Tuple[int, int]]
+    inline: Optional[Tuple[bytes, List[bytes]]] = None
+    payload_bytes: int = 0
+
+
+@dataclass
+class DecodedPayload:
+    """A decoded payload plus the mapping its buffers may alias.
+
+    Call :meth:`close` after the object (and anything borrowing its
+    buffers) is no longer needed; with ``copy=True`` decoding, close is
+    a no-op and the object owns its memory outright.
+    """
+
+    obj: Any
+    _segment: Optional[Segment] = field(default=None, repr=False)
+
+    def close(self) -> None:
+        self.obj = None
+        if self._segment is not None:
+            self._segment.close()
+            self._segment = None
+
+
+def encode_shared(obj: Any, name: Optional[str] = None) -> SharedPayload:
+    """Park ``obj`` in a shared segment; returns the (tiny) handle.
+
+    The pickle stream plus every protocol-5 out-of-band buffer (ndarray
+    columns, byte blobs) is packed into one segment — registered once,
+    however many buffers the payload carries.
+    """
+    buffers: List[pickle.PickleBuffer] = []
+    meta = pickle.dumps(obj, protocol=PICKLE_PROTOCOL, buffer_callback=buffers.append)
+    views = [b.raw() for b in buffers]
+    total = len(meta) + sum(v.nbytes for v in views)
+    if _backend() == "off" or total < MIN_SEGMENT_BYTES:
+        inline = (meta, [bytes(v) for v in views])
+        for b in buffers:
+            b.release()
+        return SharedPayload(
+            segment=None, meta_span=(0, len(meta)), buffer_spans=[],
+            inline=inline, payload_bytes=total,
+        )
+    spans: List[Tuple[int, int]] = []
+    offset = _aligned(len(meta))
+    for view in views:
+        spans.append((offset, view.nbytes))
+        offset = _aligned(offset + view.nbytes)
+    seg = create_segment(offset, name=name)
+    seg.buf[: len(meta)] = meta
+    for (start, length), view in zip(spans, views):
+        seg.buf[start : start + length] = view.cast("B")
+    for b in buffers:
+        b.release()
+    payload = SharedPayload(
+        segment=seg.ref, meta_span=(0, len(meta)), buffer_spans=spans,
+        payload_bytes=total,
+    )
+    # Keep the creator's mapping open until unlink — cheap, and lets
+    # same-process decodes alias it without re-attaching.
+    return payload
+
+
+def decode_shared(payload: SharedPayload, copy: bool = False) -> DecodedPayload:
+    """Rebuild the object behind a handle.
+
+    ``copy=False`` (the zero-copy path) returns buffers aliasing the
+    segment: ndarrays point straight at shared memory and the caller
+    must :meth:`DecodedPayload.close` when done. ``copy=True``
+    materializes private copies so the segment can be unlinked
+    immediately (the driver's result-merge path).
+    """
+    if payload.inline is not None:
+        meta, raw = payload.inline
+        obj = pickle.loads(meta, buffers=raw)
+        return DecodedPayload(obj)
+    assert payload.segment is not None
+    name = payload.segment[1]
+    seg = _LIVE.get(name)
+    attached = seg is None
+    if attached:
+        seg = attach_segment(payload.segment)
+    start, length = payload.meta_span
+    meta = bytes(seg.buf[start : start + length])
+    views = [seg.buf[s : s + n] for s, n in payload.buffer_spans]
+    if copy:
+        obj = pickle.loads(meta, buffers=[bytes(v) for v in views])
+        del views
+        if attached:
+            seg.close()
+        return DecodedPayload(obj)
+    obj = pickle.loads(meta, buffers=views)
+    return DecodedPayload(obj, _segment=seg if attached else None)
+
+
+def _aligned(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 from repro.common.errors import FetchFailure, ShuffleError
 from repro.engine import effects
 from repro.engine.batch import RecordBatch
+from repro.engine.storage import SpillableBlock, SpillManager
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import MetricsRegistry
@@ -29,13 +30,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 Records = Union[List, RecordBatch]
 
 
-@dataclass
-class ShuffleBlock:
-    """One (map partition, reduce partition) output block."""
+class ShuffleBlock(SpillableBlock):
+    """One (map partition, reduce partition) output block.
 
-    records: Records
-    nbytes: float
-    node: str
+    With a memory budget configured, the payload may physically live in
+    the spill file; ``.records`` reads it back transparently and every
+    virtual byte total is unaffected (see :mod:`repro.engine.storage`).
+    """
 
 
 def _gather(contributing: List[Records]) -> Records:
@@ -103,10 +104,12 @@ class ShuffleManager:
         self,
         block_header: float = 64.0,
         metrics: Optional["MetricsRegistry"] = None,
+        spill: Optional[SpillManager] = None,
     ) -> None:
         self._shuffles: Dict[int, _ShuffleState] = {}
         self.block_header = block_header
         self._metrics = metrics
+        self._spill = spill
         # Running count of lost map outputs across all shuffles, so the
         # task scheduler's "is any shuffle degraded?" gate is O(1).
         self._lost_blocks = 0
@@ -168,6 +171,9 @@ class ShuffleManager:
             # A re-executed (retried or speculative) map task replaces its
             # output; don't double-count the bytes.
             state.bytes_written -= sum(b.nbytes for b in previous.values())
+            if self._spill is not None:
+                for b in previous.values():
+                    self._spill.forget(b)
         blocks: Dict[int, ShuffleBlock] = {}
         written = 0.0
         for reduce_id, (records, payload) in partitioned.items():
@@ -179,8 +185,13 @@ class ShuffleManager:
             if not records:
                 continue
             nbytes = payload + self.block_header
-            blocks[reduce_id] = ShuffleBlock(records=records, nbytes=nbytes, node=node)
+            block = ShuffleBlock(records=records, nbytes=nbytes, node=node)
+            blocks[reduce_id] = block
             written += nbytes
+            if self._spill is not None:
+                self._spill.admit(
+                    block, label=f"shuffle:{shuffle_id}:{map_id}:{reduce_id}"
+                )
         state.blocks[map_id] = blocks
         state.bytes_written += written
         state.map_nodes[map_id] = node
@@ -313,6 +324,12 @@ class ShuffleManager:
             for map_id in gone:
                 blocks = state.blocks.pop(map_id, {})
                 state.bytes_written -= sum(b.nbytes for b in blocks.values())
+                if self._spill is not None:
+                    # A dead node's spilled blocks are dropped exactly
+                    # like resident ones: extents released, later reads
+                    # recompute via lineage.
+                    for b in blocks.values():
+                        self._spill.forget(b)
                 del state.map_nodes[map_id]
                 state.lost[map_id] = node
                 self._lost_blocks += 1
@@ -353,7 +370,22 @@ class ShuffleManager:
                 sizes[reduce_id] += block.nbytes
         return sizes
 
+    def spilled_blocks(self) -> int:
+        """How many registered shuffle blocks currently live on disk."""
+        return sum(
+            1
+            for state in self._shuffles.values()
+            for blocks in state.blocks.values()
+            for block in blocks.values()
+            if block.is_spilled
+        )
+
     def clear(self) -> None:
+        if self._spill is not None:
+            for state in self._shuffles.values():
+                for blocks in state.blocks.values():
+                    for block in blocks.values():
+                        self._spill.forget(block)
         self._shuffles.clear()
         self._lost_blocks = 0
 

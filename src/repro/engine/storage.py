@@ -1,17 +1,27 @@
-"""Block store: in-memory cache of materialized RDD partitions.
+"""Block storage: in-memory caches with a budgeted spill-to-disk layer.
 
-Persisted RDDs (``rdd.cache()``) drop their computed partitions here,
-tagged with the node that produced them. Later tasks that need the same
-partition hit the cache instead of recomputing the lineage — and the task
-scheduler uses :meth:`BlockStore.location` as a locality preference so the
-hit is usually node-local, like Spark's BlockManager.
+Two tenants share this module:
 
-Like Spark's storage memory, each node's cache capacity is bounded
-(``capacity_for``): inserting past the bound evicts the node's
-least-recently-used blocks. A later read of an evicted partition misses
-and the lineage recomputes it — RDD fault tolerance in miniature, and the
-storage-pressure interaction that makes partition sizing matter for
-cached iterative workloads.
+* :class:`BlockStore` — the cluster-wide cache of materialized RDD
+  partitions (``rdd.cache()``), tagged with the node that produced them
+  and bounded per node in *virtual* bytes (``capacity_for``), evicting
+  LRU past the bound exactly like Spark's storage memory. Eviction is
+  simulation-visible: a later read misses and the lineage recomputes.
+* :class:`SpillManager` — the *physical* side: a configurable memory
+  budget (``EngineConf.memory_budget``, virtual bytes) over every block
+  payload the engine holds — cached RDD partitions and shuffle blocks
+  alike. Payloads past the budget are serialized to an on-disk block
+  directory (append-only ``blocks.dat`` plus a byte-offset index) and
+  read back transparently on access. Spilling is **invisible to the
+  simulation**: virtual byte accounting, LRU order, fetch stats, the
+  simulated clock and every record are bit-identical with or without a
+  budget — only where the payload bytes physically live changes. That
+  is the step from "in-memory toy" to "survives inputs bigger than
+  RAM" (cf. hybrid-hash operators that presume graceful spill).
+
+Spill events are observable: a ``spill`` trace lane span per spilled
+block, ``shuffle.spilled_bytes`` / ``spill.events`` metrics counters,
+and the run ledger's ``shuffle.spilled_bytes`` total.
 
 Virtual byte totals per node feed the memory-utilization metric
 (paper Fig. 12).
@@ -19,18 +29,262 @@ Virtual byte totals per node feed the memory-utilization metric
 
 from __future__ import annotations
 
+import json
+import os
+import shutil
+import tempfile
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.common.errors import ConfigurationError, StorageError
 from repro.engine import effects
 
 
-@dataclass
-class CachedBlock:
-    records: List
-    nbytes: float
-    node: str
+@dataclass(frozen=True)
+class SpillRef:
+    """Where a spilled payload lives: a byte span in the block file."""
+
+    offset: int
+    length: int
+
+
+class SpillableBlock:
+    """A block whose payload may physically live on disk.
+
+    ``records`` reads transparently: resident payloads return directly,
+    spilled ones deserialize from the spill manager's block file on each
+    access (spilled blocks are not re-admitted to memory — shuffle
+    blocks are read once per reduce partition, so promotion would only
+    churn the budget). All *virtual* accounting (``nbytes``, node
+    tagging, LRU order) is untouched by spilling.
+    """
+
+    __slots__ = ("nbytes", "node", "_records", "spill", "spill_source")
+
+    def __init__(self, records: Any, nbytes: float, node: str) -> None:
+        self._records = records
+        self.nbytes = nbytes
+        self.node = node
+        self.spill: Optional[SpillRef] = None
+        self.spill_source: Optional["SpillManager"] = None
+
+    @property
+    def records(self) -> Any:
+        records = self._records
+        if records is None and self.spill is not None:
+            assert self.spill_source is not None
+            return self.spill_source.fetch(self.spill)
+        return records
+
+    @records.setter
+    def records(self, value: Any) -> None:
+        self._records = value
+
+    @property
+    def is_spilled(self) -> bool:
+        return self.spill is not None and self._records is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = "disk" if self.is_spilled else "mem"
+        return (
+            f"{type(self).__name__}(nbytes={self.nbytes!r}, "
+            f"node={self.node!r}, {where})"
+        )
+
+
+class CachedBlock(SpillableBlock):
+    """One cached RDD partition."""
+
+
+class SpillManager:
+    """Physical-memory budget with LRU spill to an on-disk block file.
+
+    ``budget_bytes`` is in the engine's virtual byte units — the same
+    units every shuffle/cache accounting uses — so "a memory budget of
+    1/10th the input" means exactly that in the simulated world, while
+    the spill I/O is physically real. Admission order doubles as the
+    LRU order; reads of resident cached blocks refresh recency via
+    :meth:`touch` (the block store already routes its LRU touches here),
+    and admission past the budget spills from the cold end.
+
+    All mutation happens on the driver thread (deferred task effects
+    replay block puts serially), so spill decisions are deterministic
+    across every physical-parallelism level. Reads (:meth:`fetch`) are
+    lock-free ``os.pread`` calls — safe from worker threads.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: float,
+        directory: Optional[str] = None,
+        obs: Any = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if budget_bytes <= 0:
+            raise ConfigurationError(
+                f"memory budget must be > 0 bytes, got {budget_bytes}"
+            )
+        self.budget = float(budget_bytes)
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+            self.directory = tempfile.mkdtemp(prefix="ctx-", dir=directory)
+        else:
+            self.directory = tempfile.mkdtemp(prefix="repro-spill-")
+        self._data_path = os.path.join(self.directory, "blocks.dat")
+        self._index_path = os.path.join(self.directory, "index.jsonl")
+        self._write_fh: Any = None
+        self._index_fh: Any = None
+        self._read_fd: Optional[int] = None
+        self._offset = 0
+        self._closed = False
+        # Resident blocks in admission/recency order: id(block) -> block.
+        self._resident: "OrderedDict[int, SpillableBlock]" = OrderedDict()
+        self._labels: Dict[int, str] = {}
+        self._resident_bytes = 0.0
+        self._obs = obs
+        self._clock = clock or (lambda: 0.0)
+        # Physical/virtual spill accounting (virtual side is
+        # deterministic; disk-read counters are diagnostics).
+        self.spill_events = 0
+        self.spilled_bytes = 0.0  # cumulative virtual bytes spilled
+        self.spilled_disk_bytes = 0  # cumulative physical bytes written
+        self.live_spilled_bytes = 0.0  # virtual bytes currently on disk
+        self.spill_reads = 0
+        self.spill_read_disk_bytes = 0
+        self._finalizer = weakref.finalize(
+            self, shutil.rmtree, self.directory, ignore_errors=True
+        )
+
+    # ------------------------------------------------------------------
+    # Budget / admission
+    # ------------------------------------------------------------------
+
+    @property
+    def resident_bytes(self) -> float:
+        return self._resident_bytes
+
+    def admit(self, block: SpillableBlock, label: str = "") -> None:
+        """Track a new resident payload; spill LRU past the budget."""
+        key = id(block)
+        self._resident[key] = block
+        self._labels[key] = label
+        self._resident_bytes += block.nbytes
+        while self._resident_bytes > self.budget and self._resident:
+            victim_key, victim = next(iter(self._resident.items()))
+            self._spill_block(victim_key, victim)
+
+    def touch(self, block: SpillableBlock) -> None:
+        """Refresh a resident block's LRU recency (no-op once spilled)."""
+        key = id(block)
+        if key in self._resident:
+            self._resident.move_to_end(key)
+
+    def forget(self, block: SpillableBlock) -> None:
+        """A block left its store (eviction / node loss / replacement).
+
+        Resident payloads leave the budget; spilled ones release their
+        index entry (the byte extent is reclaimed when the manager
+        closes — the block file is append-only, like shuffle files).
+        Idempotent, and accounting is clamped at zero either way.
+        """
+        key = id(block)
+        entry = self._resident.pop(key, None)
+        self._labels.pop(key, None)
+        if entry is not None:
+            self._resident_bytes = max(0.0, self._resident_bytes - block.nbytes)
+        if block.spill is not None:
+            self.live_spilled_bytes = max(
+                0.0, self.live_spilled_bytes - block.nbytes
+            )
+            block.spill = None
+            block.spill_source = None
+
+    # ------------------------------------------------------------------
+    # Disk I/O
+    # ------------------------------------------------------------------
+
+    def _spill_block(self, key: int, block: SpillableBlock) -> None:
+        del self._resident[key]
+        label = self._labels.pop(key, "")
+        blob = effects.dumps_payload(block._records)
+        if self._write_fh is None:
+            self._write_fh = open(self._data_path, "ab")
+            self._index_fh = open(self._index_path, "a", encoding="utf-8")
+        offset = self._offset
+        self._write_fh.write(blob)
+        self._write_fh.flush()
+        self._offset += len(blob)
+        self._index_fh.write(
+            json.dumps(
+                {"offset": offset, "length": len(blob), "label": label,
+                 "nbytes": block.nbytes, "node": block.node},
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        self._index_fh.flush()
+        # Publish the disk location before dropping the resident payload
+        # so a concurrent reader always sees one of the two (identical)
+        # sources.
+        block.spill_source = self
+        block.spill = SpillRef(offset=offset, length=len(blob))
+        block._records = None
+        self._resident_bytes = max(0.0, self._resident_bytes - block.nbytes)
+        self.spill_events += 1
+        self.spilled_bytes += block.nbytes
+        self.spilled_disk_bytes += len(blob)
+        self.live_spilled_bytes += block.nbytes
+        if self._obs is not None:
+            now = self._clock()
+            # Driver-side span (node travels in args): spills land in the
+            # trace's dedicated "spill" lane, not on a worker core lane.
+            self._obs.span(
+                "spill", "spill", now, now,
+                src=block.node, bytes=block.nbytes, disk_bytes=len(blob),
+                label=label,
+            )
+            self._obs.metrics.counter("shuffle.spilled_bytes").inc(block.nbytes)
+            self._obs.metrics.counter("spill.events").inc(1.0)
+
+    def fetch(self, ref: SpillRef) -> Any:
+        """Deserialize one spilled payload (thread-safe positional read)."""
+        if self._closed:
+            raise StorageError("spill manager is closed")
+        if self._read_fd is None:
+            if self._write_fh is not None:
+                self._write_fh.flush()
+            self._read_fd = os.open(self._data_path, os.O_RDONLY)
+        blob = os.pread(self._read_fd, ref.length, ref.offset)
+        if len(blob) != ref.length:
+            raise StorageError(
+                f"truncated spill read at {ref.offset}:"
+                f" wanted {ref.length} bytes, got {len(blob)}"
+            )
+        self.spill_reads += 1
+        self.spill_read_disk_bytes += len(blob)
+        return effects.loads_payload(blob)
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release file handles and delete the block directory."""
+        if self._closed:
+            return
+        self._closed = True
+        for fh in (self._write_fh, self._index_fh):
+            if fh is not None:
+                fh.close()
+        if self._read_fd is not None:
+            os.close(self._read_fd)
+            self._read_fd = None
+        self._write_fh = self._index_fh = None
+        self._resident.clear()
+        self._labels.clear()
+        self._resident_bytes = 0.0
+        self._finalizer.detach()
+        shutil.rmtree(self.directory, ignore_errors=True)
 
 
 class BlockStore:
@@ -40,16 +294,24 @@ class BlockStore:
     (the default) means unbounded. Eviction is LRU per node and never
     evicts to fit a block larger than the node's whole capacity — such a
     block is simply not cached (Spark drops it to recompute too).
+
+    With a :class:`SpillManager` attached, cached payloads additionally
+    count against the physical memory budget and may spill to disk —
+    a spilled block is still a cache *hit* (its records read back
+    transparently); only capacity eviction causes recomputes.
     """
 
     def __init__(
-        self, capacity_for: Optional[Callable[[str], float]] = None
+        self,
+        capacity_for: Optional[Callable[[str], float]] = None,
+        spill: Optional[SpillManager] = None,
     ) -> None:
         # Per-node LRU: node -> OrderedDict[(rdd_id, split) -> CachedBlock]
         self._by_node: Dict[str, OrderedDict] = {}
         self._index: Dict[Tuple[int, int], CachedBlock] = {}
         self._node_bytes: Dict[str, float] = {}
         self._capacity_for = capacity_for
+        self._spill = spill
         self.evictions = 0
 
     def put(
@@ -94,6 +356,8 @@ class BlockStore:
         self._by_node.setdefault(node, OrderedDict())[key] = block
         self._index[key] = block
         self._node_bytes[node] = self._node_bytes.get(node, 0.0) + nbytes
+        if self._spill is not None:
+            self._spill.admit(block, label=f"cache:{rdd_id}:{split}")
         return True
 
     def get(self, rdd_id: int, split: int) -> Optional[CachedBlock]:
@@ -111,9 +375,11 @@ class BlockStore:
             return block
         block = self._index.get(key)
         if block is not None:
-            # Touch for LRU recency.
+            # Touch for LRU recency (cache LRU and spill LRU alike).
             lru = self._by_node[block.node]
             lru.move_to_end(key)
+            if self._spill is not None:
+                self._spill.touch(block)
         return block
 
     def peek(self, rdd_id: int, split: int) -> Optional[CachedBlock]:
@@ -126,6 +392,8 @@ class BlockStore:
         block = self._index.get(key)
         if block is not None:
             self._by_node[block.node].move_to_end(key)
+            if self._spill is not None:
+                self._spill.touch(block)
 
     def location(self, rdd_id: int, split: int) -> Optional[str]:
         block = self._index.get((rdd_id, split))
@@ -145,11 +413,26 @@ class BlockStore:
         """Drop every block cached on ``node`` (executor loss).
 
         Returns the number of blocks dropped. Later reads of the dropped
-        partitions miss and recompute through the lineage.
+        partitions miss and recompute through the lineage. Spilled
+        blocks of the dead node are dropped exactly like resident ones —
+        their disk extents are released and later reads recompute via
+        lineage, never through a dead node's spill file.
         """
         keys = list(self._by_node.get(node, ()))
         for key in keys:
-            self._remove(key, self._index[key])
+            block = self._index.get(key)
+            if block is not None:
+                self._remove(key, block)
+        # A node that held only spilled blocks must not linger as an
+        # empty dict with a stale byte total.
+        leftover = self._by_node.pop(node, None)
+        if leftover:
+            for key, block in list(leftover.items()):
+                self._index.pop(key, None)
+                if self._spill is not None:
+                    self._spill.forget(block)
+                keys.append(key)
+        self._node_bytes.pop(node, None)
         return len(keys)
 
     def bytes_on_node(self, node: str) -> float:
@@ -158,20 +441,32 @@ class BlockStore:
     def total_bytes(self) -> float:
         return sum(self._node_bytes.values())
 
+    def spilled_blocks(self) -> int:
+        """How many cached blocks currently live on disk."""
+        return sum(1 for b in self._index.values() if b.is_spilled)
+
     def clear(self) -> None:
+        if self._spill is not None:
+            for block in self._index.values():
+                self._spill.forget(block)
         self._by_node.clear()
         self._index.clear()
         self._node_bytes.clear()
 
     def _remove(self, key: Tuple[int, int], block: CachedBlock) -> None:
-        del self._index[key]
-        node_blocks = self._by_node[block.node]
-        del node_blocks[key]
-        if not node_blocks:
-            # Drop empty per-node state so totals stay exactly 0.0 after
-            # full eviction instead of accumulating float drift.
-            del self._by_node[block.node]
-            self._node_bytes.pop(block.node, None)
-        else:
-            remaining = self._node_bytes.get(block.node, 0.0) - block.nbytes
-            self._node_bytes[block.node] = max(0.0, remaining)
+        self._index.pop(key, None)
+        node_blocks = self._by_node.get(block.node)
+        if node_blocks is not None:
+            node_blocks.pop(key, None)
+            if not node_blocks:
+                # Drop empty per-node state so totals stay exactly 0.0
+                # after full eviction instead of accumulating float
+                # drift — including when the node's last blocks were
+                # all on disk.
+                del self._by_node[block.node]
+                self._node_bytes.pop(block.node, None)
+            else:
+                remaining = self._node_bytes.get(block.node, 0.0) - block.nbytes
+                self._node_bytes[block.node] = max(0.0, remaining)
+        if self._spill is not None:
+            self._spill.forget(block)

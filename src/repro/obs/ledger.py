@@ -22,12 +22,15 @@ output.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.common.errors import LedgerError
 
 LEDGER_VERSION = 1
+
+logger = logging.getLogger("repro.obs.ledger")
 
 
 class RunLedger:
@@ -45,7 +48,14 @@ class RunLedger:
     # ------------------------------------------------------------------
 
     def append(self, workload: str, label: str, body: Dict[str, Any]) -> str:
-        """Append one entry; returns its assigned deterministic run id."""
+        """Append one entry; returns its assigned deterministic run id.
+
+        A torn final line left by a crash mid-append is repaired first
+        (completed by a newline when it parses, truncated away when it
+        does not), so the new entry's offset and sequence number are the
+        same as if the crash had never happened.
+        """
+        self._repair_tail()
         index = self._index(allow_missing=True)
         seq = len(index)
         run_id = f"{seq:04d}-{workload}-{label}"
@@ -65,9 +75,60 @@ class RunLedger:
              "offset": offset}
         )
         with open(self.index_path, "w", encoding="utf-8") as fh:
-            json.dump({"version": LEDGER_VERSION, "runs": index}, fh, indent=2)
+            json.dump(
+                {
+                    "version": LEDGER_VERSION,
+                    "size": os.path.getsize(self.path),
+                    "runs": index,
+                },
+                fh,
+                indent=2,
+            )
             fh.write("\n")
         return run_id
+
+    def _repair_tail(self) -> None:
+        """Fix a torn final line (crash mid-append) in place.
+
+        The appender writes each ``json + "\\n"`` in one call, so a tail
+        without a trailing newline can only be a partially flushed write:
+        complete it when it parses as a full entry, drop it otherwise.
+        """
+        if not os.path.exists(self.path) or os.path.getsize(self.path) == 0:
+            return
+        with open(self.path, "rb+") as fh:
+            fh.seek(-1, os.SEEK_END)
+            if fh.read(1) == b"\n":
+                return
+            fh.seek(0)
+            data = fh.read()
+            cut = data.rfind(b"\n") + 1
+            tail = data[cut:]
+            if self._tail_entry(tail) is not None:
+                fh.write(b"\n")
+                logger.warning(
+                    "ledger %s: final line was missing its newline; repaired",
+                    self.path,
+                )
+            else:
+                fh.truncate(cut)
+                logger.warning(
+                    "ledger %s: dropping torn final line (%d bytes) left by "
+                    "an interrupted append",
+                    self.path,
+                    len(tail),
+                )
+
+    @staticmethod
+    def _tail_entry(raw: bytes) -> Optional[Dict[str, Any]]:
+        """Parse a newline-less tail; None when it is a partial record."""
+        try:
+            entry = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if isinstance(entry, dict) and "run_id" in entry:
+            return entry
+        return None
 
     # ------------------------------------------------------------------
     # Reading
@@ -98,14 +159,8 @@ class RunLedger:
     # ------------------------------------------------------------------
 
     def _scan(self) -> Iterator[Dict[str, Any]]:
-        if not os.path.exists(self.path):
-            raise LedgerError(f"ledger file not found: {self.path}")
-        with open(self.path, "r", encoding="utf-8") as fh:
-            offset = 0
-            for line in fh:
-                if line.strip():
-                    yield self._parse(line, offset)
-                offset += len(line.encode("utf-8"))
+        for entry, _offset in self._scan_with_offsets():
+            yield entry
 
     def _parse(self, line: str, offset: int) -> Dict[str, Any]:
         try:
@@ -138,10 +193,18 @@ class RunLedger:
                     payload = json.load(fh)
                 rows = payload["runs"]
                 size = os.path.getsize(self.path)
-                if all(
-                    isinstance(r, dict) and 0 <= r["offset"] < size
-                    for r in rows
-                ) or not rows:
+                # A sidecar that recorded the file size it indexed is
+                # stale the moment the JSONL grew, shrank, or gained a
+                # torn tail; older sidecars (no "size") keep the
+                # offset-bounds check only.
+                fresh = payload.get("size", size) == size
+                if fresh and (
+                    all(
+                        isinstance(r, dict) and 0 <= r["offset"] < size
+                        for r in rows
+                    )
+                    or not rows
+                ):
                     return rows
             except (json.JSONDecodeError, KeyError, TypeError, OSError):
                 pass  # fall through to rebuild
@@ -156,12 +219,36 @@ class RunLedger:
         ]
 
     def _scan_with_offsets(self) -> Iterator[tuple]:
-        with open(self.path, "r", encoding="utf-8") as fh:
+        """Yield (entry, offset) pairs, tolerating a torn final line.
+
+        A final line with no trailing newline is a crash mid-append: it
+        still yields when it parses as a complete entry, and is skipped
+        with a warning when it is partial — so one interrupted run
+        cannot poison every subsequent ledger read. Corruption anywhere
+        *before* the final line still raises (that is not a torn write).
+        """
+        if not os.path.exists(self.path):
+            raise LedgerError(f"ledger file not found: {self.path}")
+        with open(self.path, "r", encoding="utf-8", newline="") as fh:
             offset = 0
             for line in fh:
-                if line.strip():
-                    yield self._parse(line, offset), offset
+                start = offset
                 offset += len(line.encode("utf-8"))
+                if not line.strip():
+                    continue
+                if not line.endswith("\n"):
+                    entry = self._tail_entry(line.encode("utf-8"))
+                    if entry is None:
+                        logger.warning(
+                            "ledger %s: skipping torn final line at byte %d "
+                            "(interrupted append)",
+                            self.path,
+                            start,
+                        )
+                        return
+                    yield entry, start
+                    return
+                yield self._parse(line, start), start
 
 
 class LedgerCollector:
@@ -174,13 +261,17 @@ class LedgerCollector:
     handing it to :meth:`RunLedger.append`.
     """
 
+    MAX_SPILL_EVENTS = 200  # per-event detail kept in the entry (head)
+
     def __init__(self) -> None:
         self.stages: List[Dict[str, Any]] = []
         self.jobs: List[Dict[str, Any]] = []
         self.chaos_events: List[Dict[str, Any]] = []
+        self.spill_events: List[Dict[str, Any]] = []
+        self._spill_count = 0
         self.task_attempts: Dict[str, int] = {}
         self._shuffle = {"local_bytes": 0.0, "remote_bytes": 0.0,
-                         "write_bytes": 0.0}
+                         "write_bytes": 0.0, "spilled_bytes": 0.0}
         self._ctx = None
         self._started_at = 0.0
 
@@ -249,6 +340,16 @@ class LedgerCollector:
             self.chaos_events.append(
                 {"t": event.start, "event": event.name, **event.args}
             )
+        elif event.cat == "spill":
+            self._shuffle["spilled_bytes"] += event.args.get("bytes", 0.0)
+            self._spill_count += 1
+            # Keep the entry bounded: a tight budget can spill tens of
+            # thousands of blocks; the full stream lives in the trace
+            # lane, the ledger keeps the head plus exact totals.
+            if len(self.spill_events) < self.MAX_SPILL_EVENTS:
+                self.spill_events.append(
+                    {"t": event.start, "event": event.name, **event.args}
+                )
         elif event.cat == "task":
             outcome = event.args.get("outcome", "ok")
             self.task_attempts[outcome] = self.task_attempts.get(outcome, 0) + 1
@@ -278,6 +379,8 @@ class LedgerCollector:
             "shuffle": dict(self._shuffle),
             "task_attempts": dict(sorted(self.task_attempts.items())),
             "chaos_events": self.chaos_events,
+            "spill_events": self.spill_events,
+            "spill_event_count": self._spill_count,
         }
 
 

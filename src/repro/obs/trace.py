@@ -36,9 +36,12 @@ _DRIVER_TIDS = {
     "chopper": 4,
     "chopper.optimizer": 4,
     "chaos": 5,
+    "spill": 6,
 }
-_DRIVER_TID_NAMES = {1: "runs", 2: "jobs", 3: "stages", 4: "chopper", 5: "chaos"}
-_DRIVER_TID_FALLBACK = 6
+_DRIVER_TID_NAMES = {
+    1: "runs", 2: "jobs", 3: "stages", 4: "chopper", 5: "chaos", 6: "spill",
+}
+_DRIVER_TID_FALLBACK = 7
 
 
 @dataclass

@@ -1,0 +1,117 @@
+"""Pool-dispatch fallbacks: small sweeps, single cores, broken pools.
+
+The procs4 regression fix: ``run_specs`` must refuse to pay fork +
+segment overhead when the pool cannot win, and every fallback path must
+produce a workload DB byte-identical to the serial loop (it *is* the
+serial loop).
+"""
+
+import filecmp
+import os
+
+import pytest
+
+from repro.chopper import ChopperRunner
+from repro.chopper import parallel as par
+from repro.chopper.workload_db import WorkloadDB
+from repro.engine import EngineConf, shm
+from repro.workloads import KMeansWorkload
+from repro.workloads.datagen import clear_block_cache
+
+SMALL_RECORDS = 2_000  # well below SMALL_RUN_RECORDS = 25_000
+
+
+class CrashyKMeans(KMeansWorkload):
+    """Dies instantly in any process except the one named by env var.
+
+    Module-level so it pickles by reference into forked pool workers;
+    the driver re-running the spec inline after the pool breaks is the
+    surviving path and must still produce the real answer.
+    """
+
+    def run(self, ctx, scale=1.0):
+        if os.getpid() != int(os.environ.get("REPRO_TEST_DRIVER_PID", "0")):
+            os._exit(1)
+        return super().run(ctx, scale=scale)
+
+
+def _sweep(workload, jobs):
+    """One tiny profiling sweep; returns the saved DB path's bytes."""
+    conf = EngineConf(
+        default_parallelism=16, vectorized_kernels=False,
+        physical_parallelism=1,
+    )
+    runner = ChopperRunner(workload, base_conf=conf, db=WorkloadDB())
+    clear_block_cache()
+    runner.profile(p_grid=[8, 16], kinds=["hash"], scales=[0.05], jobs=jobs)
+    return runner
+
+
+def _db_files_match(tmp_path, runner_a, runner_b):
+    path_a, path_b = tmp_path / "a.json", tmp_path / "b.json"
+    runner_a.db.save(str(path_a))
+    runner_b.db.save(str(path_b))
+    return filecmp.cmp(str(path_a), str(path_b), shallow=False)
+
+
+@pytest.fixture(autouse=True)
+def clean_dispatch(monkeypatch):
+    monkeypatch.delenv("REPRO_POOL_FORCE", raising=False)
+    monkeypatch.delenv("REPRO_POOL_MIN_RECORDS", raising=False)
+    par.last_dispatch = ""
+    yield
+
+
+class TestInlineFallback:
+    def test_small_sweep_runs_inline(self, tmp_path, monkeypatch):
+        # Pretend we have cores so only the size guard can trigger.
+        monkeypatch.setattr(par, "_usable_cores", lambda: 4)
+        serial = _sweep(KMeansWorkload(physical_records=SMALL_RECORDS), jobs=1)
+        assert par.last_dispatch == ""  # jobs=1 never reaches run_specs
+        pooled = _sweep(KMeansWorkload(physical_records=SMALL_RECORDS), jobs=2)
+        assert par.last_dispatch == "inline-small"
+        assert _db_files_match(tmp_path, serial, pooled)
+
+    def test_single_core_runs_inline(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(par, "_usable_cores", lambda: 1)
+        # Size guard off: the core count alone must force the fallback.
+        monkeypatch.setenv("REPRO_POOL_MIN_RECORDS", "0")
+        serial = _sweep(KMeansWorkload(physical_records=SMALL_RECORDS), jobs=1)
+        pooled = _sweep(KMeansWorkload(physical_records=SMALL_RECORDS), jobs=2)
+        assert par.last_dispatch == "inline-cores"
+        assert _db_files_match(tmp_path, serial, pooled)
+
+    def test_min_records_env_override(self, monkeypatch):
+        monkeypatch.setattr(par, "_usable_cores", lambda: 4)
+        monkeypatch.setenv("REPRO_POOL_MIN_RECORDS", "100")
+        workload = KMeansWorkload(physical_records=SMALL_RECORDS)
+        spec = (workload, None, None, None, 0.05, "x", False)
+        assert par._inline_reason([spec]) is None  # 2000 >= 100
+        monkeypatch.setenv("REPRO_POOL_MIN_RECORDS", "1000000")
+        assert par._inline_reason([spec]) == "inline-small"
+
+    def test_unknown_workload_size_gets_the_pool(self, monkeypatch):
+        monkeypatch.setattr(par, "_usable_cores", lambda: 4)
+        spec = (object(), None, None, None, 0.05, "x", False)
+        assert par._inline_reason([spec]) is None
+
+
+class TestForcedPool:
+    def test_forced_pool_matches_serial(self, tmp_path, monkeypatch):
+        serial = _sweep(KMeansWorkload(physical_records=SMALL_RECORDS), jobs=1)
+        monkeypatch.setenv("REPRO_POOL_FORCE", "1")
+        pooled = _sweep(KMeansWorkload(physical_records=SMALL_RECORDS), jobs=2)
+        assert par.last_dispatch == "pool"
+        assert _db_files_match(tmp_path, serial, pooled)
+        assert shm.cleanup_segments() == 0  # run_specs swept its segments
+
+
+class TestBrokenPoolRecovery:
+    def test_killed_worker_recovers_inline(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_DRIVER_PID", str(os.getpid()))
+        serial = _sweep(CrashyKMeans(physical_records=SMALL_RECORDS), jobs=1)
+        monkeypatch.setenv("REPRO_POOL_FORCE", "1")
+        pooled = _sweep(CrashyKMeans(physical_records=SMALL_RECORDS), jobs=2)
+        assert par.last_dispatch == "pool+recovered"
+        assert _db_files_match(tmp_path, serial, pooled)
+        assert shm.cleanup_segments() == 0  # crash left nothing behind

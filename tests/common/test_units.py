@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.common.units import GB, KB, MB, MINUTE, fmt_bytes, fmt_duration
+from repro.common.units import (
+    GB,
+    KB,
+    MB,
+    MINUTE,
+    fmt_bytes,
+    fmt_duration,
+    parse_bytes,
+)
 
 
 class TestConstants:
@@ -45,3 +53,34 @@ class TestFmtDuration:
 
     def test_negative(self):
         assert fmt_duration(-MINUTE) == "-1m0.0s"
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("100", 100.0),
+            ("4096", 4096.0),
+            ("1.5K", 1.5 * KB),
+            ("64M", 64 * MB),
+            ("64mb", 64 * MB),
+            ("2GB", 2 * GB),
+            ("2g", 2 * GB),
+            ("1TB", 1024 * GB),
+            ("512B", 512.0),
+            ("  8K  ", 8 * KB),
+            ("0", 0.0),
+        ],
+    )
+    def test_parses(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    def test_round_trips_with_fmt_bytes(self):
+        assert parse_bytes(fmt_bytes(64 * MB).replace(" ", "")) == 64 * MB
+
+    @pytest.mark.parametrize(
+        "text", ["", "MB", "12X", "1..5K", "twelve", "1 2K", "-64M"]
+    )
+    def test_rejects(self, text):
+        with pytest.raises(ValueError, match="byte size"):
+            parse_bytes(text)

@@ -1,0 +1,308 @@
+"""Memory-budgeted spill-to-disk: SpillManager, BlockStore, shuffle.
+
+The invariant under test throughout: a memory budget changes where
+payload bytes physically live, and **nothing else** — simulated clocks,
+metrics, records, ledger bodies (minus the spill section) are
+bit-identical with and without a budget, including under chaos node
+loss.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.engine.context import AnalyticsContext, EngineConf
+from repro.engine.shuffle import ShuffleManager
+from repro.engine.storage import BlockStore, SpillManager
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+@pytest.fixture
+def spill(tmp_path):
+    manager = SpillManager(100.0, directory=str(tmp_path))
+    yield manager
+    manager.close()
+
+
+class TestSpillManager:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            SpillManager(0)
+        with pytest.raises(ConfigurationError):
+            SpillManager(-5.0)
+
+    def test_within_budget_stays_resident(self, spill):
+        store = BlockStore(spill=spill)
+        store.put(1, 0, [1, 2, 3], 60.0, "a")
+        assert spill.spill_events == 0
+        assert not store.get(1, 0).is_spilled
+        assert spill.resident_bytes == 60.0
+
+    def test_lru_spills_past_budget(self, spill):
+        store = BlockStore(spill=spill)
+        store.put(1, 0, ["old"], 60.0, "a")
+        store.put(1, 1, ["new"], 60.0, "a")
+        # 120 > 100: the oldest block went to disk, the new one stayed.
+        assert spill.spill_events == 1
+        assert store.peek(1, 0).is_spilled
+        assert not store.peek(1, 1).is_spilled
+        assert spill.live_spilled_bytes == 60.0
+
+    def test_spilled_records_read_back_identically(self, spill):
+        store = BlockStore(spill=spill)
+        payload = [("k", i) for i in range(50)]
+        store.put(1, 0, list(payload), 80.0, "a")
+        store.put(1, 1, [], 80.0, "a")  # pushes block 0 to disk
+        block = store.peek(1, 0)
+        assert block.is_spilled
+        assert block.records == payload
+        # Every read deserializes afresh; the virtual size is untouched.
+        assert block.records is not block.records
+        assert block.nbytes == 80.0
+        assert spill.spill_reads >= 2
+
+    def test_get_refreshes_spill_recency(self, spill):
+        store = BlockStore(spill=spill)
+        store.put(1, 0, ["a"], 40.0, "a")
+        store.put(1, 1, ["b"], 40.0, "a")
+        store.get(1, 0)  # 0 becomes most-recent
+        store.put(1, 2, ["c"], 40.0, "a")  # 120 > 100: spills LRU = block 1
+        assert store.peek(1, 1).is_spilled
+        assert not store.peek(1, 0).is_spilled
+
+    def test_forget_is_idempotent_and_never_negative(self, spill):
+        store = BlockStore(spill=spill)
+        store.put(1, 0, ["x"], 60.0, "a")
+        block = store.peek(1, 0)
+        spill.forget(block)
+        spill.forget(block)  # double-forget must not go negative
+        assert spill.resident_bytes == 0.0
+        assert spill.live_spilled_bytes == 0.0
+
+    def test_virtual_accounting_unchanged_by_spill(self, spill):
+        store = BlockStore(spill=spill)
+        store.put(1, 0, ["a"], 70.0, "a")
+        store.put(1, 1, ["b"], 70.0, "b")
+        assert spill.spill_events == 1
+        # Virtual per-node totals are exactly what an unbudgeted store
+        # would report: spilling is simulation-invisible.
+        assert store.bytes_on_node("a") == 70.0
+        assert store.bytes_on_node("b") == 70.0
+        assert store.total_bytes() == 140.0
+
+    def test_disk_bytes_accounted(self, spill):
+        store = BlockStore(spill=spill)
+        store.put(1, 0, list(range(100)), 80.0, "a")
+        store.put(1, 1, [], 80.0, "a")
+        assert spill.spilled_bytes == 80.0  # virtual
+        assert spill.spilled_disk_bytes > 0  # physical (pickled size)
+        blob = pickle.dumps(list(range(100)), protocol=5)
+        assert spill.spilled_disk_bytes == len(blob)
+
+    def test_close_removes_block_directory(self, tmp_path):
+        manager = SpillManager(10.0, directory=str(tmp_path))
+        store = BlockStore(spill=manager)
+        store.put(1, 0, ["payload"], 50.0, "a")  # immediately over budget
+        assert manager.spill_events == 1
+        spill_dir = manager.directory
+        assert os.path.isdir(spill_dir)
+        manager.close()
+        manager.close()  # idempotent
+        assert not os.path.exists(spill_dir)
+        # The caller-provided parent directory is left alone.
+        assert os.path.isdir(str(tmp_path))
+
+
+class TestRemoveAndEvictWithSpilledBlocks:
+    """Satellite: _remove / evict_node with on-disk blocks (regression)."""
+
+    def test_remove_spilled_block_releases_extent(self, spill):
+        store = BlockStore(spill=spill)
+        store.put(1, 0, ["cold"], 60.0, "a")
+        store.put(1, 1, ["hot"], 60.0, "a")
+        assert store.peek(1, 0).is_spilled
+        assert store.evict_rdd(1) == 2
+        assert spill.live_spilled_bytes == 0.0
+        assert spill.resident_bytes == 0.0
+        assert store.total_bytes() == 0.0
+
+    def test_evict_node_holding_only_spilled_blocks(self, spill):
+        """A node whose blocks all live on disk must clean up completely:
+        no empty node dict, no stale/negative byte totals."""
+        store = BlockStore(spill=spill)
+        store.put(1, 0, ["a0"], 60.0, "a")
+        store.put(1, 1, ["a1"], 50.0, "a")  # spills (1,0)
+        store.put(2, 0, ["b0"], 60.0, "b")  # spills (1,1): node a all-disk
+        assert store.peek(1, 0).is_spilled and store.peek(1, 1).is_spilled
+        assert store.evict_node("a") == 2
+        assert store.bytes_on_node("a") == 0.0
+        assert "a" not in store._by_node
+        assert "a" not in store._node_bytes
+        assert spill.live_spilled_bytes == 0.0
+        # Double eviction is a no-op, never negative.
+        assert store.evict_node("a") == 0
+        assert store.bytes_on_node("a") == 0.0
+
+    def test_overwrite_of_spilled_block_does_not_double_count(self, spill):
+        store = BlockStore(spill=spill)
+        store.put(1, 0, ["v1"], 60.0, "a")
+        store.put(1, 1, ["x"], 60.0, "a")  # spills (1,0)
+        store.put(1, 0, ["v2"], 30.0, "b")  # replaces the spilled block
+        assert store.get(1, 0).records == ["v2"]
+        assert store.bytes_on_node("a") == 60.0
+        assert store.bytes_on_node("b") == 30.0
+        assert spill.live_spilled_bytes == 0.0
+
+    def test_clear_forgets_spilled_blocks(self, spill):
+        store = BlockStore(spill=spill)
+        store.put(1, 0, ["a"], 60.0, "a")
+        store.put(1, 1, ["b"], 60.0, "a")
+        store.clear()
+        assert spill.resident_bytes == 0.0
+        assert spill.live_spilled_bytes == 0.0
+
+
+class TestShuffleSpill:
+    def test_shuffle_blocks_spill_and_fetch_transparently(self, spill):
+        mgr = ShuffleManager(block_header=0.0, spill=spill)
+        mgr.register(0, num_maps=2, num_reduces=1)
+        mgr.put_map_output(0, 0, "a", {0: ([("k", 1)], 80.0)})
+        mgr.put_map_output(0, 1, "b", {0: ([("k", 2)], 80.0)})
+        assert spill.spill_events >= 1
+        assert mgr.spilled_blocks() >= 1
+        records, stats = mgr.fetch(0, 0, "a")
+        assert records == [("k", 1), ("k", 2)]
+        assert stats.total_bytes == 160.0  # virtual accounting unchanged
+
+    def test_invalidate_node_releases_spilled_extents(self, spill):
+        mgr = ShuffleManager(block_header=0.0, spill=spill)
+        mgr.register(0, num_maps=2, num_reduces=1)
+        mgr.put_map_output(0, 0, "a", {0: ([("k", 1)], 80.0)})
+        mgr.put_map_output(0, 1, "b", {0: ([("k", 2)], 80.0)})
+        lost = mgr.invalidate_node("a")
+        assert lost == {0: [0]}
+        # The dead node's blocks (spilled or not) left the spill budget.
+        total = spill.resident_bytes + spill.live_spilled_bytes
+        assert total == 80.0
+
+    def test_replaced_map_output_forgets_old_blocks(self, spill):
+        mgr = ShuffleManager(block_header=0.0, spill=spill)
+        mgr.register(0, num_maps=1, num_reduces=1)
+        mgr.put_map_output(0, 0, "a", {0: ([("k", 1)], 80.0)})
+        mgr.put_map_output(0, 0, "a", {0: ([("k", 9)], 80.0)})  # re-execution
+        total = spill.resident_bytes + spill.live_spilled_bytes
+        assert total == 80.0
+        records, _ = mgr.fetch(0, 0, "a")
+        assert records == [("k", 9)]
+
+
+def _run_workload(conf: EngineConf):
+    """A cached + shuffled pipeline; returns (results, sim time, metrics)."""
+    ctx = AnalyticsContext(conf=conf)
+    data = ctx.parallelize(range(2000), num_partitions=8)
+    cached = data.map(lambda x: (x % 40, x)).cache()
+    counts = cached.reduce_by_key(lambda a, b: a + b).collect()
+    # Second job re-reads the cached RDD (hits, possibly from disk).
+    evens = cached.filter(lambda kv: kv[0] % 2 == 0).count()
+    snapshot = ctx.obs.metrics.snapshot()
+    # Spill counters are expected to differ; everything else must not.
+    metrics = {
+        section: (
+            {
+                k: v for k, v in series.items()
+                if not k.startswith(("spill.", "shuffle.spilled"))
+            }
+            if isinstance(series, dict) else series
+        )
+        for section, series in snapshot.items()
+    }
+    out = (sorted(counts), evens, ctx.now, metrics)
+    ctx.close()
+    return out
+
+
+class TestBitIdentityUnderBudget:
+    def test_budgeted_run_identical_to_unbudgeted(self, tmp_path):
+        base = _run_workload(EngineConf(default_parallelism=8))
+        tight = _run_workload(
+            EngineConf(
+                default_parallelism=8,
+                memory_budget=2048.0,
+                spill_dir=str(tmp_path),
+            )
+        )
+        assert pickle.dumps(base) == pickle.dumps(tight)
+
+    def test_spill_actually_happened(self, tmp_path):
+        conf = EngineConf(
+            default_parallelism=8, memory_budget=2048.0,
+            spill_dir=str(tmp_path),
+        )
+        ctx = AnalyticsContext(conf=conf)
+        data = ctx.parallelize(range(2000), num_partitions=8)
+        data.map(lambda x: (x % 40, x)).reduce_by_key(lambda a, b: a + b).collect()
+        assert ctx.spill.spill_events > 0
+        assert ctx.spill.spilled_bytes > 0
+        ctx.close()
+
+    def test_chaos_node_loss_identical_under_budget(self, tmp_path):
+        def run(budget):
+            conf = EngineConf(
+                default_parallelism=8,
+                node_failure_times={"B": 5.0},
+                node_recovery_delay=0.0,
+                memory_budget=budget,
+                spill_dir=str(tmp_path) if budget else None,
+            )
+            ctx = AnalyticsContext(conf=conf)
+            data = ctx.parallelize(range(3000), num_partitions=12)
+            out = (
+                data.map(lambda x: (x % 50, 1))
+                .reduce_by_key(lambda a, b: a + b)
+                .collect()
+            )
+            result = (sorted(out), ctx.now)
+            spilled = ctx.spill.spilled_bytes if ctx.spill else 0.0
+            ctx.close()
+            return result, spilled
+
+        base, _ = run(None)
+        lossy, spilled = run(1024.0)
+        assert spilled > 0, "budget was not tight enough to exercise spill"
+        assert pickle.dumps(base) == pickle.dumps(lossy)
+
+    def test_threads_and_budget_identical(self, tmp_path):
+        base = _run_workload(EngineConf(default_parallelism=8))
+        threaded = _run_workload(
+            EngineConf(
+                default_parallelism=8,
+                physical_parallelism=4,
+                memory_budget=2048.0,
+                spill_dir=str(tmp_path),
+            )
+        )
+        assert pickle.dumps(base) == pickle.dumps(threaded)
+
+
+class TestConfValidation:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            EngineConf(memory_budget=0.0)
+        with pytest.raises(ConfigurationError):
+            EngineConf(memory_budget=-1.0)
+
+    def test_spill_dir_requires_budget(self):
+        with pytest.raises(ConfigurationError):
+            EngineConf(spill_dir="/tmp/somewhere")
+
+    def test_context_close_idempotent(self, tmp_path):
+        ctx = AnalyticsContext(
+            conf=EngineConf(memory_budget=1024.0, spill_dir=str(tmp_path))
+        )
+        spill_dir = ctx.spill.directory
+        ctx.close()
+        ctx.close()
+        assert not os.path.exists(spill_dir)

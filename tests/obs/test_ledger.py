@@ -104,6 +104,77 @@ class TestRunLedger:
         assert ledger.read(run_id)["wall_clock"] == 1.0
 
 
+class TestTornTail:
+    """Crash mid-append leaves a partial final line; reads must survive.
+
+    The appender writes ``json + "\\n"`` in a single call, so a tail
+    missing its newline is the only corruption an interrupted append can
+    produce — anything torn *earlier* in the file is real damage and
+    still raises.
+    """
+
+    def torn_ledger(self, tmp_path, keep_bytes=25):
+        """Two good entries plus a truncated third line."""
+        path = tmp_path / "runs.jsonl"
+        ledger = RunLedger(str(path))
+        ledger.append("w", "a", {"wall_clock": 1.0})
+        ledger.append("w", "b", {"wall_clock": 2.0})
+        with open(path, "a", encoding="utf-8") as fh:
+            line = json.dumps(
+                {"version": LEDGER_VERSION, "run_id": "0002-w-c", "seq": 2,
+                 "workload": "w", "label": "c", "wall_clock": 3.0},
+                sort_keys=True,
+            )
+            fh.write(line[:keep_bytes])  # no newline, mid-record
+        return ledger, path
+
+    def test_entries_skip_partial_tail_with_warning(self, tmp_path, caplog):
+        ledger, _ = self.torn_ledger(tmp_path)
+        (tmp_path / "runs.jsonl.index.json").unlink()
+        with caplog.at_level("WARNING", logger="repro.obs.ledger"):
+            entries = ledger.entries()
+        assert [e["run_id"] for e in entries] == ["0000-w-a", "0001-w-b"]
+        assert any("torn final line" in r.message for r in caplog.records)
+
+    def test_append_after_tear_keeps_ids_deterministic(self, tmp_path):
+        ledger, path = self.torn_ledger(tmp_path)
+        # The torn tail is truncated away; the new entry takes the seq
+        # the crashed one never earned, at its byte offset.
+        assert ledger.append("w", "c2", {}) == "0002-w-c2"
+        entries = ledger.entries()
+        assert [e["run_id"] for e in entries] == [
+            "0000-w-a", "0001-w-b", "0002-w-c2",
+        ]
+        assert ledger.read("0002-w-c2")["label"] == "c2"
+
+    def test_complete_tail_missing_newline_is_repaired(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        ledger = RunLedger(str(path))
+        ledger.append("w", "a", {})
+        with open(path, "rb+") as fh:  # strip just the final newline
+            fh.seek(-1, 2)
+            fh.truncate()
+        (tmp_path / "runs.jsonl.index.json").unlink()
+        assert [e["run_id"] for e in ledger.entries()] == ["0000-w-a"]
+        assert ledger.append("w", "b", {}) == "0001-w-b"
+        assert path.read_bytes().count(b"\n") == 2  # newline restored
+        assert ledger.read("0000-w-a")["workload"] == "w"
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text('{"run_id": "0000-w-a", "version": 1}\ntorn{\n')
+        with pytest.raises(LedgerError, match="corrupt"):
+            RunLedger(str(path)).entries()
+
+    def test_stale_sized_index_detected_after_tear(self, tmp_path):
+        ledger, path = self.torn_ledger(tmp_path)
+        # Sidecar recorded the pre-tear size; the grown file must force
+        # a rescan instead of trusting stale rows.
+        sidecar = json.loads((tmp_path / "runs.jsonl.index.json").read_text())
+        assert sidecar["size"] != path.stat().st_size
+        assert [r["run_id"] for r in ledger.runs()] == ["0000-w-a", "0001-w-b"]
+
+
 class TestLedgerCollector:
     def test_body_covers_stages_tasks_and_shuffle(self):
         body = collected_run()

@@ -260,6 +260,68 @@ class TestHistoryAndReport:
         assert "|" in text and "t = " in text
 
 
+class TestMemoryBudgetFlags:
+    WORKLOAD = (
+        "run", "wordcount",
+        "--virtual-gb", "1.0", "--physical-records", "400",
+        "--parallelism", "16",
+    )
+
+    def test_budget_run_spills_and_ledgers_it(self, tmp_path):
+        ledger_path = str(tmp_path / "runs.jsonl")
+        code, text, _ = run_cli(
+            *self.WORKLOAD, "--memory-budget", "8K",
+            "--spill-dir", str(tmp_path / "spill"),
+            "--ledger", ledger_path,
+        )
+        assert code == 0
+        with open(ledger_path) as fh:
+            entry = json.loads(fh.readline())
+        assert entry["config"]["memory_budget"] == 8 * 1024
+        assert entry["shuffle"]["spilled_bytes"] > 0
+        assert entry["spill_event_count"] > 0
+        # The context closed on the way out: spill files are gone, the
+        # parent directory the user named survives.
+        spill_dir = tmp_path / "spill"
+        assert spill_dir.exists() and not list(spill_dir.iterdir())
+
+    def test_budget_run_matches_unbudgeted(self, tmp_path):
+        ledger_path = str(tmp_path / "runs.jsonl")
+        for extra in ((), ("--memory-budget", "8K")):
+            code, _, _ = run_cli(*self.WORKLOAD, *extra,
+                                 "--ledger", ledger_path)
+            assert code == 0
+        code, text, _ = run_cli(
+            "diff-runs", ledger_path,
+            "0000-wordcount-run", "0001-wordcount-run",
+            "--threshold", "0.001",
+        )
+        assert code == 0
+        assert "ok: no regression" in text
+
+    def test_bad_budget_one_line_error(self):
+        code, text, err = run_cli(*self.WORKLOAD, "--memory-budget", "12X")
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "12X" in err
+        assert err.count("\n") == 1
+
+    def test_spill_dir_without_budget_one_line_error(self, tmp_path):
+        code, text, err = run_cli(
+            *self.WORKLOAD, "--spill-dir", str(tmp_path)
+        )
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "memory_budget" in err
+        assert err.count("\n") == 1
+
+    def test_zero_budget_one_line_error(self):
+        code, text, err = run_cli(*self.WORKLOAD, "--memory-budget", "0")
+        assert code == 2
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+
+
 class TestObservabilityFlags:
     def test_run_writes_trace_and_metrics(self, tmp_path):
         trace = str(tmp_path / "trace.json")
