@@ -1,0 +1,69 @@
+"""CI smoke check: the logical-plan optimizer must only remove work.
+
+Reads the two sql entries CI appended to the run ledger — one lowered
+raw (``--no-optimize``), one through the rewrite batches — and asserts
+the optimized run executed strictly fewer stages and recorded its rule
+hit-counts. Then re-runs the workload in-process both ways and asserts
+the collected rows are bit-identical, which the ledger alone cannot
+show (it records performance, not values).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.cluster import paper_cluster
+from repro.engine import AnalyticsContext, EngineConf
+from repro.workloads.sql import SQLWorkload
+
+LEDGER = sys.argv[1] if len(sys.argv) > 1 else "ledger.jsonl"
+
+
+def collect(optimize: bool):
+    ctx = AnalyticsContext(paper_cluster(), EngineConf(default_parallelism=16))
+    try:
+        workload = SQLWorkload(
+            virtual_gb=1.0, physical_records=2000, optimize=optimize
+        )
+        value = workload.run(ctx).value
+        return value, list(ctx.plan_events)
+    finally:
+        ctx.close()
+
+
+def main() -> None:
+    entries = [json.loads(line) for line in open(LEDGER, encoding="utf-8")]
+    sql = [e for e in entries if e["workload"] == "sql"]
+    assert len(sql) == 2, f"expected 2 sql ledger entries, found {len(sql)}"
+    raw = next(e for e in sql if not e.get("plan"))
+    opt = next(e for e in sql if e.get("plan"))
+
+    hits = opt["plan"]["rule_hits"]
+    assert sum(hits.values()) > 0, "optimizer recorded no rule hits"
+    assert hits.get("DropRepartition", 0) >= 1, (
+        f"expected the hand-tuned repartition to be elided, hits={hits}"
+    )
+    raw_stages = len(raw["stages"])
+    opt_stages = len(opt["stages"])
+    assert opt_stages < raw_stages, (
+        f"optimizer must remove >=1 stage execution: "
+        f"{opt_stages} (optimized) vs {raw_stages} (raw)"
+    )
+
+    opt_value, opt_events = collect(True)
+    raw_value, raw_events = collect(False)
+    assert opt_value == raw_value, "optimized run changed the query result"
+    assert raw_events == [], "unoptimized run still ran the rule batches"
+    assert opt_events and opt_events[0]["rule_hits"], (
+        "optimized run recorded no plan events"
+    )
+
+    print(
+        f"ok: {opt_stages} stage executions optimized vs {raw_stages} raw, "
+        f"rule hits {hits}, {len(opt_value)} identical result rows"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -60,6 +60,23 @@ class RunOutcome:
     def total_shuffle_bytes(self) -> float:
         return sum(o.shuffle_bytes for o in self.record.observations)
 
+    @property
+    def plan_events(self) -> List[dict]:
+        """Relational plan-optimizer events (empty for worker-pool runs
+        and for workloads that never build a Table query)."""
+        if self.ctx is None:
+            return []
+        return list(getattr(self.ctx, "plan_events", []))
+
+    @property
+    def rule_hits(self) -> dict:
+        """Total logical-rewrite hit counts across the run's plans."""
+        hits: dict = {}
+        for event in self.plan_events:
+            for rule, n in (event.get("rule_hits") or {}).items():
+                hits[rule] = hits.get(rule, 0) + n
+        return hits
+
 
 @dataclass
 class ChopperRunner:
@@ -343,6 +360,14 @@ class ChopperRunner:
             result = self.workload.run(ctx, scale=scale)
         record = collector.record
         record.total_time = ctx.now
+        if self.tracer is not None:
+            for event in ctx.plan_events:
+                self.tracer.instant(
+                    "plan-optimized", "relational.plan",
+                    rule_hits=event.get("rule_hits", {}),
+                    nodes_before=event.get("nodes_before"),
+                    nodes_after=event.get("nodes_after"),
+                )
         if ledger_collector is not None:
             assert self.ledger is not None
             body = ledger_collector.body()

@@ -114,6 +114,8 @@ def perf_conf_kwargs(args: argparse.Namespace) -> dict:
             raise ConfigurationError(str(exc)) from None
     if getattr(args, "spill_dir", None) is not None:
         kwargs["spill_dir"] = args.spill_dir
+    if getattr(args, "no_optimize", False):
+        kwargs["logical_optimizer"] = False
     return kwargs
 
 
@@ -219,6 +221,29 @@ def cmd_run(args: argparse.Namespace, out) -> int:
 
         out.write(gantt(ctx, width=72) + "\n")
     ctx.close()
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace, out) -> int:
+    """Print a workload's relational plan before and after optimization."""
+    workload = build_workload(args)
+    builder = getattr(workload, "build_query", None)
+    if builder is None:
+        raise WorkloadError(
+            f"workload {workload.name!r} has no relational query plan "
+            f"(try: sql)"
+        )
+    ctx = AnalyticsContext(
+        paper_cluster(),
+        EngineConf(
+            default_parallelism=args.parallelism, **perf_conf_kwargs(args)
+        ),
+    )
+    try:
+        table = builder(ctx, scale=args.scale)
+        out.write(table.explain() + "\n")
+    finally:
+        ctx.close()
     return 0
 
 
@@ -417,6 +442,9 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--spill-dir", default=None, metavar="DIR",
                         help="directory for spill block files (default: a "
                              "tempdir); requires --memory-budget")
+    parser.add_argument("--no-optimize", action="store_true",
+                        help="disable the relational logical-plan optimizer "
+                             "(identical results; more stages)")
 
 
 def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
@@ -445,6 +473,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print an ASCII task timeline after the run")
     _add_obs_args(p_run)
     _add_chaos_args(p_run)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="print a workload's logical plan before/after optimization",
+    )
+    _add_workload_args(p_explain)
+    p_explain.add_argument("--scale", type=float, default=1.0)
 
     p_report = sub.add_parser(
         "report", help="render a history file (text) or a ledger run (HTML)"
@@ -505,6 +540,7 @@ COMMANDS = {
     "workloads": cmd_workloads,
     "report": cmd_report,
     "run": cmd_run,
+    "explain": cmd_explain,
     "profile": cmd_profile,
     "optimize": cmd_optimize,
     "compare": cmd_compare,

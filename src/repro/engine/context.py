@@ -112,6 +112,13 @@ class EngineConf:
     # Directory for spill block files; each context creates a private
     # subdirectory inside it and removes it on close(). None = a tempdir.
     spill_dir: Optional[str] = None
+    # Run the relational layer's logical-plan rewrite batches (predicate
+    # pushdown, column pruning, projection folding, repartition/sort
+    # elision, limit pushdown) before lowering Table queries to RDDs.
+    # Off = lower the raw operator tree; collected results are identical
+    # either way (CI gates on it), the optimized plan just runs fewer
+    # stages. None reads REPRO_LOGICAL_OPT (default on).
+    logical_optimizer: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.record_format not in ("list", "columnar"):
@@ -127,6 +134,9 @@ class EngineConf:
                 raise ConfigurationError(
                     f"REPRO_PHYSICAL_PARALLELISM must be an integer, got {env!r}"
                 ) from None
+        if self.logical_optimizer is None:
+            env = os.environ.get("REPRO_LOGICAL_OPT", "").strip().lower()
+            self.logical_optimizer = env not in ("0", "false", "no", "off")
         if self.physical_parallelism < 1:
             raise ConfigurationError(
                 f"physical_parallelism must be >= 1, got {self.physical_parallelism}"
@@ -222,6 +232,9 @@ class AnalyticsContext:
 
         self.stage_stats: List[StageStats] = []
         self.job_stats: List[JobStats] = []
+        # One entry per relational plan optimized in this context (rule
+        # hit counts, node counts); surfaces in the run ledger as "plan".
+        self.plan_events: List[Dict[str, Any]] = []
 
         self._rdd_counter = 0
         self._job_counter = 0
@@ -361,6 +374,7 @@ class AnalyticsContext:
     def reset_stats(self) -> None:
         self.stage_stats.clear()
         self.job_stats.clear()
+        self.plan_events.clear()
 
     # ------------------------------------------------------------------
     # Lifecycle

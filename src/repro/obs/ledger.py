@@ -251,6 +251,26 @@ class RunLedger:
                 yield self._parse(line, start), start
 
 
+def plan_summary(events) -> Optional[Dict[str, Any]]:
+    """Aggregate a context's relational plan-optimizer events.
+
+    One event per optimized query plan (see ``AnalyticsContext.plan_events``);
+    the summary carries total rule hit-counts so ``diff-runs`` and CI
+    gates can assert on plan shape without replaying the run.
+    """
+    if not events:
+        return None
+    hits: Dict[str, int] = {}
+    for event in events:
+        for rule, n in (event.get("rule_hits") or {}).items():
+            hits[rule] = hits.get(rule, 0) + n
+    return {
+        "optimized_plans": len(events),
+        "rule_hits": dict(sorted(hits.items())),
+        "events": [dict(e) for e in events],
+    }
+
+
 class LedgerCollector:
     """Listener that assembles one run's ledger entry body.
 
@@ -381,6 +401,9 @@ class LedgerCollector:
             "chaos_events": self.chaos_events,
             "spill_events": self.spill_events,
             "spill_event_count": self._spill_count,
+            "plan": plan_summary(
+                getattr(self._ctx, "plan_events", None) if self._ctx else None
+            ),
         }
 
 

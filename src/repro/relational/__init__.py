@@ -30,7 +30,24 @@ from repro.relational.expr import (
     min_,
     sum_,
 )
-from repro.relational.table import GroupedTable, Table
+from repro.relational.plan import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Repartition,
+    Scan,
+    Sort,
+    render_plan,
+)
+from repro.relational.rules import (
+    RuleBatch,
+    RuleRunner,
+    default_rule_runner,
+)
+from repro.relational.table import GroupedTable, Table, lower_plan
 
 __all__ = [
     "Table",
@@ -46,4 +63,18 @@ __all__ = [
     "min_",
     "max_",
     "avg",
+    "LogicalPlan",
+    "Scan",
+    "Project",
+    "Filter",
+    "Aggregate",
+    "Join",
+    "Sort",
+    "Limit",
+    "Repartition",
+    "render_plan",
+    "RuleBatch",
+    "RuleRunner",
+    "default_rule_runner",
+    "lower_plan",
 ]

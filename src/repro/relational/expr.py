@@ -9,7 +9,9 @@ compiled into the engine's map/filter closures.
 from __future__ import annotations
 
 import operator
-from typing import Any, Callable, Sequence, Tuple
+from typing import Any, Callable, Dict, Sequence, Tuple
+
+from repro.common.errors import WorkloadError
 
 
 class Expr:
@@ -22,6 +24,24 @@ class Expr:
     def references(self) -> set:
         """Column names this expression reads."""
         return set()
+
+    def same_as(self, other: Any) -> bool:
+        """Structural equality.
+
+        ``==`` on expressions builds a comparison *expression* (so that
+        ``col("a") == 3`` is a predicate), which makes ``expr in exprs``
+        and ``exprs.index(expr)`` silently wrong. Use this for identity
+        checks; the rewrite rules do.
+        """
+        raise NotImplementedError
+
+    def substitute(self, mapping: Dict[str, "Expr"]) -> "Expr":
+        """Replace column references per ``mapping`` (name -> expression).
+
+        Used by the plan optimizer to push expressions through
+        projections. Returns ``self`` when nothing changes.
+        """
+        return self
 
     @property
     def label(self) -> str:
@@ -83,6 +103,14 @@ class Expr:
     def __invert__(self):
         return UnaryExpr(self, lambda v: not v, "not")
 
+    def __bool__(self) -> bool:
+        # `expr in exprs` / `if expr == other:` would otherwise coerce the
+        # BinaryExpr built by __eq__ to True against any non-empty list.
+        raise WorkloadError(
+            f"cannot convert {self!r} to bool; comparisons build "
+            f"expressions — use Expr.same_as() for structural equality"
+        )
+
     def __hash__(self) -> int:
         return id(self)
 
@@ -108,6 +136,12 @@ class Col(Expr):
     def references(self) -> set:
         return {self.name}
 
+    def same_as(self, other: Any) -> bool:
+        return isinstance(other, Col) and self.name == other.name
+
+    def substitute(self, mapping: Dict[str, Expr]) -> Expr:
+        return mapping.get(self.name, self)
+
     @property
     def label(self) -> str:
         return self.name
@@ -125,6 +159,13 @@ class Lit(Expr):
     def bind(self, schema: Sequence[str]) -> Callable[[Tuple], Any]:
         value = self.value
         return lambda _row: value
+
+    def same_as(self, other: Any) -> bool:
+        return (
+            isinstance(other, Lit)
+            and type(self.value) is type(other.value)
+            and bool(self.value == other.value)
+        )
 
     def __repr__(self) -> str:
         return f"lit({self.value!r})"
@@ -144,6 +185,21 @@ class BinaryExpr(Expr):
     def references(self) -> set:
         return self.left.references() | self.right.references()
 
+    def same_as(self, other: Any) -> bool:
+        return (
+            isinstance(other, BinaryExpr)
+            and self.symbol == other.symbol
+            and self.left.same_as(other.left)
+            and self.right.same_as(other.right)
+        )
+
+    def substitute(self, mapping: Dict[str, Expr]) -> Expr:
+        left = self.left.substitute(mapping)
+        right = self.right.substitute(mapping)
+        if left is self.left and right is self.right:
+            return self
+        return BinaryExpr(left, right, self.op, self.symbol)
+
     def __repr__(self) -> str:
         return f"({self.left!r} {self.symbol} {self.right!r})"
 
@@ -161,6 +217,19 @@ class UnaryExpr(Expr):
     def references(self) -> set:
         return self.inner.references()
 
+    def same_as(self, other: Any) -> bool:
+        return (
+            isinstance(other, UnaryExpr)
+            and self.symbol == other.symbol
+            and self.inner.same_as(other.inner)
+        )
+
+    def substitute(self, mapping: Dict[str, Expr]) -> Expr:
+        inner = self.inner.substitute(mapping)
+        if inner is self.inner:
+            return self
+        return UnaryExpr(inner, self.op, self.symbol)
+
     def __repr__(self) -> str:
         return f"{self.symbol}({self.inner!r})"
 
@@ -175,6 +244,19 @@ class AliasExpr(Expr):
 
     def references(self) -> set:
         return self.inner.references()
+
+    def same_as(self, other: Any) -> bool:
+        return (
+            isinstance(other, AliasExpr)
+            and self.name == other.name
+            and self.inner.same_as(other.inner)
+        )
+
+    def substitute(self, mapping: Dict[str, Expr]) -> Expr:
+        inner = self.inner.substitute(mapping)
+        if inner is self.inner:
+            return self
+        return AliasExpr(inner, self.name)
 
     @property
     def label(self) -> str:
@@ -226,6 +308,18 @@ class Agg:
     def label(self) -> str:
         return f"{self.name}({self.expr.label})"
 
+    def references(self) -> set:
+        return self.expr.references()
+
+    def same_as(self, other: Any) -> bool:
+        return (
+            isinstance(other, Agg)
+            and self.name == other.name
+            and getattr(self, "label_override", None)
+            == getattr(other, "label_override", None)
+            and self.expr.same_as(other.expr)
+        )
+
     def alias(self, name: str) -> "Agg":
         clone = Agg(
             self.expr, self.create, self.merge_value, self.merge,
@@ -239,15 +333,41 @@ def _agg_label(agg: Agg) -> str:
     return getattr(agg, "label_override", agg.label)
 
 
+def _null_skipping(op: Callable) -> Callable:
+    """SQL aggregate semantics: a None input leaves the accumulator alone
+    (and an all-None group finishes as None)."""
+
+    def merge(acc: Any, value: Any) -> Any:
+        if acc is None:
+            return value
+        if value is None:
+            return acc
+        return op(acc, value)
+
+    return merge
+
+
 def sum_(expr: Expr) -> Agg:
-    return Agg(expr, lambda v: v, operator.add, operator.add, lambda c: c, "sum")
+    merge = _null_skipping(operator.add)
+    return Agg(expr, lambda v: v, merge, merge, lambda c: c, "sum")
 
 
 def count_(expr: Expr = None) -> Agg:  # type: ignore[assignment]
+    if expr is None:
+        # COUNT(*): every row counts, whatever its columns hold.
+        return Agg(
+            Lit(1),
+            lambda _v: 1,
+            lambda c, _v: c + 1,
+            operator.add,
+            lambda c: c,
+            "count",
+        )
+    # COUNT(col): only non-NULL values count.
     return Agg(
-        expr if expr is not None else Lit(1),
-        lambda _v: 1,
-        lambda c, _v: c + 1,
+        expr,
+        lambda v: 0 if v is None else 1,
+        lambda c, v: c if v is None else c + 1,
         operator.add,
         lambda c: c,
         "count",
@@ -255,18 +375,20 @@ def count_(expr: Expr = None) -> Agg:  # type: ignore[assignment]
 
 
 def min_(expr: Expr) -> Agg:
-    return Agg(expr, lambda v: v, min, min, lambda c: c, "min")
+    merge = _null_skipping(min)
+    return Agg(expr, lambda v: v, merge, merge, lambda c: c, "min")
 
 
 def max_(expr: Expr) -> Agg:
-    return Agg(expr, lambda v: v, max, max, lambda c: c, "max")
+    merge = _null_skipping(max)
+    return Agg(expr, lambda v: v, merge, merge, lambda c: c, "max")
 
 
 def avg(expr: Expr) -> Agg:
     return Agg(
         expr,
-        lambda v: (v, 1),
-        lambda c, v: (c[0] + v, c[1] + 1),
+        lambda v: (0, 0) if v is None else (v, 1),
+        lambda c, v: c if v is None else (c[0] + v, c[1] + 1),
         lambda a, b: (a[0] + b[0], a[1] + b[1]),
         lambda c: c[0] / c[1] if c[1] else None,
         "avg",

@@ -1,39 +1,282 @@
 """Tables: a schema'd relational layer compiled onto the RDD engine.
 
 The thin DataFrame-like API the paper's SQL workload presumes: rows are
-plain tuples, a :class:`Table` pairs an RDD of rows with a column-name
-schema, and every relational operator compiles to engine primitives —
+plain tuples and a :class:`Table` wraps a :class:`LogicalPlan` over RDDs
+of rows. Operators build plan nodes lazily; the first action optimizes
+the plan (:func:`repro.relational.rules.default_rule_runner`, unless
+``optimize=False`` or the engine conf disables it) and lowers it to
+engine primitives —
 
-* ``select`` / ``with_column`` / ``where``  → narrow map/filter;
-* ``group_by(...).agg(...)``               → ``combine_by_key`` (one
-  shuffle, map-side combined — CHOPPER-tunable);
-* ``join``                                 → key-by + RDD ``join``
-  (cogroup; co-partition-alignable);
-* ``order_by``                             → ``sort_by_key`` (range
-  partitioner).
+* ``Project`` / ``Filter``            → narrow map/filter, keeping the
+  parent's partitioner whenever the key-producing columns pass through
+  untouched;
+* ``Aggregate``                       → ``combine_by_key`` (one shuffle,
+  map-side combined — CHOPPER-tunable, and elided into a narrow
+  dependency when the input is already partitioned by the group key);
+* ``Join``                            → key-by + RDD ``join`` (cogroup;
+  co-partition-alignable the same way);
+* ``Sort``                            → ``sort_by_key`` (range
+  partitioner); ``Limit`` → per-partition truncation.
 
 Because it bottoms out in ordinary RDD lineage, CHOPPER profiles, models,
-and retunes relational queries exactly like hand-written drivers.
+and retunes relational queries exactly like hand-written drivers —
+``Table.explain()`` shows the plan before and after the rewrite batches.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.common.errors import WorkloadError
 from repro.engine.context import AnalyticsContext
 from repro.engine.rdd import RDD
-from repro.relational.expr import Agg, Expr, _agg_label, col
+from repro.relational.expr import Agg, Col, Expr, col
+from repro.relational.plan import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Repartition,
+    Scan,
+    Sort,
+    render_plan,
+)
+from repro.relational.rules import default_rule_runner
+
+
+# ----------------------------------------------------------------------
+# Lowering: LogicalPlan -> RDD lineage
+# ----------------------------------------------------------------------
+
+
+def lower_plan(plan: LogicalPlan, memo: Optional[Dict[int, RDD]] = None) -> RDD:
+    """Compile a plan to RDD lineage.
+
+    ``memo`` shares the lowering of node objects that appear on both
+    sides of a join (self-joins reuse one shuffle, like shared RDDs).
+    """
+    if memo is None:
+        memo = {}
+    cached = memo.get(id(plan))
+    if cached is not None:
+        return cached
+    rdd = _lower_node(plan, memo)
+    memo[id(plan)] = rdd
+    return rdd
+
+
+def _aligned(child: LogicalPlan, child_rdd: RDD, key_col: str) -> bool:
+    """Is the lowered child already partitioned by ``key_col``?"""
+    return (
+        child.partitioning() == (key_col,)
+        and child_rdd.partitioner is not None
+    )
+
+
+def _lower_node(plan: LogicalPlan, memo: Dict[int, RDD]) -> RDD:
+    if isinstance(plan, Scan):
+        return plan.rdd
+
+    if isinstance(plan, Project):
+        child = lower_plan(plan.child, memo)
+        fns = [e.bind(plan.child.schema()) for e in plan.exprs]
+        return child.map_partitions(
+            lambda _s, rows: [tuple(fn(row) for fn in fns) for row in rows],
+            op_name=f"select[{','.join(plan.schema())}]",
+            preserves_partitioning=plan.partitioning() is not None,
+        )
+
+    if isinstance(plan, Filter):
+        child = lower_plan(plan.child, memo)
+        fn = plan.predicate.bind(plan.child.schema())
+        return child.map_partitions(
+            lambda _s, rows: [row for row in rows if fn(row)],
+            op_name=f"where[{plan.predicate!r}]",
+            preserves_partitioning=True,
+        )
+
+    if isinstance(plan, Aggregate):
+        return _lower_aggregate(plan, memo)
+
+    if isinstance(plan, Join):
+        return _lower_join(plan, memo)
+
+    if isinstance(plan, Sort):
+        child = lower_plan(plan.child, memo)
+        fn = plan.expr.bind(plan.child.schema())
+        keyed = child.map_partitions(
+            lambda _s, rows: [(fn(row), row) for row in rows],
+            op_name="orderKey",
+        )
+        return keyed.sort_by_key(plan.num_partitions).values()
+
+    if isinstance(plan, Limit):
+        child = lower_plan(plan.child, memo)
+        n = plan.n
+        return child.map_partitions(
+            lambda _s, rows: rows[:n],
+            op_name=f"limit[{n}]",
+            preserves_partitioning=True,
+        )
+
+    if isinstance(plan, Repartition):
+        return lower_plan(plan.child, memo).repartition(plan.n)
+
+    raise WorkloadError(f"cannot lower plan node {plan!r}")
+
+
+def _lower_aggregate(plan: Aggregate, memo: Dict[int, RDD]) -> RDD:
+    child_rdd = lower_plan(plan.child, memo)
+    schema = plan.child.schema()
+    key_fns = [k.bind(schema) for k in plan.keys]
+    value_fns = [a.expr.bind(schema) for a in plan.aggs]
+    creates = [a.create for a in plan.aggs]
+    merge_values = [a.merge_value for a in plan.aggs]
+    merges = [a.merge for a in plan.aggs]
+    finishes = [a.finish for a in plan.aggs]
+
+    single = len(plan.keys) == 1
+    if single:
+        key_fn = key_fns[0]
+
+        def to_pairs(_s, rows):
+            return [
+                (key_fn(row), tuple(fn(row) for fn in value_fns))
+                for row in rows
+            ]
+
+        key = plan.keys[0]
+        aligned = (
+            isinstance(key, Col)
+            and _aligned(plan.child, child_rdd, key.name)
+        )
+    else:
+
+        def to_pairs(_s, rows):
+            return [
+                (
+                    tuple(fn(row) for fn in key_fns),
+                    tuple(fn(row) for fn in value_fns),
+                )
+                for row in rows
+            ]
+
+        aligned = False
+
+    pairs = child_rdd.map_partitions(
+        to_pairs, op_name="groupKey", preserves_partitioning=aligned
+    )
+    combined = pairs.combine_by_key(
+        lambda vs: tuple(c(v) for c, v in zip(creates, vs)),
+        lambda acc, vs: tuple(
+            m(a, v) for m, a, v in zip(merge_values, acc, vs)
+        ),
+        lambda a, b: tuple(m(x, y) for m, x, y in zip(merges, a, b)),
+        num_partitions=plan.num_partitions,
+        op_name="groupAgg",
+    )
+    if single:
+
+        def finish(_s, rows):
+            return [
+                (k,) + tuple(f(a) for f, a in zip(finishes, acc))
+                for k, acc in rows
+            ]
+
+    else:
+
+        def finish(_s, rows):
+            return [
+                k + tuple(f(a) for f, a in zip(finishes, acc))
+                for k, acc in rows
+            ]
+
+    # With a scalar key the finished row still leads with it, so the
+    # combine's partitioner remains valid for downstream alignment.
+    return combined.map_partitions(
+        finish, op_name="groupFinish", preserves_partitioning=single
+    )
+
+
+def _lower_join(plan: Join, memo: Dict[int, RDD]) -> RDD:
+    single = len(plan.keys) == 1
+
+    def keyed(side: LogicalPlan, tag: str) -> RDD:
+        side_rdd = lower_plan(side, memo)
+        schema = side.schema()
+        rest = [i for i, c in enumerate(schema) if c not in plan.keys]
+        if single:
+            ki = list(schema).index(plan.keys[0])
+
+            def kv(_s, rows):
+                return [
+                    (row[ki], tuple(row[i] for i in rest)) for row in rows
+                ]
+
+            aligned = _aligned(side, side_rdd, plan.keys[0])
+        else:
+            kis = [list(schema).index(k) for k in plan.keys]
+
+            def kv(_s, rows):
+                return [
+                    (
+                        tuple(row[i] for i in kis),
+                        tuple(row[i] for i in rest),
+                    )
+                    for row in rows
+                ]
+
+            aligned = False
+        return side_rdd.map_partitions(
+            kv, op_name=f"joinKey[{tag}]", preserves_partitioning=aligned
+        )
+
+    joined = keyed(plan.left, "left").join(
+        keyed(plan.right, "right"), plan.num_partitions
+    )
+    if single:
+
+        def flatten(_s, rows):
+            return [(k,) + l + r for k, (l, r) in rows]
+
+    else:
+
+        def flatten(_s, rows):
+            return [k + l + r for k, (l, r) in rows]
+
+    return joined.map_partitions(
+        flatten, op_name="joinFlatten", preserves_partitioning=single
+    )
+
+
+# ----------------------------------------------------------------------
+# Table
+# ----------------------------------------------------------------------
 
 
 class Table:
-    """An RDD of tuple rows plus the column names describing them."""
+    """A logical plan over RDDs of tuple rows, plus its column names."""
 
-    def __init__(self, rdd: RDD, schema: Sequence[str]) -> None:
-        self.rdd = rdd
-        self.schema: Tuple[str, ...] = tuple(schema)
-        if len(set(self.schema)) != len(self.schema):
-            raise WorkloadError(f"duplicate column names in {self.schema}")
+    def __init__(
+        self,
+        plan: Union[LogicalPlan, RDD],
+        schema: Optional[Sequence[str]] = None,
+        optimize: Optional[bool] = None,
+    ) -> None:
+        if isinstance(plan, RDD):
+            if schema is None:
+                raise WorkloadError("Table(rdd, ...) needs a schema")
+            plan = Scan(plan, schema)
+        self.plan: LogicalPlan = plan
+        # None defers to EngineConf.logical_optimizer at lowering time.
+        self._optimize = optimize
+        self._lowered: Optional[RDD] = None
+
+    @property
+    def schema(self) -> Tuple[str, ...]:
+        return self.plan.schema()
 
     # ------------------------------------------------------------------
     # Construction
@@ -47,6 +290,7 @@ class Table:
         schema: Sequence[str],
         num_partitions: Optional[int] = None,
         name: str = "table",
+        optimize: Optional[bool] = None,
     ) -> "Table":
         rows = [tuple(r) for r in rows]
         width = len(tuple(schema))
@@ -56,75 +300,55 @@ class Table:
                     f"row arity {len(row)} != schema arity {width}"
                 )
         rdd = ctx.parallelize(rows, num_partitions, op_name=name)
-        return cls(rdd, schema)
+        return cls(rdd, schema, optimize=optimize)
 
     @classmethod
-    def from_rdd(cls, rdd: RDD, schema: Sequence[str]) -> "Table":
-        return cls(rdd, schema)
+    def from_rdd(
+        cls,
+        rdd: RDD,
+        schema: Sequence[str],
+        optimize: Optional[bool] = None,
+    ) -> "Table":
+        return cls(rdd, schema, optimize=optimize)
+
+    def _with_plan(self, plan: LogicalPlan) -> "Table":
+        return Table(plan, optimize=self._optimize)
+
+    def _ctx(self) -> AnalyticsContext:
+        node = self.plan
+        while node.children:
+            node = node.children[0]
+        assert isinstance(node, Scan)
+        return node.rdd.ctx
 
     # ------------------------------------------------------------------
-    # Row-wise operators (narrow)
+    # Operators (plan builders)
     # ------------------------------------------------------------------
 
     def select(self, *columns: Union[str, Expr]) -> "Table":
         """Project columns / expressions into a new table."""
         exprs = [col(c) if isinstance(c, str) else c for c in columns]
-        if not exprs:
-            raise WorkloadError("select() needs at least one column")
-        schema = self.schema
-        fns = [e.bind(schema) for e in exprs]
-        out_schema = [e.label for e in exprs]
-
-        projected = self.rdd.map_partitions(
-            lambda _s, rows: [tuple(fn(row) for fn in fns) for row in rows],
-            op_name=f"select[{','.join(out_schema)}]",
-        )
-        return Table(projected, out_schema)
+        return self._with_plan(Project(self.plan, exprs))
 
     def with_column(self, name: str, expr: Expr) -> "Table":
         """Append (or replace) one computed column."""
-        schema = self.schema
-        fn = expr.bind(schema)
-        if name in schema:
-            index = schema.index(name)
-
-            def rewrite(_s, rows):
-                return [
-                    row[:index] + (fn(row),) + row[index + 1:] for row in rows
-                ]
-
-            return Table(
-                self.rdd.map_partitions(rewrite, op_name=f"withColumn[{name}]"),
-                schema,
-            )
-        appended = self.rdd.map_partitions(
-            lambda _s, rows: [row + (fn(row),) for row in rows],
-            op_name=f"withColumn[{name}]",
-        )
-        return Table(appended, list(schema) + [name])
+        if name in self.schema:
+            exprs = [
+                expr.alias(name) if c == name else col(c)
+                for c in self.schema
+            ]
+        else:
+            exprs = [col(c) for c in self.schema] + [expr.alias(name)]
+        return self._with_plan(Project(self.plan, exprs))
 
     def where(self, predicate: Expr) -> "Table":
-        fn = predicate.bind(self.schema)
-        filtered = self.rdd.map_partitions(
-            lambda _s, rows: [row for row in rows if fn(row)],
-            op_name=f"where[{predicate!r}]",
-            preserves_partitioning=True,
-        )
-        return Table(filtered, self.schema)
-
-    # ------------------------------------------------------------------
-    # Aggregation (one shuffle)
-    # ------------------------------------------------------------------
+        return self._with_plan(Filter(self.plan, predicate))
 
     def group_by(self, *keys: Union[str, Expr]) -> "GroupedTable":
         key_exprs = [col(k) if isinstance(k, str) else k for k in keys]
         if not key_exprs:
             raise WorkloadError("group_by() needs at least one key")
         return GroupedTable(self, key_exprs)
-
-    # ------------------------------------------------------------------
-    # Join (cogroup)
-    # ------------------------------------------------------------------
 
     def join(
         self,
@@ -135,57 +359,67 @@ class Table:
         """Inner equi-join on shared column names.
 
         Output schema: join keys, then this table's remaining columns,
-        then the other's (suffixed ``_r`` on collisions).
+        then the other's (gaining ``_r`` suffixes until collision-free).
         """
         keys = [on] if isinstance(on, str) else list(on)
-        for key in keys:
-            if key not in self.schema or key not in other.schema:
-                raise WorkloadError(f"join key {key!r} missing from a side")
-
-        def keyed(table: "Table", side: str) -> RDD:
-            key_fns = [col(k).bind(table.schema) for k in keys]
-            rest = [i for i, c in enumerate(table.schema) if c not in keys]
-            return table.rdd.map_partitions(
-                lambda _s, rows: [
-                    (
-                        tuple(fn(row) for fn in key_fns),
-                        tuple(row[i] for i in rest),
-                    )
-                    for row in rows
-                ],
-                op_name=f"joinKey[{side}]",
-            )
-
-        left_rest = [c for c in self.schema if c not in keys]
-        right_rest = [c for c in other.schema if c not in keys]
-        out_schema = keys + left_rest + [
-            c + "_r" if c in self.schema else c for c in right_rest
-        ]
-        joined = keyed(self, "left").join(keyed(other, "right"), num_partitions)
-        flat = joined.map_partitions(
-            lambda _s, rows: [k + l + r for k, (l, r) in rows],
-            op_name="joinFlatten",
+        return self._with_plan(
+            Join(self.plan, other.plan, keys, num_partitions)
         )
-        return Table(flat, out_schema)
-
-    # ------------------------------------------------------------------
-    # Ordering / actions
-    # ------------------------------------------------------------------
 
     def order_by(
         self, column: Union[str, Expr], num_partitions: Optional[int] = None
     ) -> "Table":
         expr = col(column) if isinstance(column, str) else column
-        fn = expr.bind(self.schema)
-        keyed = self.rdd.map_partitions(
-            lambda _s, rows: [(fn(row), row) for row in rows],
-            op_name="orderKey",
-        )
-        ordered = keyed.sort_by_key(num_partitions).values()
-        return Table(ordered, self.schema)
+        return self._with_plan(Sort(self.plan, expr, num_partitions))
+
+    def repartition(self, num_partitions: int) -> "Table":
+        """Round-robin exchange (a hand-tuning knob the optimizer elides
+        when a shuffle consumer follows anyway)."""
+        return self._with_plan(Repartition(self.plan, num_partitions))
+
+    # ------------------------------------------------------------------
+    # Optimization / lowering
+    # ------------------------------------------------------------------
+
+    def _effective_optimize(self) -> bool:
+        if self._optimize is not None:
+            return self._optimize
+        return bool(self._ctx().conf.logical_optimizer)
+
+    @property
+    def rdd(self) -> RDD:
+        """The compiled lineage (optimizes and lowers on first access)."""
+        if self._lowered is None:
+            plan = self.plan
+            if self._effective_optimize():
+                plan, stats = default_rule_runner().optimize(plan)
+                self._ctx().plan_events.append(stats.to_dict())
+            self._lowered = lower_plan(plan)
+        return self._lowered
+
+    def explain(self) -> str:
+        """The logical plan, and what the rewrite batches make of it."""
+        lines = ["== Logical plan ==", render_plan(self.plan)]
+        if self._effective_optimize():
+            optimized, stats = default_rule_runner().optimize(self.plan)
+            lines += ["", "== Optimized plan ==", render_plan(optimized)]
+            if stats.rule_hits:
+                hits = ", ".join(
+                    f"{name}: {n}"
+                    for name, n in sorted(stats.rule_hits.items())
+                )
+            else:
+                hits = "none"
+            lines += ["", f"rules applied: {hits}"]
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
 
     def limit(self, n: int) -> List[Tuple]:
-        return self.rdd.take(n)
+        limited = self._with_plan(Limit(self.plan, n))
+        return limited.rdd.take(n)
 
     def collect(self) -> List[Tuple]:
         return self.rdd.collect()
@@ -213,41 +447,6 @@ class GroupedTable:
         self.keys = keys
 
     def agg(self, *aggs: Agg, num_partitions: Optional[int] = None) -> Table:
-        if not aggs:
-            raise WorkloadError("agg() needs at least one aggregate")
-        schema = self.table.schema
-        key_fns = [k.bind(schema) for k in self.keys]
-        value_fns = [a.expr.bind(schema) for a in aggs]
-        creates = [a.create for a in aggs]
-        merge_values = [a.merge_value for a in aggs]
-        merges = [a.merge for a in aggs]
-        finishes = [a.finish for a in aggs]
-
-        def to_pairs(_s, rows):
-            return [
-                (
-                    tuple(fn(row) for fn in key_fns),
-                    tuple(fn(row) for fn in value_fns),
-                )
-                for row in rows
-            ]
-
-        pairs = self.table.rdd.map_partitions(to_pairs, op_name="groupKey")
-        combined = pairs.combine_by_key(
-            lambda vs: tuple(c(v) for c, v in zip(creates, vs)),
-            lambda acc, vs: tuple(
-                m(a, v) for m, a, v in zip(merge_values, acc, vs)
-            ),
-            lambda a, b: tuple(m(x, y) for m, x, y in zip(merges, a, b)),
-            num_partitions=num_partitions,
-            op_name="groupAgg",
+        return self.table._with_plan(
+            Aggregate(self.table.plan, self.keys, aggs, num_partitions)
         )
-        finished = combined.map_partitions(
-            lambda _s, rows: [
-                k + tuple(f(a) for f, a in zip(finishes, acc))
-                for k, acc in rows
-            ],
-            op_name="groupFinish",
-        )
-        out_schema = [k.label for k in self.keys] + [_agg_label(a) for a in aggs]
-        return Table(finished, out_schema)

@@ -13,20 +13,33 @@ The query, in SQL terms::
     GROUP BY c.region
     ORDER BY c.region
 
-Stage layout under vanilla defaults (6 stage executions; the paper's run
-shows ids 0-4 — their query shape differs slightly, ours adds the
-sort-sampling pass):
+Since PR 7 the query goes through the relational layer
+(:meth:`build_query` returns the :class:`~repro.relational.table.Table`),
+so the logical-plan rewrite batches run before lowering. The driver
+hand-tunes a ``repartition(default_parallelism)`` onto the customers
+(build) side of the join — a common "spread the small table" reflex —
+which the optimizer recognizes as pure cost (the join reshuffles anyway)
+and elides, so the optimized plan executes strictly fewer stages than
+``optimize=False`` while collecting bit-identical rows.
 
-* stage 0 — scan+project orders, write the per-customer aggregation
-  shuffle;
-* stage 1 — scan customers, write the join-side shuffle;
-* stage 2 — fused [aggregate orders -> cogroup -> join -> project],
+Stage layout with the optimizer on (6 stage executions across the
+sort-sampling and collect jobs; the paper's run shows ids 0-4 — their
+query shape differs slightly, ours adds the sort-sampling pass):
+
+* stage 0 — scan customers, write its join-side shuffle;
+* stage 1 — scan+project orders with map-side combine, write the
+  per-customer aggregation shuffle;
+* stage 2 — fused [per-customer reduce -> cogroup -> join -> flatten],
   writing the region-aggregation shuffle (the paper's "sub-stages
-  combined for shuffle write");
-* stage 3 — region reduce + sort-sample pass;
-* stages 4-5 — range repartition for the sort and the final result.
+  combined for shuffle write"; the reduce fuses in because the
+  aggregation's hash partitioner on ``cust_id`` aligns with the join's);
+* stage 3 — region reduce feeding the sort's sampling job;
+* stage 4 — region reduce again, writing the range-repartition shuffle;
+* stage 5 — the final sorted result.
 
-The orders table's Zipf-hot customer keys are what make the hash/range
+Unoptimized it is 7: the customers scan writes a round-robin exchange
+and an identity pass-through stage rewrites the join-side shuffle. The
+orders table's Zipf-hot customer keys are what make the hash/range
 partitioner choice matter for the join.
 """
 
@@ -36,8 +49,12 @@ from typing import Optional
 
 from repro.common.units import GB
 from repro.engine.context import AnalyticsContext
+from repro.relational import Table, col, sum_
 from repro.workloads.base import Workload, WorkloadResult
 from repro.workloads.datagen import SQLTableGen
+
+ORDERS_SCHEMA = ["order_id", "cust_id", "product_id", "amount"]
+CUSTOMERS_SCHEMA = ["cust_id", "region"]
 
 
 class SQLWorkload(Workload):
@@ -55,6 +72,7 @@ class SQLWorkload(Workload):
         seed: int = 7,
         fixed_agg_partitions: Optional[int] = None,
         sort_output: bool = True,
+        optimize: Optional[bool] = None,
     ) -> None:
         super().__init__(physical_scale=physical_scale, seed=seed)
         self.input_bytes = virtual_gb * GB
@@ -67,8 +85,12 @@ class SQLWorkload(Workload):
         # CHOPPER's gamma-gated repartition insertion (§III-C).
         self.fixed_agg_partitions = fixed_agg_partitions
         self.sort_output = sort_output
+        # None defers to EngineConf.logical_optimizer; False forces the
+        # raw (unoptimized) lowering — results are bit-identical.
+        self.optimize = optimize
 
-    def run(self, ctx: AnalyticsContext, scale: float = 1.0) -> WorkloadResult:
+    def build_query(self, ctx: AnalyticsContext, scale: float = 1.0) -> Table:
+        """The query as a relational plan (what ``repro explain`` shows)."""
         gen = SQLTableGen(
             virtual_bytes=self.virtual_bytes(scale),
             physical_records=self.physical_records,
@@ -76,32 +98,41 @@ class SQLWorkload(Workload):
             n_regions=self.n_regions,
             seed=self.seed,
         )
-        orders = gen.orders_rdd(ctx, ctx.default_parallelism)
-        customers = gen.customers_rdd(ctx, ctx.default_parallelism)
-
-        by_customer = orders.map_partitions(
-            lambda _s, recs: [(r[1], r[3]) for r in recs],
-            op_name="projectOrders",
-            cost=1.2,
+        orders = Table.from_rdd(
+            gen.orders_rdd(ctx, ctx.default_parallelism),
+            ORDERS_SCHEMA,
+            optimize=self.optimize,
         )
-        per_customer = by_customer.reduce_by_key(
-            lambda a, b: a + b,
-            num_partitions=self.fixed_agg_partitions,
-            numeric_add=True,
+        customers = Table.from_rdd(
+            gen.customers_rdd(ctx, ctx.default_parallelism),
+            CUSTOMERS_SCHEMA,
+            optimize=self.optimize,
         )
-
-        joined = per_customer.join(customers)
-        by_region = joined.map_partitions(
-            lambda _s, recs: [(region, amount) for _c, (amount, region) in recs],
-            op_name="projectRegion",
-            cost=1.1,
+        per_customer = (
+            orders.select("cust_id", "amount")
+            .group_by("cust_id")
+            .agg(
+                sum_(col("amount")).alias("amount"),
+                num_partitions=self.fixed_agg_partitions,
+            )
         )
-        revenue = by_region.reduce_by_key(lambda a, b: a + b, numeric_add=True)
-
+        # The hand-tuned spread of the build side the optimizer elides.
+        joined = per_customer.join(
+            customers.repartition(ctx.default_parallelism), on="cust_id"
+        )
+        revenue = joined.group_by("region").agg(
+            sum_(col("amount")).alias("revenue")
+        )
         if self.sort_output:
-            result = revenue.sort_by_key().collect()
+            return revenue.order_by("region")
+        return revenue
+
+    def run(self, ctx: AnalyticsContext, scale: float = 1.0) -> WorkloadResult:
+        query = self.build_query(ctx, scale)
+        if self.sort_output:
+            result = query.collect()
         else:
-            result = sorted(revenue.collect())
+            result = sorted(query.collect())
         return WorkloadResult(
             value=result,
             details={"regions": len(result)},

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.errors import WorkloadError
 from repro.relational.expr import avg, col, count_, lit, max_, min_, sum_
 
 SCHEMA = ["a", "b", "c"]
@@ -87,3 +88,69 @@ class TestAggregates:
         left = agg.create(2)
         right = agg.merge_value(agg.create(4), 6)
         assert agg.finish(agg.merge(left, right)) == pytest.approx(4.0)
+
+
+class TestNullSemantics:
+    """SQL NULL handling: COUNT(col) skips NULLs, COUNT(*) does not,
+    and sum/min/max/avg ignore NULL inputs."""
+
+    run_agg = TestAggregates.run_agg
+
+    def test_count_col_skips_nulls(self):
+        assert self.run_agg(count_(col("a")), [1, None, 3, None]) == 2
+        assert self.run_agg(count_(col("a")), [None, None]) == 0
+
+    def test_count_star_counts_every_row(self):
+        assert self.run_agg(count_(), [1, None, 3, None]) == 4
+
+    def test_sum_skips_nulls(self):
+        assert self.run_agg(sum_(col("a")), [1, None, 3]) == 4
+        assert self.run_agg(sum_(col("a")), [None, None]) is None
+
+    def test_min_max_skip_nulls(self):
+        assert self.run_agg(min_(col("a")), [None, 5, None, 2]) == 2
+        assert self.run_agg(max_(col("a")), [None, 5, None, 2]) == 5
+        assert self.run_agg(min_(col("a")), [None]) is None
+
+    def test_avg_skips_nulls(self):
+        assert self.run_agg(avg(col("a")), [2, None, 4]) == pytest.approx(3.0)
+        assert self.run_agg(avg(col("a")), [None, None]) is None
+
+    def test_merge_combiners_with_null_side(self):
+        agg = sum_(col("a"))
+        assert agg.finish(agg.merge(agg.create(None), agg.create(3))) == 3
+
+
+class TestStructuralEquality:
+    """``==`` builds a predicate, so Python equality protocols (``in``,
+    ``list.index``) must fail loudly; ``same_as`` is the identity check."""
+
+    def test_membership_check_raises(self):
+        with pytest.raises(WorkloadError, match="same_as"):
+            col("a") in [col("a"), col("b")]
+
+    def test_bool_coercion_raises(self):
+        with pytest.raises(WorkloadError):
+            bool(col("a") == col("a"))
+
+    def test_same_as_compares_structure(self):
+        assert col("a").same_as(col("a"))
+        assert not col("a").same_as(col("b"))
+        assert (col("a") + 1).same_as(col("a") + 1)
+        assert not (col("a") + 1).same_as(col("a") + 2)
+        assert not (col("a") + 1).same_as(col("a") - 1)
+
+    def test_same_as_sees_alias_and_literal_type(self):
+        assert not col("a").alias("x").same_as(col("a").alias("y"))
+        assert not lit(1).same_as(lit(True))
+
+    def test_agg_same_as(self):
+        assert sum_(col("a")).same_as(sum_(col("a")))
+        assert not sum_(col("a")).same_as(sum_(col("b")))
+        assert not sum_(col("a")).same_as(sum_(col("a")).alias("s"))
+
+    def test_substitution(self):
+        expr = (col("a") + col("b")) > lit(0)
+        sub = expr.substitute({"a": col("x") * 2})
+        assert sub.references() == {"x", "b"}
+        assert expr.references() == {"a", "b"}  # original untouched

@@ -154,6 +154,105 @@ class TestOrderingAndDisplay:
         assert text.count("\n") >= 3
 
 
+class TestJoinCollisions:
+    def test_right_columns_gain_suffix(self, ctx):
+        left = Table.from_rows(
+            ctx, [(1, "lv", "lx")], ["k", "v", "x"], 1, name="left"
+        )
+        right = Table.from_rows(
+            ctx, [(1, "rv", "rx")], ["k", "v", "x"], 1, name="right"
+        )
+        out = left.join(right, on="k")
+        assert out.schema == ("k", "v", "x", "v_r", "x_r")
+        assert out.collect() == [(1, "lv", "lx", "rv", "rx")]
+
+    def test_suffix_itself_collides(self, ctx):
+        """A pre-existing `v_r` column forces a second suffix round."""
+        left = Table.from_rows(
+            ctx, [(1, "lv", "old")], ["k", "v", "v_r"], 1, name="left"
+        )
+        right = Table.from_rows(ctx, [(1, "rv")], ["k", "v"], 1, name="right")
+        out = left.join(right, on="k")
+        assert out.schema == ("k", "v", "v_r", "v_r_r")
+        assert out.collect() == [(1, "lv", "old", "rv")]
+
+    def test_rename_is_deterministic(self, ctx):
+        left = Table.from_rows(ctx, [(1, "a")], ["k", "v"], 1)
+        right = Table.from_rows(ctx, [(1, "b")], ["k", "v"], 1)
+        first = left.join(right, on="k").schema
+        second = left.join(right, on="k").schema
+        assert first == second == ("k", "v", "v_r")
+
+    def test_pushdown_filter_on_renamed_column(self, ctx):
+        """Predicates on `v_r` must translate back to the right's `v`."""
+        left = Table.from_rows(
+            ctx, [(1, "a"), (2, "b")], ["k", "v"], 1, name="left"
+        )
+        right = Table.from_rows(
+            ctx, [(1, "x"), (2, "y")], ["k", "v"], 1, name="right"
+        )
+        out = left.join(right, on="k").where(col("v_r") == "y")
+        assert out.collect() == [(2, "b", "y")]
+
+
+class TestNullRows:
+    ROWS = [("a", 1.0), ("a", None), ("b", None), ("b", None), ("c", 3.0)]
+
+    def test_count_column_vs_star(self, ctx):
+        t = Table.from_rows(ctx, self.ROWS, ["k", "v"], 2)
+        out = t.group_by("k").agg(count_(), count_(col("v"))).collect()
+        assert sorted(out) == [("a", 2, 1), ("b", 2, 0), ("c", 1, 1)]
+
+    def test_sum_and_avg_skip_nulls(self, ctx):
+        t = Table.from_rows(ctx, self.ROWS, ["k", "v"], 2)
+        out = t.group_by("k").agg(
+            sum_(col("v")), avg(col("v"))
+        ).collect()
+        assert sorted(out) == [
+            ("a", 1.0, 1.0), ("b", None, None), ("c", 3.0, 3.0),
+        ]
+
+
+class TestPartitioningPreservation:
+    def test_key_preserving_select_keeps_partitioner(self, ctx, orders):
+        agged = orders.group_by("cust").agg(sum_(col("amount")).alias("rev"))
+        narrowed = agged.select("cust", "rev")
+        assert narrowed.rdd.partitioner is not None
+
+    def test_with_column_replace_keeps_partitioner(self, ctx, orders):
+        agged = orders.group_by("cust").agg(sum_(col("amount")).alias("rev"))
+        taxed = agged.with_column("rev", col("rev") * 0.9)
+        assert taxed.rdd.partitioner is not None
+
+    def test_key_dropping_select_forgets_partitioner(self, ctx, orders):
+        agged = orders.group_by("cust").agg(sum_(col("amount")).alias("rev"))
+        assert agged.select("rev").rdd.partitioner is None
+
+    def test_key_rewriting_select_forgets_partitioner(self, ctx, orders):
+        agged = orders.group_by("cust").agg(sum_(col("amount")).alias("rev"))
+        rewritten = agged.select(
+            (col("cust") + "!").alias("cust"), col("rev")
+        )
+        assert rewritten.rdd.partitioner is None
+
+    @pytest.mark.parametrize("optimize", [True, False])
+    def test_reaggregation_after_replace_is_narrow(self, ctx, optimize):
+        """agg -> with_column(replace) -> agg must stay 2 stages: the
+        second shuffle aligns with the first's partitioner."""
+        rows = [(i % 4, float(i)) for i in range(20)]
+        t = Table.from_rows(ctx, rows, ["k", "v"], 3, optimize=optimize)
+        out = (
+            t.group_by("k").agg(sum_(col("v")).alias("v"))
+            .with_column("v", col("v") * 2)
+            .group_by("k").agg(sum_(col("v")).alias("vv"))
+        )
+        result = out.collect()
+        assert len(ctx.job_stats[-1].stages) == 2
+        expected = {k: sum(v for kk, v in rows if kk == k) * 2
+                    for k in range(4)}
+        assert dict(result) == expected
+
+
 class TestEngineIntegration:
     def test_query_is_ordinary_lineage(self, ctx, orders, customers):
         """The compiled query runs as normal stages CHOPPER could tune."""
