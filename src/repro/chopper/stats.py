@@ -41,7 +41,10 @@ class StageObservation:
             kind=stats.kind,
             partitioner_kind=stats.partitioner_kind,
             input_bytes=stats.input_bytes,
-            num_partitions=stats.num_partitions,
+            # AQE-re-planned stages ran their *adapted* physical task
+            # count; that is the (duration, P) pair the offline model
+            # should learn from, not the static plan it replaced.
+            num_partitions=stats.adapted_num_partitions or stats.num_partitions,
             duration=stats.duration,
             shuffle_bytes=stats.shuffle_bytes,
             order=order,

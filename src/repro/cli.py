@@ -14,6 +14,7 @@ Sub-commands:
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 from typing import Dict, List, Optional, Type
@@ -70,6 +71,12 @@ def build_workload(args: argparse.Namespace) -> Workload:
                 f"--physical-records must be >= 1, got {args.physical_records}"
             )
         kwargs["physical_records"] = args.physical_records
+    if getattr(args, "skew", None) is not None:
+        if "skew" not in inspect.signature(cls.__init__).parameters:
+            raise WorkloadError(
+                f"--skew is not supported by workload {args.workload!r}"
+            )
+        kwargs["skew"] = args.skew
     return cls(**kwargs)
 
 
@@ -116,6 +123,15 @@ def perf_conf_kwargs(args: argparse.Namespace) -> dict:
         kwargs["spill_dir"] = args.spill_dir
     if getattr(args, "no_optimize", False):
         kwargs["logical_optimizer"] = False
+    if getattr(args, "aqe", False):
+        kwargs["adaptive_execution"] = True
+    if getattr(args, "aqe_target", None) is not None:
+        try:
+            kwargs["aqe_target_partition_bytes"] = float(
+                parse_bytes(args.aqe_target)
+            )
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from None
     return kwargs
 
 
@@ -445,6 +461,20 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-optimize", action="store_true",
                         help="disable the relational logical-plan optimizer "
                              "(identical results; more stages)")
+    parser.add_argument("--aqe", action="store_true",
+                        help="adaptive query execution: re-plan each reduce "
+                             "side from measured map-output sizes — "
+                             "coalesce tiny partitions, split hot ones, "
+                             "re-derive range bounds (bit-identical "
+                             "results)")
+    parser.add_argument("--aqe-target", default=None, metavar="BYTES",
+                        help="AQE coalesce/split target partition size in "
+                             "virtual bytes (e.g. '4M', '16K'; default "
+                             "64M); requires --aqe")
+    parser.add_argument("--skew", type=float, default=None, metavar="A",
+                        help="Zipf exponent for the key distribution of "
+                             "skew-aware workloads (wordcount, "
+                             "wordcount-shuffle, sql); larger = hotter keys")
 
 
 def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:

@@ -119,6 +119,23 @@ class EngineConf:
     # either way (CI gates on it), the optimized plan just runs fewer
     # stages. None reads REPRO_LOGICAL_OPT (default on).
     logical_optimizer: Optional[bool] = None
+    # Adaptive query execution: after each map stage materializes, the
+    # DAG scheduler consults the exact per-partition shuffle sizes and
+    # may re-plan the not-yet-launched reduce side (coalesce tiny
+    # partitions, split hot ones into map-output slices, re-derive range
+    # bounds for ordered shuffles from the measured key histogram).
+    # Collected results are bit-identical on/off; only the physical task
+    # layout (and thus simulated timing) changes. None reads REPRO_AQE
+    # (default off).
+    adaptive_execution: Optional[bool] = None
+    # A reduce partition is "hot" (split candidate) when its measured
+    # size exceeds this multiple of the median non-empty partition.
+    aqe_skew_threshold: float = 4.0
+    # Coalesce packs runs of small partitions up to (and splits carve
+    # hot partitions down toward) this many virtual bytes per task.
+    aqe_target_partition_bytes: float = 64.0 * 1024 * 1024
+    # Upper bound on the slices a single hot partition is carved into.
+    aqe_max_subpartitions: int = 16
 
     def __post_init__(self) -> None:
         if self.record_format not in ("list", "columnar"):
@@ -137,6 +154,23 @@ class EngineConf:
         if self.logical_optimizer is None:
             env = os.environ.get("REPRO_LOGICAL_OPT", "").strip().lower()
             self.logical_optimizer = env not in ("0", "false", "no", "off")
+        if self.adaptive_execution is None:
+            env = os.environ.get("REPRO_AQE", "").strip().lower()
+            self.adaptive_execution = env in ("1", "true", "yes", "on")
+        if self.aqe_skew_threshold <= 1.0:
+            raise ConfigurationError(
+                f"aqe_skew_threshold must be > 1, got {self.aqe_skew_threshold}"
+            )
+        if self.aqe_target_partition_bytes <= 0:
+            raise ConfigurationError(
+                f"aqe_target_partition_bytes must be > 0,"
+                f" got {self.aqe_target_partition_bytes}"
+            )
+        if self.aqe_max_subpartitions < 2:
+            raise ConfigurationError(
+                f"aqe_max_subpartitions must be >= 2,"
+                f" got {self.aqe_max_subpartitions}"
+            )
         if self.physical_parallelism < 1:
             raise ConfigurationError(
                 f"physical_parallelism must be >= 1, got {self.physical_parallelism}"

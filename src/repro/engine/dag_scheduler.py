@@ -31,6 +31,7 @@ from repro.engine.stage import RESULT, SHUFFLE_MAP, Stage
 from repro.engine.task import Task
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.adaptive import AdaptivePlan
     from repro.engine.context import AnalyticsContext
     from repro.engine.rdd import RDD
 
@@ -51,6 +52,10 @@ class StageRun:
         self.tasks: List[Task] = []
         self.results: Dict[int, Any] = {}
         self.completed_partitions: Set[int] = set()
+        # AQE split partitions mid-assembly: original split -> {slice
+        # index -> raw slice records}, concatenated in slice order (==
+        # map-output order) once every slice has landed.
+        self._pending_slices: Dict[int, Dict[int, Any]] = {}
         self._remaining = 0
         self._on_complete = on_complete
 
@@ -71,10 +76,45 @@ class StageRun:
         self.stats.shuffle_read_bytes += metrics.shuffle_read
         self.stats.shuffle_write_bytes += metrics.shuffle_write
         if self.stage.kind == RESULT:
-            self.results[task.partition] = result
+            self._record_result(task, result)
         self._remaining -= 1
         if self._remaining == 0:
             self._on_complete(self)
+
+    def _record_result(self, task: Task, result: Any) -> None:
+        """File a physical task's result under its original partition(s).
+
+        On AQE-re-planned stages ``task.partition`` is a *physical* index
+        while ``self.results`` is keyed by original split, so the final
+        ``job.results`` assembly is identical with AQE on or off.
+        """
+        spec = task.spec
+        if spec is None:
+            self.results[task.partition] = result
+        elif spec.is_slice:
+            split = spec.splits[0]
+            slices = self._pending_slices.setdefault(split, {})
+            slices[spec.slice_index] = result
+            if len(slices) == spec.n_slices:
+                # Slices carry raw records (the executor skips result_fn
+                # for them); concatenating in slice order reproduces the
+                # unsplit partition byte-for-byte, then result_fn runs
+                # once — exactly like the plain task would have.
+                records: List[Any] = []
+                for idx in range(spec.n_slices):
+                    records.extend(slices[idx])
+                del self._pending_slices[split]
+                self.results[split] = (
+                    self.result_fn(split, records)
+                    if self.result_fn
+                    else records
+                )
+        elif spec.is_plain:
+            self.results[spec.splits[0]] = result
+        else:
+            # Coalesced: one result per covered split, in split order.
+            for split, value in zip(spec.splits, result):
+                self.results[split] = value
 
 
 class _JobState:
@@ -83,7 +123,9 @@ class _JobState:
         self.final_stage = final_stage
         self.results: Optional[List[Any]] = None
         self.waiting: List[Stage] = []
-        self.running: Set[int] = set()
+        # Running stages by id (the AQE switch guard needs the objects:
+        # a shuffle is only re-bucketed while no running stage reads it).
+        self.running: Dict[int, Stage] = {}
 
     @property
     def done(self) -> bool:
@@ -103,6 +145,11 @@ class DAGScheduler:
         self._shuffle_stages: Dict[int, Stage] = {}
         self._parked: Dict[int, List[Tuple[StageRun, Task]]] = {}
         self._resubmitting: Set[int] = set()
+        # AQE: the adaptive plan derived at each stage's first full
+        # launch (None = measured sizes asked for no change). Cached by
+        # stage id so any later full launch of the same stage object
+        # reuses the derived plan rather than re-deciding.
+        self._adaptive_plans: Dict[int, Optional["AdaptivePlan"]] = {}
         # Diagnostics, mirrored into the metrics registry (tests assert
         # attribute and counter never drift).
         self.fetch_failures = 0
@@ -253,7 +300,7 @@ class DAGScheduler:
         """Launch a stage — all partitions, or (on resubmission) a subset."""
         job = self._job
         assert job is not None
-        job.running.add(stage.stage_id)
+        job.running[stage.stage_id] = stage
 
         delay = 0.0
         dep = stage.shuffle_dep
@@ -267,6 +314,21 @@ class DAGScheduler:
             self.ctx.shuffle_manager.register(
                 dep.shuffle_id, stage.num_tasks, dep.num_reduce_partitions
             )
+
+        # AQE: on a stage's first full launch with materialized shuffle
+        # inputs, re-plan the physical task layout from the measured
+        # per-partition sizes. Partial relaunches (lineage recovery of
+        # lost map partitions) always use plain per-split tasks — the
+        # rebuilt outputs must land under their original map ids — and
+        # parked reduce tasks keep their specs, so a recovered run never
+        # re-decides anything.
+        plan = None
+        if self.ctx.conf.adaptive_execution and partitions is None:
+            if stage.stage_id in self._adaptive_plans:
+                plan = self._adaptive_plans[stage.stage_id]
+            else:
+                plan = self._plan_adaptive(stage)
+                self._adaptive_plans[stage.stage_id] = plan
 
         stats = StageStats(
             stage_run_id=self.ctx.next_stage_run_id(),
@@ -287,13 +349,29 @@ class DAGScheduler:
         )
         result_fn = self._result_fn if stage.kind == RESULT else None
         run = StageRun(stage, stats, result_fn, self._on_stage_complete)
-        indices = partitions if partitions is not None else range(stage.num_tasks)
-        run.set_tasks(
-            [
-                Task(stage, i, preferred_nodes=self._task_preferences(stage, i))
-                for i in indices
-            ]
-        )
+        if plan is not None:
+            stats.adapted_num_partitions = len(plan.specs)
+            run.set_tasks(
+                [
+                    Task(
+                        stage,
+                        i,
+                        preferred_nodes=self._spec_preferences(stage, spec),
+                        spec=spec,
+                    )
+                    for i, spec in enumerate(plan.specs)
+                ]
+            )
+        else:
+            indices = (
+                partitions if partitions is not None else range(stage.num_tasks)
+            )
+            run.set_tasks(
+                [
+                    Task(stage, i, preferred_nodes=self._task_preferences(stage, i))
+                    for i in indices
+                ]
+            )
         self.ctx.listener_bus.stage_submitted(stats)
         if delay > 0:
             self.ctx.sim.schedule(delay, self.ctx.task_scheduler.submit_stage, run)
@@ -305,7 +383,7 @@ class DAGScheduler:
         assert job is not None
         stage = run.stage
         stage.completed = True
-        job.running.discard(stage.stage_id)
+        job.running.pop(stage.stage_id, None)
         run.stats.completed_at = self.ctx.sim.now
         if stage.kind == SHUFFLE_MAP:
             assert stage.shuffle_dep is not None
@@ -435,8 +513,190 @@ class DAGScheduler:
             self._run_stage(stage)
 
     # ------------------------------------------------------------------
+    # Adaptive query execution (runtime reduce-side re-planning)
+    # ------------------------------------------------------------------
+
+    def _plan_adaptive(self, stage: Stage) -> Optional["AdaptivePlan"]:
+        """Derive this stage's adaptive plan from measured shuffle sizes.
+
+        Pure in the map outputs and the conf knobs: a chaos-recovered or
+        re-executed run derives the identical plan. Returns None when the
+        stage has no materialized shuffle inputs or the sizes ask for no
+        change.
+        """
+        from repro.engine import adaptive
+
+        deps = stage.incoming_shuffle_deps()
+        if not deps:
+            return None
+        manager = self.ctx.shuffle_manager
+        conf = self.ctx.conf
+        for dep in deps:
+            if not manager.is_registered(dep.shuffle_id):
+                return None
+            if manager.missing_map_ids(dep.shuffle_id):
+                # Degraded shuffle (a kill landed between map completion
+                # and this launch): fall back to plain tasks and let the
+                # normal fetch-failure recovery handle it.
+                return None
+            if dep.num_reduce_partitions != stage.num_tasks:
+                # Union-style stages where reduce partitions don't map
+                # 1:1 onto task indices; nothing to re-plan safely.
+                return None
+
+        # (c) switch first: re-deriving range bounds changes the size
+        # histogram the coalesce/split decisions below are based on.
+        for dep in deps:
+            self._try_switch(stage, dep)
+
+        sizes = [0.0] * stage.num_tasks
+        for dep in deps:
+            for i, nbytes in enumerate(manager.partition_sizes(dep.shuffle_id)):
+                sizes[i] += nbytes
+        split_dep = adaptive.splittable_shuffle(stage)
+        plan = adaptive.plan_partitions(
+            sizes,
+            skew_threshold=conf.aqe_skew_threshold,
+            target_bytes=conf.aqe_target_partition_bytes,
+            max_slices=conf.aqe_max_subpartitions,
+            shuffle_id=split_dep.shuffle_id if split_dep is not None else None,
+            map_sizes=(
+                (lambda rid: manager.block_sizes(split_dep.shuffle_id, rid))
+                if split_dep is not None
+                else None
+            ),
+        )
+        if plan is not None:
+            from repro.obs.diagnostics import gini
+
+            now = self.ctx.sim.now
+            self.ctx.obs.span(
+                "aqe-replan", "aqe", now, now,
+                stage=stage.name,
+                stage_id=stage.stage_id,
+                original_partitions=stage.num_tasks,
+                adapted_partitions=len(plan.specs),
+                coalesced=plan.n_coalesced,
+                split=plan.n_split,
+                before=[round(b, 1) for b in plan.before_sizes],
+                after=[round(a, 1) for a in plan.after_sizes],
+                gini_before=round(gini(plan.before_sizes), 4),
+                gini_after=round(gini(plan.after_sizes), 4),
+            )
+            metrics = self.ctx.obs.metrics
+            metrics.counter("aqe.stages_replanned").inc()
+            if plan.n_coalesced:
+                metrics.counter("aqe.partitions_coalesced").inc(plan.n_coalesced)
+            if plan.n_split:
+                metrics.counter("aqe.partitions_split").inc(plan.n_split)
+            saved = stage.num_tasks - len(plan.specs)
+            if saved > 0:
+                metrics.counter("aqe.tasks_saved").inc(saved)
+        return plan
+
+    def _try_switch(self, stage: Stage, dep: ShuffleDependency) -> bool:
+        """Re-derive an ordered shuffle's range bounds from measured keys.
+
+        The runtime upgrade of ``sortByKey``'s sampled split points: once
+        the map outputs exist, the exact key histogram (with per-record
+        virtual sizes as weights) gives byte-balanced bounds, and the
+        already-written blocks are re-bucketed under them via the
+        vectorized partition kernels.
+
+        Restricted to ordered, non-user-fixed shuffles: the consuming
+        reduce stable-sorts by key, and equal keys always share one old
+        bucket, so re-bucketing preserves their relative order and the
+        reduce output is identical record-for-record — which is exactly
+        why an *unordered* hash shuffle is never switched (its consumers
+        observe raw bucket order). Skipped under speculation (an in-
+        flight duplicate map attempt could later overwrite a re-bucketed
+        output with old-partitioner blocks) and while any *running*
+        stage reads the shuffle (its earlier tasks fetched the old
+        buckets). Idempotent: re-deriving from re-bucketed blocks yields
+        the same bounds and equality short-circuits the rewrite.
+        """
+        from repro.common.sizing import estimate_size
+        from repro.engine import adaptive
+        from repro.engine.partitioner import RangePartitioner
+
+        conf = self.ctx.conf
+        manager = self.ctx.shuffle_manager
+        if not dep.ordered or dep.user_fixed or conf.speculation:
+            return False
+        job = self._job
+        assert job is not None
+        for other in list(job.running.values()):
+            if other.stage_id == stage.stage_id:
+                continue
+            if any(
+                d.shuffle_id == dep.shuffle_id
+                for d in other.incoming_shuffle_deps()
+            ):
+                return False
+        before = manager.partition_sizes(dep.shuffle_id)
+        if not adaptive.should_switch(
+            before, skew_threshold=conf.aqe_skew_threshold
+        ):
+            return False
+        contents = manager.map_contents(dep.shuffle_id)
+        keys: List[Any] = []
+        weights: List[float] = []
+        for map_id in sorted(contents):
+            for record in contents[map_id][1]:
+                keys.append(dep.key_fn(record))
+                weights.append(estimate_size(record))
+        new = RangePartitioner.from_weighted_keys(
+            keys, weights, dep.partitioner.num_partitions
+        )
+        if new == dep.partitioner:
+            return False
+        old_kind = dep.partitioner.kind
+        write_scale = dep.parent.size_scale
+        for map_id in sorted(contents):
+            node, records = contents[map_id]
+            partitioned = adaptive.bucket_records(
+                records,
+                new,
+                dep.key_fn,
+                write_scale,
+                vectorized=conf.vectorized_kernels,
+            )
+            manager.put_map_output(dep.shuffle_id, map_id, node, partitioned)
+        # Future producers (chaos-resubmitted map tasks) bucket straight
+        # into the new space; consumers align against the real scheme.
+        dep.partitioner = new
+        from repro.obs.diagnostics import gini
+
+        after = manager.partition_sizes(dep.shuffle_id)
+        now = self.ctx.sim.now
+        self.ctx.obs.span(
+            "aqe-switch", "aqe", now, now,
+            stage=stage.name,
+            shuffle_id=dep.shuffle_id,
+            from_kind=old_kind,
+            to_kind=new.kind,
+            before=[round(b, 1) for b in before],
+            after=[round(a, 1) for a in after],
+            gini_before=round(gini(before), 4),
+            gini_after=round(gini(after), 4),
+        )
+        self.ctx.obs.metrics.counter("aqe.shuffles_switched").inc()
+        return True
+
+    # ------------------------------------------------------------------
     # Locality preferences
     # ------------------------------------------------------------------
+
+    def _spec_preferences(self, stage: Stage, spec) -> List[str]:
+        """Locality preferences for an AQE physical task."""
+        if len(spec.splits) == 1:
+            return self._task_preferences(stage, spec.splits[0])
+        prefs: List[str] = []
+        for split in spec.splits:
+            for node in self._task_preferences(stage, split):
+                if node not in prefs:
+                    prefs.append(node)
+        return prefs[:3]
 
     def _task_preferences(self, stage: Stage, split: int) -> List[str]:
         prefs: List[str] = []

@@ -87,7 +87,15 @@ class TaskRunner:
     ) -> Tuple[TaskContext, Any]:
         tctx = TaskContext(node=node.name, task_index=task.partition)
         try:
-            if stage.kind == SHUFFLE_MAP:
+            if task.spec is not None:
+                result = self._run_adaptive_task(stage, task, tctx, result_fn)
+                name = (
+                    "executor.map_tasks"
+                    if stage.kind == SHUFFLE_MAP
+                    else "executor.result_tasks"
+                )
+                self._inc(name, node=node.name)
+            elif stage.kind == SHUFFLE_MAP:
                 result = self._run_map_task(stage, task.partition, tctx)
                 self._inc("executor.map_tasks", node=node.name)
             elif stage.kind == RESULT:
@@ -107,6 +115,53 @@ class TaskRunner:
         for src, nbytes in tctx.cache_remote_by_src.items():
             self._inc("cache.remote_read_bytes", nbytes, src=src)
         return tctx, result
+
+    def _run_adaptive_task(
+        self, stage: Stage, task: Task, tctx: TaskContext, result_fn=None
+    ) -> Any:
+        """Body of an AQE-re-planned physical task (coalesced or slice).
+
+        A *slice* task computes one original partition from a restricted
+        map-output range and returns the **raw records**; the driver
+        concatenates the slices in map order and applies ``result_fn``
+        once per original partition (see ``StageRun``), so the assembled
+        value is byte-identical to the unsplit task's.
+
+        A *coalesced* task runs each original partition's full pipeline
+        back-to-back and returns one result per split, exactly what the
+        plain per-partition tasks would have produced. Cumulative totals
+        (compute, IO, max partition) keep accumulating — one physical
+        task pays for all its splits — but the per-RDD byte maps reset
+        between splits: ``note_input_hint`` adds per RDD id, so a stale
+        entry from split A would inflate split B's priced input.
+        """
+        spec = task.spec
+        assert spec is not None
+        if spec.is_slice:
+            assert spec.shuffle_id is not None and spec.map_range is not None
+            tctx.map_ranges[spec.shuffle_id] = spec.map_range
+            return stage.rdd.materialize(spec.splits[0], tctx)
+        if spec.is_plain:
+            # Physical task index != original split once earlier specs
+            # were sliced; always compute the split the spec names.
+            split = spec.splits[0]
+            if stage.kind == SHUFFLE_MAP:
+                return self._run_map_task(stage, split, tctx)
+            records = stage.rdd.materialize(split, tctx)
+            return result_fn(split, records) if result_fn else records
+        results: List[Any] = []
+        for i, split in enumerate(spec.splits):
+            if i:
+                tctx.rdd_bytes = {}
+                tctx.input_hints = {}
+            if stage.kind == SHUFFLE_MAP:
+                results.append(self._run_map_task(stage, split, tctx))
+            else:
+                records = stage.rdd.materialize(split, tctx)
+                results.append(
+                    result_fn(split, records) if result_fn else records
+                )
+        return results
 
     def _inc(self, name: str, amount: float = 1.0, **labels: str) -> None:
         """Counter increment that defers (creation included) under a sink."""

@@ -332,8 +332,14 @@ class RDD:
         )
 
     def values(self) -> "RDD":
+        def _second(record):
+            _k, v = record
+            return v
+
         return self.map_partitions(
-            lambda _s, recs: [v for _k, v in recs], op_name="values"
+            lambda _s, recs: [v for _k, v in recs],
+            op_name="values",
+            record_op=RecordOp("map", _second),
         )
 
     def map_values(

@@ -209,9 +209,18 @@ class ShuffleManager:
         return written
 
     def fetch(
-        self, shuffle_id: int, reduce_id: int, dst_node: str
+        self,
+        shuffle_id: int,
+        reduce_id: int,
+        dst_node: str,
+        map_range: Optional[Tuple[int, int]] = None,
     ) -> Tuple[Records, FetchStats]:
         """Collect all records for ``reduce_id``, with byte accounting.
+
+        ``map_range`` restricts the fetch to the half-open ``[lo, hi)``
+        slice of map outputs (AQE split sub-tasks); the completeness and
+        lost-block checks still cover the whole shuffle, so a slice never
+        serves a partial view either.
 
         When exactly one non-empty map block feeds the reduce partition
         (common at small map counts), its records container is returned
@@ -242,7 +251,12 @@ class ShuffleManager:
             )
         contributing: List[Records] = []
         stats = FetchStats()
-        for map_id in range(state.num_maps):
+        map_ids = (
+            range(state.num_maps)
+            if map_range is None
+            else range(max(0, map_range[0]), min(state.num_maps, map_range[1]))
+        )
+        for map_id in map_ids:
             block = state.blocks[map_id].get(reduce_id)
             if block is None:
                 continue
@@ -369,6 +383,51 @@ class ShuffleManager:
             for reduce_id, block in blocks.items():
                 sizes[reduce_id] += block.nbytes
         return sizes
+
+    def block_sizes(self, shuffle_id: int, reduce_id: int) -> List[float]:
+        """Bytes per map output feeding one reduce partition (index = map id).
+
+        The histogram AQE slices a hot partition on: contiguous map
+        ranges are packed to near-equal byte totals.
+        """
+        state = self._state(shuffle_id)
+        sizes = [0.0] * state.num_maps
+        for map_id, blocks in state.blocks.items():
+            block = blocks.get(reduce_id)
+            if block is not None:
+                sizes[map_id] = block.nbytes
+        return sizes
+
+    def map_contents(self, shuffle_id: int) -> Dict[int, Tuple[str, List]]:
+        """Every map output's records, flattened in ascending bucket order.
+
+        Returns ``{map_id: (node, records)}`` for AQE rebucketting: the
+        caller re-partitions each map's records under a new partitioner
+        and writes them back via :meth:`put_map_output` (which handles
+        replacement accounting, spill bookkeeping, and the version bump
+        that invalidates concurrent deferred reads). Columnar blocks are
+        flattened to record lists; ``put_map_output`` re-prices them.
+
+        Refuses while any map output is lost — rebucketting a degraded
+        shuffle would bake the loss into the new buckets.
+        """
+        state = self._state(shuffle_id)
+        if state.lost:
+            map_ids = sorted(state.lost)
+            raise FetchFailure(shuffle_id, map_ids, state.lost[map_ids[0]])
+        out: Dict[int, Tuple[str, List]] = {}
+        for map_id in sorted(state.blocks):
+            records: List = []
+            blocks = state.blocks[map_id]
+            for reduce_id in sorted(blocks):
+                payload = blocks[reduce_id].records
+                records.extend(
+                    payload.to_records()
+                    if isinstance(payload, RecordBatch)
+                    else payload
+                )
+            out[map_id] = (state.map_nodes[map_id], records)
+        return out
 
     def spilled_blocks(self) -> int:
         """How many registered shuffle blocks currently live on disk."""

@@ -10,9 +10,10 @@ shuffle bytes read (local/remote, per source node) and written.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.adaptive import AdaptiveTaskSpec
     from repro.engine.stage import Stage
 
 
@@ -49,6 +50,9 @@ class TaskContext:
     # Bytes read from the block-store cache (local and remote).
     cache_read_bytes: float = 0.0
     cache_remote_by_src: Dict[str, float] = field(default_factory=dict)
+    # AQE slice tasks: shuffle_id -> half-open [lo, hi) range of map
+    # outputs this task fetches instead of all of them.
+    map_ranges: Dict[int, Tuple[int, int]] = field(default_factory=dict)
 
     def note_compute(self, weighted_bytes: float, records: int, raw_bytes: float) -> None:
         self.compute_bytes += weighted_bytes
@@ -99,6 +103,10 @@ class Task:
     partition: int
     preferred_nodes: List[str] = field(default_factory=list)
     attempt: int = 0
+    # AQE re-planned stages: which original partitions this physical
+    # task covers (and, for slice tasks, which map-output range). None
+    # on statically-planned stages, where partition IS the split index.
+    spec: Optional["AdaptiveTaskSpec"] = None
 
     @property
     def label(self) -> str:

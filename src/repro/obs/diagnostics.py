@@ -163,12 +163,18 @@ def detect_stragglers(
     catching genuine tail tasks. Stages with fewer than ``min_tasks``
     finished tasks are skipped; quantiles come from
     :meth:`repro.obs.metrics.Histogram.quantile`.
+
+    Regardless of ``min_tasks``, stages with fewer than 3 tasks are
+    never reported: with 1–2 samples the quantiles collapse onto the
+    samples themselves and any spread reads as a "straggler", so a
+    permissive caller (e.g. ``min_tasks=1``) would flag every 2-task
+    stage whose halves differ.
     """
     findings: List[StragglerFinding] = []
     for stage in entry.get("stages", []):
         tasks = stage.get("tasks", {})
         durations = tasks.get("duration") or []
-        if len(durations) < min_tasks:
+        if len(durations) < max(min_tasks, 3):
             continue
         hist = Histogram()
         for d in durations:

@@ -282,13 +282,16 @@ class LedgerCollector:
     """
 
     MAX_SPILL_EVENTS = 200  # per-event detail kept in the entry (head)
+    MAX_AQE_EVENTS = 200  # adaptive-execution decisions kept (head)
 
     def __init__(self) -> None:
         self.stages: List[Dict[str, Any]] = []
         self.jobs: List[Dict[str, Any]] = []
         self.chaos_events: List[Dict[str, Any]] = []
         self.spill_events: List[Dict[str, Any]] = []
+        self.aqe_events: List[Dict[str, Any]] = []
         self._spill_count = 0
+        self._aqe_count = 0
         self.task_attempts: Dict[str, int] = {}
         self._shuffle = {"local_bytes": 0.0, "remote_bytes": 0.0,
                          "write_bytes": 0.0, "spilled_bytes": 0.0}
@@ -341,6 +344,9 @@ class LedgerCollector:
                 "output_partition_bytes": [
                     round(b, 1) for b in stats.output_partition_bytes
                 ],
+                # AQE: physical task count after runtime re-planning;
+                # None when the stage ran its static layout.
+                "adapted_partitions": stats.adapted_num_partitions,
             }
         )
 
@@ -368,6 +374,12 @@ class LedgerCollector:
             # lane, the ledger keeps the head plus exact totals.
             if len(self.spill_events) < self.MAX_SPILL_EVENTS:
                 self.spill_events.append(
+                    {"t": event.start, "event": event.name, **event.args}
+                )
+        elif event.cat == "aqe":
+            self._aqe_count += 1
+            if len(self.aqe_events) < self.MAX_AQE_EVENTS:
+                self.aqe_events.append(
                     {"t": event.start, "event": event.name, **event.args}
                 )
         elif event.cat == "task":
@@ -401,6 +413,8 @@ class LedgerCollector:
             "chaos_events": self.chaos_events,
             "spill_events": self.spill_events,
             "spill_event_count": self._spill_count,
+            "aqe_events": self.aqe_events,
+            "aqe_event_count": self._aqe_count,
             "plan": plan_summary(
                 getattr(self._ctx, "plan_events", None) if self._ctx else None
             ),

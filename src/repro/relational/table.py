@@ -29,7 +29,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.common.errors import WorkloadError
 from repro.engine.context import AnalyticsContext
-from repro.engine.rdd import RDD
+from repro.engine.rdd import RDD, RecordOp
 from repro.relational.expr import Agg, Col, Expr, col
 from repro.relational.plan import (
     Aggregate,
@@ -82,10 +82,15 @@ def _lower_node(plan: LogicalPlan, memo: Dict[int, RDD]) -> RDD:
     if isinstance(plan, Project):
         child = lower_plan(plan.child, memo)
         fns = [e.bind(plan.child.schema()) for e in plan.exprs]
+
+        def _project_row(row, _fns=fns):
+            return tuple(fn(row) for fn in _fns)
+
         return child.map_partitions(
             lambda _s, rows: [tuple(fn(row) for fn in fns) for row in rows],
             op_name=f"select[{','.join(plan.schema())}]",
             preserves_partitioning=plan.partitioning() is not None,
+            record_op=RecordOp("map", _project_row),
         )
 
     if isinstance(plan, Filter):
@@ -95,6 +100,7 @@ def _lower_node(plan: LogicalPlan, memo: Dict[int, RDD]) -> RDD:
             lambda _s, rows: [row for row in rows if fn(row)],
             op_name=f"where[{plan.predicate!r}]",
             preserves_partitioning=True,
+            record_op=RecordOp("filter", fn),
         )
 
     if isinstance(plan, Aggregate):

@@ -349,11 +349,47 @@ def _scatter_svg(rows: Sequence[dict]) -> str:
     return "".join(parts)
 
 
+def _bars_svg(values: Sequence[float], width: int = 160, height: int = 28) -> str:
+    """Tiny inline bar chart of a per-partition byte histogram."""
+    if not values:
+        return "<span class='sub'>—</span>"
+    peak = max(values) or 1.0
+    n = len(values)
+    bw = width / n
+    bars = "".join(
+        f"<rect x='{i * bw:.1f}' y='{height - height * v / peak:.1f}' "
+        f"width='{max(bw - 0.5, 0.5):.1f}' "
+        f"height='{height * v / peak:.1f}' fill='#4a90d9'/>"
+        for i, v in enumerate(values)
+    )
+    return (
+        f"<svg width='{width}' height='{height}' "
+        f"viewBox='0 0 {width} {height}'>{bars}</svg>"
+    )
+
+
+def _aqe_detail(event: dict) -> str:
+    """One-line decision summary of an ``aqe.*`` ledger event."""
+    if event.get("event") == "aqe-switch":
+        return (
+            f"{event.get('from_kind', '?')} → {event.get('to_kind', '?')} "
+            f"(shuffle {event.get('shuffle_id', '?')})"
+        )
+    return (
+        f"{event.get('original_partitions', '?')} → "
+        f"{event.get('adapted_partitions', '?')} tasks "
+        f"({event.get('coalesced', 0)} coalesced, "
+        f"{event.get('split', 0)} split)"
+    )
+
+
 def html_report(entry: dict) -> str:
     """One ledger entry rendered as a self-contained HTML page.
 
     Sections: run summary, stage waterfall, skew and straggler callouts,
-    predicted-vs-actual model scatter, chaos events. No external assets,
+    predicted-vs-actual model scatter, adaptive-execution decisions
+    (predicted vs adapted partition histograms), chaos events. No
+    external assets,
     so the file can be archived as a CI artifact and opened anywhere.
     """
     from repro.obs.diagnostics import detect_stragglers, partition_skew
@@ -466,6 +502,38 @@ def html_report(entry: dict) -> str:
         out.append(
             "<p class='sub ok'>no trained cost model covered this run "
             "(profile + train first)</p>"
+        )
+    out.append("</section>")
+
+    aqe = entry.get("aqe_events", [])
+    out.append("<section><h2>Adaptive execution</h2>")
+    if aqe:
+        out.append(
+            "<p class='sub'>reduce sides re-planned at runtime from "
+            "measured map-output sizes; bars show the statically "
+            "predicted vs adapted per-partition byte histograms</p>"
+        )
+        rows = "".join(
+            f"<tr><td>{fmt_duration(e.get('t', 0.0))}</td>"
+            f"<td>{_esc(e.get('event', '?'))}</td>"
+            f"<td>{_esc(e.get('stage', '?'))}</td>"
+            f"<td>{_esc(_aqe_detail(e))}</td>"
+            f"<td>{e.get('gini_before', 0.0):.3f} → "
+            f"{e.get('gini_after', 0.0):.3f}</td>"
+            f"<td>{_bars_svg(e.get('before', []))}</td>"
+            f"<td>{_bars_svg(e.get('after', []))}</td></tr>"
+            for e in aqe
+        )
+        out.append(
+            "<table><tr><th>t</th><th>event</th><th>stage</th>"
+            "<th>decision</th><th>Gini</th><th>predicted</th>"
+            "<th>adapted</th></tr>"
+            f"{rows}</table>"
+        )
+    else:
+        out.append(
+            "<p class='sub ok'>no runtime re-planning "
+            "(AQE off, or the measured sizes asked for no change)</p>"
         )
     out.append("</section>")
 

@@ -279,12 +279,16 @@ class TextDataGen(_GenBase):
 
     vocabulary: int = 2000
     words_per_line: int = 8
+    # Zipf exponent of the word-frequency distribution. Values close to
+    # 1 are near-uniform; larger values concentrate mass on the top
+    # ranks (the `--skew` CLI knob, for exercising AQE skew handling).
+    zipf_a: float = 1.3
 
     def rdd(self, ctx: AnalyticsContext, num_partitions: int) -> SourceRDD:
         def block(b: int) -> List[str]:
             n = self._block_len(b)
             rng = self._block_rng("text", b)
-            ranks = (rng.zipf(1.3, size=(n, self.words_per_line)) - 1) % self.vocabulary
+            ranks = (rng.zipf(self.zipf_a, size=(n, self.words_per_line)) - 1) % self.vocabulary
             return [" ".join(f"w{w}" for w in row) for row in ranks]
 
         sample = " ".join(["w1000"] * self.words_per_line)

@@ -73,11 +73,15 @@ class SQLWorkload(Workload):
         fixed_agg_partitions: Optional[int] = None,
         sort_output: bool = True,
         optimize: Optional[bool] = None,
+        skew: Optional[float] = None,
     ) -> None:
         super().__init__(physical_scale=physical_scale, seed=seed)
         self.input_bytes = virtual_gb * GB
         self.n_customers = n_customers
         self.n_regions = n_regions
+        # Zipf exponent override for the orders' customer-key
+        # distribution (None = the generator's default 1.4).
+        self.skew = skew
         records = self.check_physical_records(physical_records)
         self.physical_records = max(256, int(records * physical_scale))
         # When set, the driver pins the per-customer aggregation to an
@@ -91,12 +95,16 @@ class SQLWorkload(Workload):
 
     def build_query(self, ctx: AnalyticsContext, scale: float = 1.0) -> Table:
         """The query as a relational plan (what ``repro explain`` shows)."""
+        gen_kwargs = {}
+        if self.skew is not None:
+            gen_kwargs["zipf_a"] = self.skew
         gen = SQLTableGen(
             virtual_bytes=self.virtual_bytes(scale),
             physical_records=self.physical_records,
             n_customers=self.n_customers,
             n_regions=self.n_regions,
             seed=self.seed,
+            **gen_kwargs,
         )
         orders = Table.from_rdd(
             gen.orders_rdd(ctx, ctx.default_parallelism),

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -25,21 +25,32 @@ class WordCountWorkload(Workload):
         physical_records: int = 8_000,
         physical_scale: float = 1.0,
         seed: int = 7,
+        skew: Optional[float] = None,
     ) -> None:
         super().__init__(physical_scale=physical_scale, seed=seed)
         self.input_bytes = virtual_gb * GB
         self.vocabulary = vocabulary
         self.top_n = top_n
+        # Zipf exponent override for the word distribution (None = the
+        # generator's default 1.3). Larger = heavier key skew.
+        self.skew = skew
         records = self.check_physical_records(physical_records)
         self.physical_records = max(64, int(records * physical_scale))
 
-    def run(self, ctx: AnalyticsContext, scale: float = 1.0) -> WorkloadResult:
-        gen = TextDataGen(
+    def _datagen(self, scale: float) -> TextDataGen:
+        kwargs = {}
+        if self.skew is not None:
+            kwargs["zipf_a"] = self.skew
+        return TextDataGen(
             virtual_bytes=self.virtual_bytes(scale),
             physical_records=self.physical_records,
             vocabulary=self.vocabulary,
             seed=self.seed,
+            **kwargs,
         )
+
+    def run(self, ctx: AnalyticsContext, scale: float = 1.0) -> WorkloadResult:
+        gen = self._datagen(scale)
         lines = gen.rdd(ctx, ctx.default_parallelism)
 
         def tokenize(_split: int, records: List[str]) -> List[tuple]:
@@ -71,12 +82,7 @@ class ShuffleWordCountWorkload(WordCountWorkload):
         self.min_word_len = min_word_len
 
     def run(self, ctx: AnalyticsContext, scale: float = 1.0) -> WorkloadResult:
-        gen = TextDataGen(
-            virtual_bytes=self.virtual_bytes(scale),
-            physical_records=self.physical_records,
-            vocabulary=self.vocabulary,
-            seed=self.seed,
-        )
+        gen = self._datagen(scale)
         lines = gen.rdd(ctx, ctx.default_parallelism)
 
         def tokenize(_split: int, records: List[str]) -> List[tuple]:

@@ -160,6 +160,25 @@ class TestStragglers:
         entry = make_entry([make_stage(durations=(1.0, 99.0))])
         assert detect_stragglers(entry, min_tasks=4) == []
 
+    def test_one_and_two_task_stages_never_flagged(self):
+        # Regression: with 1-2 samples the quantiles collapse onto the
+        # samples, so a permissive min_tasks used to flag any 2-task
+        # stage whose halves differ. The detector now enforces an
+        # effective minimum of 3 tasks regardless of min_tasks.
+        for durations in [(99.0,), (1.0, 99.0), (0.5, 50.0)]:
+            entry = make_entry([make_stage(durations=durations)])
+            assert detect_stragglers(entry, min_tasks=1) == []
+            assert detect_stragglers(
+                entry, multiplier=1.0, min_tasks=1
+            ) == []
+
+    def test_three_task_stage_still_eligible(self):
+        # The guard must not swallow genuine 3+-task stragglers.
+        entry = make_entry([make_stage(durations=(1.0, 1.0, 9.0))])
+        assert detect_stragglers(entry, min_tasks=1) != []
+        entry = make_entry([make_stage(durations=(1.0,) * 19 + (9.0,))])
+        assert detect_stragglers(entry) != []
+
     def test_outliers_sorted_worst_first(self):
         # Enough ordinary tasks that p95 sits below both tail tasks.
         durations = (1.0,) * 30 + (4.0, 8.0)
