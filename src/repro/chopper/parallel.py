@@ -39,6 +39,7 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace
+from functools import partial
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.chopper.advisor import ChopperAdvisor, ProfilingAdvisor
@@ -49,6 +50,16 @@ from repro.engine import shm
 #  copartition) where advisor_spec is None | ("profiling", kind, P) |
 #  ("config", WorkloadConfig).
 RunSpec = Tuple[Any, Any, Any, Optional[tuple], float, str, bool]
+
+# (want metrics, want logs, want profile) — which telemetry each worker
+# run should collect and ship back; None collects nothing.
+Telemetry = Optional[Tuple[bool, bool, bool]]
+
+# What measure_one returns: the telemetry blob is None unless requested,
+# else {"metrics": registry dump, "logs": records, "profile": rollup}
+# (each key present only when its flag was set), plus a "worker" slot
+# label stamped in by run_specs for pool-dispatched runs.
+RunResult = Tuple[str, RunRecord, Any, Optional[dict]]
 
 # Sweeps whose largest run materializes fewer physical records than this
 # run inline: pool dispatch overhead dwarfs the work being distributed.
@@ -62,13 +73,18 @@ SMALL_RUN_RECORDS = 25_000
 last_dispatch: str = ""
 
 
-def measure_one(spec: RunSpec) -> Tuple[str, RunRecord, Any]:
+def measure_one(spec: RunSpec, telemetry: Telemetry = None) -> RunResult:
     """Worker-side measured run (mirrors ChopperRunner._measured_run).
 
     Module-level so it pickles by reference. The worker's context runs
     fully serial (``physical_parallelism=1``) — the processes are the
     parallelism — which changes nothing: simulated results are proven
     identical across physical parallelism levels.
+
+    When ``telemetry`` asks for it, the run meters into a fresh
+    per-run registry / event log / profiler — exactly what the driver's
+    serial loop does — and ships the picklable state back for the
+    driver-side merge.
     """
     from repro.engine.context import AnalyticsContext
 
@@ -85,7 +101,32 @@ def measure_one(spec: RunSpec) -> Tuple[str, RunRecord, Any]:
     conf = replace(
         base_conf, copartition_scheduling=copartition, physical_parallelism=1
     )
-    ctx = AnalyticsContext(cluster_factory(), conf)
+    want_metrics, want_log, want_profile = telemetry or (False, False, False)
+    run_registry = event_log = profiler = None
+    if want_metrics or want_log or want_profile:
+        from repro.obs import EventLog, MetricsRegistry, ResourceProfiler
+
+        if want_metrics:
+            run_registry = MetricsRegistry()
+        if want_log:
+            event_log = EventLog()
+        if want_profile:
+            profiler = ResourceProfiler()
+            profiler.start()
+    ctx = AnalyticsContext(
+        cluster_factory(), conf,
+        metrics_registry=run_registry,
+        event_log=event_log,
+        profiler=profiler,
+    )
+    if event_log is not None:
+        # Same bind + boundary record as the driver's serial loop, so
+        # merged logs differ from a serial sweep only in seq restamping
+        # and the added "worker" field.
+        event_log.bind(run=label)
+        event_log.emit(
+            "INFO", "chopper", "measured_run", label=label, scale=scale
+        )
     if advisor is not None:
         ctx.set_advisor(advisor)
     collector = StatisticsCollector(workload.name, workload.virtual_bytes(scale))
@@ -94,7 +135,18 @@ def measure_one(spec: RunSpec) -> Tuple[str, RunRecord, Any]:
     record = collector.record
     record.total_time = ctx.now
     ctx.close()
-    return label, record, result
+    tele: Optional[dict] = None
+    if telemetry is not None:
+        if profiler is not None:
+            profiler.stop()
+        tele = {}
+        if run_registry is not None:
+            tele["metrics"] = run_registry.dump_state()
+        if event_log is not None:
+            tele["logs"] = list(event_log.records)
+        if profiler is not None:
+            tele["profile"] = profiler.rollup()
+    return label, record, result, tele
 
 
 def picklable(*objects: Any) -> bool:
@@ -112,19 +164,22 @@ def measure_chunk(task: Tuple[shm.SharedPayload, str]) -> shm.SharedPayload:
 
     ``task`` is (payload handle, result segment name). The handle decodes
     — zero-copy where the chunk carries array buffers — to ``(header,
-    variations)``: ``header`` is the ``(workload, cluster_factory,
-    base_conf)`` triple every spec of the sweep shares, packed once per
-    chunk instead of once per spec, and each variation is an
-    ``(advisor_spec, scale, label, copartition)`` tail. The results of
-    the whole chunk come back as one shared segment (created under the
-    driver-chosen ``out_name``), so a chunk of N runs costs one segment
-    round trip, not N pipe payloads.
+    variations, telemetry)``: ``header`` is the ``(workload,
+    cluster_factory, base_conf)`` triple every spec of the sweep shares,
+    packed once per chunk instead of once per spec, each variation is an
+    ``(advisor_spec, scale, label, copartition)`` tail, and ``telemetry``
+    is the per-run collection request threaded through unchanged. The
+    results of the whole chunk come back as one shared segment (created
+    under the driver-chosen ``out_name``), so a chunk of N runs costs
+    one segment round trip, not N pipe payloads.
     """
     payload, out_name = task
     decoded = shm.decode_shared(payload)
     try:
-        header, variations = decoded.obj
-        results = [measure_one(header + tail) for tail in variations]
+        header, variations, telemetry = decoded.obj
+        results = [
+            measure_one(header + tail, telemetry) for tail in variations
+        ]
     finally:
         decoded.close()
     return shm.encode_shared(results, name=out_name)
@@ -187,7 +242,21 @@ def _inline_reason(specs: Sequence[RunSpec]) -> Optional[str]:
     return None
 
 
-def run_specs(specs: Sequence[RunSpec], jobs: int) -> List[Tuple[str, RunRecord, Any]]:
+def _label_worker(res: RunResult, worker: str) -> RunResult:
+    """Stamp the worker slot into a shipped telemetry blob (if any).
+
+    Slots are deterministic (chunk index / round-robin position), so
+    repeated sweeps produce byte-identical worker-labeled series even
+    though OS scheduling of the actual processes is not deterministic.
+    """
+    if res[3] is not None:
+        res[3]["worker"] = worker
+    return res
+
+
+def run_specs(
+    specs: Sequence[RunSpec], jobs: int, telemetry: Telemetry = None
+) -> List[RunResult]:
     """Run measured-run specs on a process pool; results in spec order.
 
     Sweeps (every spec sharing one ``(workload, cluster_factory,
@@ -211,11 +280,11 @@ def run_specs(specs: Sequence[RunSpec], jobs: int) -> List[Tuple[str, RunRecord,
     workers = max(1, min(jobs, len(specs)))
     if workers == 1 or len(specs) == 1:
         last_dispatch = "serial"
-        return [measure_one(spec) for spec in specs]
+        return [measure_one(spec, telemetry) for spec in specs]
     reason = _inline_reason(specs)
     if reason is not None:
         last_dispatch = reason
-        return [measure_one(spec) for spec in specs]
+        return [measure_one(spec, telemetry) for spec in specs]
     head = specs[0]
     shared = all(
         s[0] is head[0] and s[1] is head[1] and s[2] is head[2] for s in specs
@@ -226,12 +295,19 @@ def run_specs(specs: Sequence[RunSpec], jobs: int) -> List[Tuple[str, RunRecord,
             with ProcessPoolExecutor(
                 max_workers=workers, mp_context=_fork_context()
             ) as pool:
-                return list(pool.map(measure_one, specs))
+                return [
+                    _label_worker(res, f"w{i % workers}")
+                    for i, res in enumerate(
+                        pool.map(partial(measure_one, telemetry=telemetry), specs)
+                    )
+                ]
         except BrokenProcessPool:
             last_dispatch += "+recovered"
-            return [measure_one(spec) for spec in specs]
-    results: List[Optional[Tuple[str, RunRecord, Any]]] = [None] * len(specs)
-    results[0] = measure_one(head)  # inline: pre-warms the block cache
+            # Inline re-runs happen on the driver, so no worker label.
+            return [measure_one(spec, telemetry) for spec in specs]
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    # Inline: pre-warms the block cache; runs on the driver (no label).
+    results[0] = measure_one(head, telemetry)
     rest = list(range(1, len(specs)))
     workers = min(workers, len(rest))
     chunks = [rest[i::workers] for i in range(workers)]
@@ -241,7 +317,9 @@ def run_specs(specs: Sequence[RunSpec], jobs: int) -> List[Tuple[str, RunRecord,
     try:
         tasks = [
             (
-                shm.encode_shared((header, [specs[j][3:] for j in chunk])),
+                shm.encode_shared(
+                    (header, [specs[j][3:] for j in chunk], telemetry)
+                ),
                 out_name,
             )
             for chunk, out_name in zip(chunks, out_names)
@@ -250,17 +328,19 @@ def run_specs(specs: Sequence[RunSpec], jobs: int) -> List[Tuple[str, RunRecord,
             with ProcessPoolExecutor(
                 max_workers=workers, mp_context=_fork_context()
             ) as pool:
-                for chunk, out in zip(chunks, pool.map(measure_chunk, tasks)):
+                for slot, (chunk, out) in enumerate(
+                    zip(chunks, pool.map(measure_chunk, tasks))
+                ):
                     decoded = shm.decode_shared(out, copy=True)
                     for j, res in zip(chunk, decoded.obj):
-                        results[j] = res
+                        results[j] = _label_worker(res, f"w{slot}")
                     if out.segment is not None:
                         shm.unlink_ref(out.segment)
         except BrokenProcessPool:
             last_dispatch += "+recovered"
             for j in rest:
                 if results[j] is None:
-                    results[j] = measure_one(specs[j])
+                    results[j] = measure_one(specs[j], telemetry)
     finally:
         # Sweep every segment this fan-out may have created: the chunk
         # segments the driver owns, and any result segment a worker

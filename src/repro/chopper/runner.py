@@ -34,7 +34,14 @@ from repro.chopper.workload_db import WorkloadDB, WorkloadDag
 from repro.cluster.cluster import Cluster, paper_cluster
 from repro.common.errors import ConfigurationError, ModelError
 from repro.engine.context import AnalyticsContext, EngineConf
-from repro.obs import LedgerCollector, MetricsRegistry, RunLedger, Tracer
+from repro.obs import (
+    EventLog,
+    LedgerCollector,
+    MetricsRegistry,
+    ResourceProfiler,
+    RunLedger,
+    Tracer,
+)
 from repro.workloads.base import Workload, WorkloadResult
 
 
@@ -95,6 +102,12 @@ class ChopperRunner:
     tracer: Optional[Tracer] = None
     metrics_registry: Optional[MetricsRegistry] = None
     ledger: Optional[RunLedger] = None
+    # Telemetry: a shared structured event log (CLI --log) and a sweep
+    # resource profiler (CLI --profile). Both survive ``jobs > 1``:
+    # workers ship their records/rollups back and the driver merges them
+    # in the serial loop's order.
+    event_log: Optional[EventLog] = None
+    profiler: Optional[ResourceProfiler] = None
 
     def __post_init__(self) -> None:
         if self.weights is None:
@@ -122,17 +135,14 @@ class ChopperRunner:
         ``jobs`` > 1 fans the independent test runs over a process pool
         (default: ``base_conf.physical_parallelism``); records merge
         into the DB in the serial loop's order, so the DB is
-        bit-identical to a serial sweep. Traced/metered/ledgered runners
-        and unpicklable workloads fall back to the serial loop.
+        bit-identical to a serial sweep. Traced/ledgered runners and
+        unpicklable workloads fall back to the serial loop; metered,
+        logged, and profiled runners fan out fine — workers ship their
+        telemetry back for a deterministic driver-side merge.
         """
         jobs = self._resolve_jobs(jobs)
         with self._phase("profile", grid=list(p_grid), scales=list(scales)):
-            if (
-                jobs > 1
-                and self.tracer is None
-                and self.metrics_registry is None
-                and self.ledger is None
-            ):
+            if jobs > 1 and self.tracer is None and self.ledger is None:
                 runs = self._profile_parallel(p_grid, kinds, scales, jobs)
                 if runs is not None:
                     return runs
@@ -185,16 +195,20 @@ class ChopperRunner:
                         ("profiling", kind, p), scale,
                         f"profile-{kind}-{p}@{scale}", False,
                     ))
-        results = iter(par.run_specs(specs, jobs))
+        results = iter(
+            par.run_specs(specs, jobs, telemetry=self._telemetry_options())
+        )
         # Merge in the exact order the serial loop would have produced.
         for scale in scales:
-            _, record, _ = next(results)
+            _, record, _, tele = next(results)
+            self._merge_telemetry(tele)
             self.db.add_run(record)
             if scale == max(scales):
                 self.db.set_dag(self.workload.name, WorkloadDag.from_run(record))
             for _kind in kinds:
                 for _p in p_grid:
-                    _, record, _ = next(results)
+                    _, record, _, tele = next(results)
+                    self._merge_telemetry(tele)
                     self.db.add_run(record)
         return len(specs)
 
@@ -288,12 +302,7 @@ class ChopperRunner:
         driver); their outcomes carry ``ctx=None``.
         """
         jobs = self._resolve_jobs(jobs)
-        if (
-            jobs > 1
-            and self.tracer is None
-            and self.metrics_registry is None
-            and self.ledger is None
-        ):
+        if jobs > 1 and self.tracer is None and self.ledger is None:
             outcomes = self._compare_parallel(mode, scale, jobs)
             if outcomes is not None:
                 return outcomes
@@ -314,11 +323,16 @@ class ChopperRunner:
             base + (None, scale, "vanilla", False),
             base + (("config", config), scale, "chopper", True),
         ]
-        results = par.run_specs(specs, jobs)
-        return tuple(
-            RunOutcome(label=label, record=record, result=result, ctx=None)
-            for label, record, result in results
+        results = par.run_specs(
+            specs, jobs, telemetry=self._telemetry_options()
         )
+        outcomes = []
+        for label, record, result, tele in results:
+            self._merge_telemetry(tele)
+            outcomes.append(
+                RunOutcome(label=label, record=record, result=result, ctx=None)
+            )
+        return outcomes[0], outcomes[1]
 
     # ------------------------------------------------------------------
 
@@ -328,6 +342,42 @@ class ChopperRunner:
             return nullcontext()
         return self.tracer.phase(label, **args)
 
+    def _telemetry_options(self) -> Optional[Tuple[bool, bool, bool]]:
+        """(want metrics, want logs, want profile) for worker runs."""
+        want = (
+            self.metrics_registry is not None,
+            self.event_log is not None,
+            self.profiler is not None,
+        )
+        return want if any(want) else None
+
+    def _merge_telemetry(self, tele: Optional[dict]) -> None:
+        """Fold one worker run's shipped telemetry into the shared sinks.
+
+        Called in the serial loop's order, so repeated sweeps merge
+        byte-identically. Pool-dispatched runs carry a deterministic
+        ``worker`` slot label: their metric deltas land twice — once in
+        the unlabeled totals (matching what a serial sweep would have
+        recorded) and once under ``worker=wN`` so per-worker series
+        survive aggregation; their log records gain a ``worker`` field.
+        """
+        if not tele:
+            return
+        worker = tele.get("worker")
+        state = tele.get("metrics")
+        if state is not None and self.metrics_registry is not None:
+            self.metrics_registry.merge_state(state)
+            if worker is not None:
+                self.metrics_registry.merge_state(
+                    state, extra_labels={"worker": worker}
+                )
+        records = tele.get("logs")
+        if records is not None and self.event_log is not None:
+            self.event_log.extend(records, worker=worker)
+        rolled = tele.get("profile")
+        if rolled is not None and self.profiler is not None:
+            self.profiler.merge(rolled)
+
     def _measured_run(
         self,
         advisor,
@@ -336,9 +386,28 @@ class ChopperRunner:
         copartition: bool = False,
     ) -> RunOutcome:
         conf = replace(self.base_conf, copartition_scheduling=copartition)
-        ctx = AnalyticsContext(
-            self.cluster_factory(), conf, metrics_registry=self.metrics_registry
+        # Each metered run writes into a fresh registry that is merged
+        # into the shared one afterwards, so a serial sweep and a
+        # worker-pool sweep aggregate through the same float-operation
+        # sequence (worker runs ship the same dump_state payload).
+        run_registry = (
+            MetricsRegistry() if self.metrics_registry is not None else None
         )
+        run_profiler: Optional[ResourceProfiler] = None
+        if self.profiler is not None:
+            run_profiler = ResourceProfiler()
+            run_profiler.start()
+        ctx = AnalyticsContext(
+            self.cluster_factory(), conf,
+            metrics_registry=run_registry,
+            event_log=self.event_log,
+            profiler=run_profiler,
+        )
+        if self.event_log is not None:
+            self.event_log.bind(run=label)
+            self.event_log.emit(
+                "INFO", "chopper", "measured_run", label=label, scale=scale
+            )
         if advisor is not None:
             ctx.set_advisor(advisor)
         collector = StatisticsCollector(
@@ -360,6 +429,15 @@ class ChopperRunner:
             result = self.workload.run(ctx, scale=scale)
         record = collector.record
         record.total_time = ctx.now
+        if run_registry is not None:
+            assert self.metrics_registry is not None
+            self.metrics_registry.merge_state(run_registry.dump_state())
+        profile_rollup = None
+        if run_profiler is not None:
+            run_profiler.stop()
+            profile_rollup = run_profiler.rollup()
+            assert self.profiler is not None
+            self.profiler.merge(profile_rollup)
         if self.tracer is not None:
             for event in ctx.plan_events:
                 self.tracer.instant(
@@ -377,6 +455,11 @@ class ChopperRunner:
             body["cluster"] = dict(ctx.obs.nodes)
             body["chopper"] = self._advisor_summary(advisor)
             body["model_eval"] = self._model_eval(record)
+            if profile_rollup is not None:
+                # Host-resource measurements are real (wall clock, RSS),
+                # hence non-deterministic; identity checks must drop
+                # this key before hashing entries.
+                body["profile"] = profile_rollup
             self.ledger.append(self.workload.name, label, body)
         return RunOutcome(label=label, record=record, result=result, ctx=ctx)
 

@@ -32,7 +32,15 @@ from repro.common.errors import (
 )
 from repro.common.units import fmt_bytes, fmt_duration, parse_bytes
 from repro.engine import AnalyticsContext, EngineConf
-from repro.obs import LedgerCollector, MetricsRegistry, RunLedger, Tracer
+from repro.obs import (
+    EventLog,
+    LedgerCollector,
+    MetricsRegistry,
+    ResourceProfiler,
+    RunLedger,
+    Tracer,
+    profiling_enabled,
+)
 from repro.workloads import (
     KMeansWorkload,
     LogisticRegressionWorkload,
@@ -148,7 +156,24 @@ def make_runner(args: argparse.Namespace) -> ChopperRunner:
         runner.metrics_registry = MetricsRegistry()
     if getattr(args, "ledger", None):
         runner.ledger = RunLedger(args.ledger)
+    if getattr(args, "log", None):
+        runner.event_log = EventLog()
+    if profiling_enabled(getattr(args, "profile", False)):
+        runner.profiler = ResourceProfiler()
     return runner
+
+
+def print_profile_summary(out, rolled: dict) -> None:
+    """One-line host-resource summary of a profiled run/sweep."""
+    host = rolled["host"]
+    gc_info = host["gc"]
+    out.write(
+        f"profile: wall {host['wall_s']:.3f}s"
+        f" cpu {host['cpu_s']:.3f}s"
+        f" alloc peak {fmt_bytes(host['tracemalloc_peak_bytes'])}"
+        f" gc {gc_info['collections']}x"
+        f" ({gc_info['pause_s'] * 1e3:.1f}ms paused)\n"
+    )
 
 
 def print_stage_table(out, observations) -> None:
@@ -181,6 +206,11 @@ def cmd_run(args: argparse.Namespace, out) -> int:
 
     workload = build_workload(args)
     metrics = MetricsRegistry() if args.metrics else None
+    event_log = EventLog() if args.log else None
+    profiler = None
+    if profiling_enabled(args.profile):
+        profiler = ResourceProfiler()
+        profiler.start()
     ctx = AnalyticsContext(
         paper_cluster(),
         EngineConf(
@@ -189,7 +219,11 @@ def cmd_run(args: argparse.Namespace, out) -> int:
             **perf_conf_kwargs(args),
         ),
         metrics_registry=metrics,
+        event_log=event_log,
+        profiler=profiler,
     )
+    if event_log is not None:
+        event_log.bind(run=workload.name)
     tracer = None
     if args.trace:
         tracer = Tracer()
@@ -212,6 +246,10 @@ def cmd_run(args: argparse.Namespace, out) -> int:
     if logger is not None:
         logger.detach()
         out.write(f"history -> {args.history}\n")
+    rolled = None
+    if profiler is not None:
+        profiler.stop()
+        rolled = profiler.rollup()
     if ledger_collector is not None:
         ledger_collector.detach()
         body = ledger_collector.body()
@@ -221,14 +259,33 @@ def cmd_run(args: argparse.Namespace, out) -> int:
         body["cluster"] = dict(ctx.obs.nodes)
         body["chopper"] = _Runner._advisor_summary(advisor)
         body["model_eval"] = None
+        if rolled is not None:
+            # Real host measurements — non-deterministic by nature, so
+            # identity checks drop this key (see docs/observability.md).
+            body["profile"] = rolled
         run_id = RunLedger(args.ledger).append(workload.name, "run", body)
         out.write(f"ledger {run_id} -> {args.ledger}\n")
     if tracer is not None:
         tracer.save(args.trace)
         out.write(f"trace -> {args.trace}\n")
     if metrics is not None:
+        from repro.obs.diagnostics import counter_health
+
         metrics.save(args.metrics)
         out.write(f"metrics -> {args.metrics}\n")
+        out.write(
+            "health: "
+            + " ".join(
+                f"{name.split('.', 1)[1]}={total:g}"
+                for name, total in counter_health(metrics).items()
+            )
+            + "\n"
+        )
+    if event_log is not None:
+        event_log.save(args.log)
+        out.write(f"log -> {args.log} ({len(event_log.records)} records)\n")
+    if rolled is not None:
+        print_profile_summary(out, rolled)
     record = collector.record
     print_stage_table(out, record.observations)
     out.write(f"total: {fmt_duration(ctx.now)} (simulated)\n")
@@ -325,6 +382,49 @@ def cmd_report(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_logs(args: argparse.Namespace, out) -> int:
+    """Tail/filter a structured event log written by ``--log``."""
+    from repro.obs.log import filter_records, format_record, load_records
+
+    records = filter_records(
+        load_records(args.path),
+        level=args.level,
+        stage=args.stage,
+        node=args.node,
+        event=args.event,
+        tail=args.tail,
+    )
+    for record in records:
+        out.write(format_record(record) + "\n")
+    return 0
+
+
+def cmd_export_metrics(args: argparse.Namespace, out) -> int:
+    """Export a saved metrics snapshot as Prometheus text or OTLP JSON."""
+    from repro.obs.export import to_otlp, to_prometheus
+
+    with open(args.snapshot, "r", encoding="utf-8") as fh:
+        snap = json.load(fh)
+    if not isinstance(snap, dict) or not (
+        {"counters", "gauges", "histograms"} <= set(snap)
+    ):
+        raise ConfigurationError(
+            f"{args.snapshot} is not a metrics snapshot "
+            f"(write one with --metrics)"
+        )
+    if args.otlp:
+        text = json.dumps(to_otlp(snap), indent=2, sort_keys=True) + "\n"
+    else:
+        text = to_prometheus(snap)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        out.write(f"metrics export -> {args.out}\n")
+    else:
+        out.write(text)
+    return 0
+
+
 def cmd_diff_runs(args: argparse.Namespace, out) -> int:
     """Compare two ledger runs; non-zero exit on a regression (CI gate)."""
     from repro.obs.diagnostics import diff_runs
@@ -350,6 +450,17 @@ def cmd_diff_runs(args: argparse.Namespace, out) -> int:
     return 1
 
 
+def _write_telemetry(runner: ChopperRunner, args, out) -> None:
+    """Persist a runner's event log and print its profile summary."""
+    if runner.event_log is not None:
+        runner.event_log.save(args.log)
+        out.write(
+            f"log -> {args.log} ({len(runner.event_log.records)} records)\n"
+        )
+    if runner.profiler is not None:
+        print_profile_summary(out, runner.profiler.rollup())
+
+
 def cmd_profile(args: argparse.Namespace, out) -> int:
     runner = make_runner(args)
     runs = runner.profile(
@@ -360,6 +471,7 @@ def cmd_profile(args: argparse.Namespace, out) -> int:
     out.write(
         f"profiled {runs} runs, trained {trained} models -> {args.db}\n"
     )
+    _write_telemetry(runner, args, out)
     return 0
 
 
@@ -395,6 +507,7 @@ def cmd_compare(args: argparse.Namespace, out) -> int:
     if runner.metrics_registry is not None:
         runner.metrics_registry.save(args.metrics)
         out.write(f"metrics -> {args.metrics}\n")
+    _write_telemetry(runner, args, out)
     out.write(f"vanilla: {fmt_duration(vanilla.total_time)}\n")
     out.write(f"chopper: {fmt_duration(chopper.total_time)}\n")
     out.write(f"improvement: {improvement(vanilla, chopper) * 100:.1f}%\n")
@@ -414,6 +527,14 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ledger", default=None, metavar="PATH",
                         help="append structured run entries to this JSONL "
                              "run ledger")
+    parser.add_argument("--log", default=None, metavar="PATH",
+                        help="write a structured JSONL event log of the "
+                             "run(s); read it back with `repro logs`")
+    parser.add_argument("--profile", action="store_true",
+                        help="measure real host resources per task/stage "
+                             "(CPU, allocations, GC pauses); also enabled "
+                             "by REPRO_PROFILE=1. Simulated results stay "
+                             "bit-identical")
 
 
 def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
@@ -532,6 +653,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--ledger", default=None, metavar="PATH",
                            help="append every profiling run to this run "
                                 "ledger (disables --jobs fan-out)")
+    p_profile.add_argument("--log", default=None, metavar="PATH",
+                           help="write a structured JSONL event log of the "
+                                "sweep; read it back with `repro logs`")
+    p_profile.add_argument("--profile", action="store_true",
+                           help="measure real host resources per "
+                                "task/stage; also enabled by "
+                                "REPRO_PROFILE=1")
     _add_jobs_arg(p_profile)
 
     p_opt = sub.add_parser("optimize", help="workload DB -> config file")
@@ -549,6 +677,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_arg(p_cmp)
     _add_obs_args(p_cmp)
     _add_chaos_args(p_cmp)
+
+    p_logs = sub.add_parser(
+        "logs", help="tail/filter a structured event log (run --log)"
+    )
+    p_logs.add_argument("path", help="JSONL event log written by --log")
+    p_logs.add_argument("--level", default=None,
+                        help="minimum level: DEBUG, INFO, WARNING, ERROR")
+    p_logs.add_argument("--stage", default=None,
+                        help="only records whose stage field matches")
+    p_logs.add_argument("--node", default=None,
+                        help="only records whose node field matches")
+    p_logs.add_argument("--event", default=None,
+                        help="only records with this event name")
+    p_logs.add_argument("--tail", type=int, default=None, metavar="N",
+                        help="only the last N matching records")
+
+    p_export = sub.add_parser(
+        "export-metrics",
+        help="metrics snapshot (run --metrics) -> Prometheus text or "
+             "OTLP JSON",
+    )
+    p_export.add_argument("snapshot",
+                          help="metrics snapshot JSON written by --metrics")
+    p_export.add_argument("--otlp", action="store_true",
+                          help="emit an OTLP-style JSON dump instead of "
+                               "Prometheus text exposition")
+    p_export.add_argument("--out", default=None, metavar="PATH",
+                          help="write here instead of stdout")
 
     p_diff = sub.add_parser(
         "diff-runs",
@@ -575,6 +731,8 @@ COMMANDS = {
     "optimize": cmd_optimize,
     "compare": cmd_compare,
     "diff-runs": cmd_diff_runs,
+    "logs": cmd_logs,
+    "export-metrics": cmd_export_metrics,
 }
 
 

@@ -17,6 +17,7 @@ from repro.cluster.cluster import Cluster, paper_cluster
 from repro.common.errors import ConfigurationError
 from repro.common.rng import DEFAULT_SEED
 from repro.common.sizing import estimate_size
+from repro.engine import dependencies
 from repro.engine.costmodel import CostModelConfig
 from repro.engine.dag_scheduler import DAGScheduler
 from repro.engine.listener import JobStats, ListenerBus, StageStats
@@ -219,19 +220,32 @@ class AnalyticsContext:
         cluster: Optional[Cluster] = None,
         conf: Optional[EngineConf] = None,
         metrics_registry: Optional[MetricsRegistry] = None,
+        event_log: Optional[Any] = None,
+        profiler: Optional[Any] = None,
     ) -> None:
         self.cluster = cluster or paper_cluster()
         self.conf = conf or EngineConf()
+        # Shuffle ids restart per context so they are a pure function of
+        # the run's DAG (see dependencies.reset_shuffle_ids).
+        dependencies.reset_shuffle_ids()
         self.sim = SimEngine()
         self.metrics = MetricsRecorder()
         self.listener_bus = ListenerBus()
-        # Observability hub: always-on metrics registry + optional tracer.
-        # A registry may be injected so multi-run drivers aggregate one.
+        # Observability hub: always-on metrics registry + optional tracer,
+        # structured event log, and real-resource profiler. A registry
+        # (and log / profiler) may be injected so multi-run drivers
+        # aggregate one; the log's clock is rebound to this context's
+        # simulated time, so its timestamps stay deterministic.
         self.obs = Observability(
             self.listener_bus,
             metrics=metrics_registry,
             nodes={w.name: w.cores for w in self.cluster.workers},
         )
+        if event_log is not None:
+            event_log.bind_clock(lambda: self.sim.now)
+            self.obs.set_log(event_log)
+        if profiler is not None:
+            self.obs.set_profiler(profiler)
         self.obs.metrics.gauge("cluster.total_cores").set(self.cluster.total_cores)
         # One spill manager spans cached partitions and shuffle blocks:
         # the memory budget is over every payload the engine holds.
@@ -247,6 +261,7 @@ class AnalyticsContext:
             block_header=self.conf.cost.shuffle_block_header,
             metrics=self.obs.metrics,
             spill=self.spill,
+            obs=self.obs,
         )
         if self.conf.cache_memory_fraction > 0:
             fraction = self.conf.cache_memory_fraction

@@ -182,6 +182,10 @@ class DAGScheduler:
         job = _JobState(self.ctx.next_job_id(), final_stage, self.ctx.sim.now)
         self._job = job
         self._result_fn = result_fn
+        self.ctx.obs.log_event(
+            "INFO", "dag_scheduler", "job_started",
+            job=job.stats.job_id, final_stage=final_stage.name,
+        )
         try:
             self.ctx.task_scheduler.arm_chaos()
             self._submit_stage(final_stage)
@@ -200,6 +204,11 @@ class DAGScheduler:
             f"job-{job.stats.job_id}", "job",
             job.stats.submitted_at, job.stats.completed_at,
             job_id=job.stats.job_id, stages=len(job.stats.stages),
+        )
+        self.ctx.obs.log_event(
+            "INFO", "dag_scheduler", "job_finished",
+            job=job.stats.job_id, stages=len(job.stats.stages),
+            duration=job.stats.completed_at - job.stats.submitted_at,
         )
         self.ctx.listener_bus.job_end(job.stats)
         assert job.results is not None
@@ -372,6 +381,11 @@ class DAGScheduler:
                     for i in indices
                 ]
             )
+        self.ctx.obs.log_event(
+            "INFO", "dag_scheduler", "stage_submitted",
+            job=job.stats.job_id, stage=stats.name, stage_run=stats.stage_run_id,
+            kind=stats.kind, tasks=len(run.tasks), attempt=attempt,
+        )
         self.ctx.listener_bus.stage_submitted(stats)
         if delay > 0:
             self.ctx.sim.schedule(delay, self.ctx.task_scheduler.submit_stage, run)
@@ -406,6 +420,14 @@ class DAGScheduler:
             tasks=len(run.stats.tasks),
             attempt=run.stats.attempt,
             shuffle_read_bytes=run.stats.shuffle_read_bytes,
+            shuffle_write_bytes=run.stats.shuffle_write_bytes,
+        )
+        self.ctx.obs.log_event(
+            "INFO", "dag_scheduler", "stage_completed",
+            job=job.stats.job_id, stage=run.stats.name,
+            stage_run=run.stats.stage_run_id, kind=run.stats.kind,
+            tasks=len(run.stats.tasks),
+            duration=run.stats.completed_at - run.stats.submitted_at,
             shuffle_write_bytes=run.stats.shuffle_write_bytes,
         )
         self.ctx.listener_bus.stage_completed(run.stats)
@@ -449,6 +471,12 @@ class DAGScheduler:
             lost_node=failure.node,
             lost_maps=len(failure.map_ids),
         )
+        self.ctx.obs.log_event(
+            "WARNING", "dag_scheduler", "fetch_failure",
+            stage=stage_run.stats.name, partition=task.partition,
+            shuffle=failure.shuffle_id, lost_node=failure.node,
+            lost_maps=len(failure.map_ids),
+        )
         task.attempt += 1
         self._parked.setdefault(failure.shuffle_id, []).append((stage_run, task))
         if failure.shuffle_id not in self._resubmitting:
@@ -485,6 +513,11 @@ class DAGScheduler:
             stage=stage.name,
             missing_maps=len(missing),
             attempt=stage.attempts,
+        )
+        self.ctx.obs.log_event(
+            "WARNING", "dag_scheduler", "stage_resubmitted",
+            stage=stage.name, shuffle=shuffle_id,
+            missing_maps=len(missing), attempt=stage.attempts,
         )
         self._run_stage(stage, partitions=missing, attempt=stage.attempts)
 
@@ -592,6 +625,13 @@ class DAGScheduler:
             saved = stage.num_tasks - len(plan.specs)
             if saved > 0:
                 metrics.counter("aqe.tasks_saved").inc(saved)
+            self.ctx.obs.log_event(
+                "INFO", "aqe", "stage_replanned",
+                stage=stage.name,
+                original_partitions=stage.num_tasks,
+                adapted_partitions=len(plan.specs),
+                coalesced=plan.n_coalesced, split=plan.n_split,
+            )
         return plan
 
     def _try_switch(self, stage: Stage, dep: ShuffleDependency) -> bool:
@@ -681,6 +721,11 @@ class DAGScheduler:
             gini_after=round(gini(after), 4),
         )
         self.ctx.obs.metrics.counter("aqe.shuffles_switched").inc()
+        self.ctx.obs.log_event(
+            "INFO", "aqe", "shuffle_switched",
+            stage=stage.name, shuffle=dep.shuffle_id,
+            from_kind=old_kind, to_kind=new.kind,
+        )
         return True
 
     # ------------------------------------------------------------------

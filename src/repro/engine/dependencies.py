@@ -21,6 +21,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 _shuffle_ids = itertools.count()
 
 
+def reset_shuffle_ids() -> None:
+    """Restart shuffle-id numbering from 0.
+
+    Called by every new :class:`~repro.engine.context.AnalyticsContext`,
+    so a run's shuffle ids depend only on its own DAG — not on how many
+    contexts the process built earlier. That keeps telemetry that embeds
+    shuffle ids (log records, ledger chaos/AQE events) byte-identical
+    between a serial sweep and pool workers, which fork mid-sweep with
+    the counter at an arbitrary position. Ids are only ever used as keys
+    in per-context tables, so cross-context uniqueness is not needed.
+    """
+    global _shuffle_ids
+    _shuffle_ids = itertools.count()
+
+
 def default_key_fn(record):
     """Default shuffle key: ``record[0]``.
 

@@ -58,6 +58,13 @@ def loads_payload(blob: bytes) -> Any:
 #   ("counter", counter, value)      - a pre-bound Counter object.
 #   ("metric", name, labels, value)  - a lazily-created labeled counter.
 #   ("acc", accumulator, value)      - an accumulator fold.
+#   ("log", level, logger, event, fields)
+#                                    - a structured log record; emitted
+#                                      through ctx.obs.log_event at the
+#                                      attempt's serial position, so the
+#                                      event log stays byte-identical to
+#                                      serial execution (fields is a
+#                                      tuple of (key, value) pairs).
 
 
 class TaskEffects:

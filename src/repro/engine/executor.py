@@ -85,6 +85,18 @@ class TaskRunner:
     def _execute_body(
         self, stage: Stage, task: Task, node: "NodeSpec", result_fn=None
     ) -> Tuple[TaskContext, Any]:
+        profiler = self.ctx.obs.profiler
+        if profiler is not None:
+            # Bracket the real computation with a host-resource probe
+            # (wall vs thread CPU, tracemalloc delta). Probes only read
+            # clocks/allocator stats, so simulated results are untouched.
+            with profiler.task_probe(stage.name):
+                return self._execute_body_inner(stage, task, node, result_fn)
+        return self._execute_body_inner(stage, task, node, result_fn)
+
+    def _execute_body_inner(
+        self, stage: Stage, task: Task, node: "NodeSpec", result_fn=None
+    ) -> Tuple[TaskContext, Any]:
         tctx = TaskContext(node=node.name, task_index=task.partition)
         try:
             if task.spec is not None:
@@ -104,16 +116,26 @@ class TaskRunner:
                 self._inc("executor.result_tasks", node=node.name)
             else:  # pragma: no cover - defensive
                 raise SchedulingError(f"unknown stage kind {stage.kind!r}")
-        except FetchFailure:
+        except FetchFailure as failure:
             # Shuffle inputs lost to a dead node; the task scheduler
             # hands the task to the DAG scheduler for lineage recovery.
             self._inc("executor.fetch_failures", node=node.name)
+            self._log(
+                "WARNING", "fetch_failure",
+                stage=stage.name, partition=task.partition, node=node.name,
+                shuffle=failure.shuffle_id,
+            )
             raise
         if tctx.cache_read_bytes:
             self._inc("cache.hits", node=node.name)
             self._inc("cache.read_bytes", tctx.cache_read_bytes, node=node.name)
         for src, nbytes in tctx.cache_remote_by_src.items():
             self._inc("cache.remote_read_bytes", nbytes, src=src)
+        self._log(
+            "DEBUG", "task_executed",
+            stage=stage.name, partition=task.partition, node=node.name,
+            records_out=tctx.records_out,
+        )
         return tctx, result
 
     def _run_adaptive_task(
@@ -171,6 +193,22 @@ class TaskRunner:
         else:
             self.ctx.obs.metrics.counter(name, **labels).inc(amount)
 
+    def _log(self, level: str, event: str, **fields: Any) -> None:
+        """Structured log emit that defers under a sink (worker thread).
+
+        Deferred records replay at the attempt's serial position — the
+        same sim timestamp serial execution would have stamped — so the
+        event log stays byte-identical across physical parallelism.
+        """
+        obs = self.ctx.obs
+        if obs.log is None:
+            return
+        sink = effects.active()
+        if sink is not None:
+            sink.ops.append(("log", level, "executor", event, tuple(fields.items())))
+        else:
+            obs.log_event(level, "executor", event, **fields)
+
     def _effects_valid(self, eff: TaskEffects) -> bool:
         block_store = self.ctx.block_store
         shuffle = self.ctx.shuffle_manager
@@ -212,6 +250,9 @@ class TaskRunner:
                 eff.tctx.note_shuffle_write(written)
             elif tag == "shuffle_read":
                 pass  # validation-only
+            elif tag == "log":
+                _, level, logger, event, fields = op
+                ctx.obs.log_event(level, logger, event, **dict(fields))
             elif tag == "acc":
                 op[1]._fold(op[2])
             else:  # pragma: no cover - defensive

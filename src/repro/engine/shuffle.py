@@ -16,7 +16,7 @@ aggregations the payload grows linearly with the map partition count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
 
 from repro.common.errors import FetchFailure, ShuffleError
 from repro.engine import effects
@@ -105,11 +105,16 @@ class ShuffleManager:
         block_header: float = 64.0,
         metrics: Optional["MetricsRegistry"] = None,
         spill: Optional[SpillManager] = None,
+        obs: Optional[Any] = None,
     ) -> None:
         self._shuffles: Dict[int, _ShuffleState] = {}
         self.block_header = block_header
         self._metrics = metrics
         self._spill = spill
+        # Observability hub for structured logging; register() and
+        # invalidate_node() are driver-serial call sites, so their log
+        # records are deterministic.
+        self._obs = obs
         # Running count of lost map outputs across all shuffles, so the
         # task scheduler's "is any shuffle degraded?" gate is O(1).
         self._lost_blocks = 0
@@ -138,6 +143,11 @@ class ShuffleManager:
                 f" -> {num_maps}x{num_reduces}"
             )
         self._shuffles[shuffle_id] = _ShuffleState(num_maps, num_reduces)
+        if self._obs is not None:
+            self._obs.log_event(
+                "DEBUG", "shuffle", "shuffle_registered",
+                shuffle=shuffle_id, maps=num_maps, reduces=num_reduces,
+            )
 
     def is_registered(self, shuffle_id: int) -> bool:
         return shuffle_id in self._shuffles
@@ -351,6 +361,12 @@ class ShuffleManager:
                 state.version += 1
                 state.reduce_index = None
                 lost[shuffle_id] = gone
+        if lost and self._obs is not None:
+            for shuffle_id in sorted(lost):
+                self._obs.log_event(
+                    "WARNING", "shuffle", "map_outputs_lost",
+                    shuffle=shuffle_id, node=node, maps=len(lost[shuffle_id]),
+                )
         return lost
 
     def has_lost_blocks(self) -> bool:

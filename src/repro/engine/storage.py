@@ -247,6 +247,13 @@ class SpillManager:
             )
             self._obs.metrics.counter("shuffle.spilled_bytes").inc(block.nbytes)
             self._obs.metrics.counter("spill.events").inc(1.0)
+            # Spills only happen at effect-replay time (driver-serial), so
+            # this record's position and timestamp are deterministic.
+            self._obs.log_event(
+                "INFO", "spill", "block_spilled",
+                src=block.node, bytes=block.nbytes,
+                disk_bytes=len(blob), label=label,
+            )
 
     def fetch(self, ref: SpillRef) -> Any:
         """Deserialize one spilled payload (thread-safe positional read)."""

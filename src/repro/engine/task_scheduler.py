@@ -460,6 +460,15 @@ class TaskScheduler:
             self._emit_task_span(queued, loser, "cancelled")
         queued.attempts.clear()
         self._running_tasks.remove(queued)
+        self.ctx.obs.log_event(
+            "DEBUG", "task_scheduler", "task_finished",
+            stage=queued.stage_run.stats.name,
+            stage_run=queued.stage_run.stats.stage_run_id,
+            partition=queued.task.partition, attempt=queued.task.attempt,
+            node=attempt.executor.spec.name,
+            speculative=attempt.speculative or None,
+            duration=attempt.duration,
+        )
         queued.stage_run.task_finished(queued.task, metrics, result)
         self.ctx.listener_bus.task_end(metrics)
         self._maybe_speculate(queued.stage_run)
@@ -487,6 +496,11 @@ class TaskScheduler:
             )
         self.task_retries += 1
         self._m_task_retries.inc()
+        self.ctx.obs.log_event(
+            "WARNING", "task_scheduler", "task_retry",
+            stage=queued.stage_run.stats.name, partition=task.partition,
+            attempt=task.attempt, node=attempt.executor.spec.name,
+        )
         queued.speculated = False
         self._queue.append(queued)
         self._dispatch()
@@ -528,6 +542,12 @@ class TaskScheduler:
             queued.speculated = True
             self.speculative_launches += 1
             self._m_spec_launches.inc()
+            self.ctx.obs.log_event(
+                "INFO", "task_scheduler", "speculative_launch",
+                stage=stage_run.stats.name,
+                partition=queued.task.partition,
+                node=executor.spec.name,
+            )
             self._launch(queued, executor, speculative=True)
 
     def _jitter(
@@ -694,6 +714,10 @@ class TaskScheduler:
             node=None, victim=name,
             shuffles_hit=len(lost), cached_blocks_lost=evicted,
         )
+        self.ctx.obs.log_event(
+            "ERROR", "task_scheduler", "node_lost",
+            node=name, shuffles_hit=len(lost), cached_blocks_lost=evicted,
+        )
         if self.ctx.conf.node_recovery_delay > 0:
             recover_at = now + self.ctx.conf.node_recovery_delay
             self._node_recover_at[name] = recover_at
@@ -714,6 +738,7 @@ class TaskScheduler:
         self._m_nodes_recovered.inc()
         now = self.ctx.sim.now
         self.ctx.obs.span("node-recovered", "chaos", now, now, node=None, victim=name)
+        self.ctx.obs.log_event("INFO", "task_scheduler", "node_recovered", node=name)
         self._dispatch()
 
     def node_alive(self, name: str) -> bool:

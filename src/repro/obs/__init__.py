@@ -30,8 +30,11 @@ from repro.obs.diagnostics import (
     model_drift,
     partition_skew,
 )
+from repro.obs.export import to_otlp, to_prometheus, validate_prometheus
 from repro.obs.ledger import LEDGER_VERSION, LedgerCollector, RunLedger
+from repro.obs.log import DEBUG, ERROR, INFO, WARNING, EventLog
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiling import ResourceProfiler, profiling_enabled
 from repro.obs.trace import TraceEvent, Tracer, save_chrome_trace, to_chrome
 
 
@@ -55,6 +58,8 @@ class Observability:
         self.nodes = dict(nodes or {})
         self.tracer: Optional[Tracer] = None
         self._span_listeners: List[Any] = []
+        self.log: Optional[EventLog] = None
+        self.profiler: Optional[ResourceProfiler] = None
 
     @property
     def tracing(self) -> bool:
@@ -77,6 +82,28 @@ class Observability:
         if tracer is not None:
             tracer.declare_nodes(self.nodes)
             self._bus.add(tracer)
+
+    def set_log(self, log: Optional[EventLog]) -> None:
+        """Attach (or detach, with None) a structured event log."""
+        self.log = log
+
+    def set_profiler(self, profiler: Optional["ResourceProfiler"]) -> None:
+        """Attach (or detach, with None) a real-resource profiler."""
+        self.profiler = profiler
+
+    @property
+    def logging(self) -> bool:
+        return self.log is not None
+
+    def log_event(self, level: str, logger: str, event: str, **fields: Any) -> None:
+        """Emit one structured log record; no-op when no log is attached.
+
+        Every call site sits on the driver's serial event path (or is
+        replayed there by the task-effects sink), so attaching a log
+        never perturbs — and is never perturbed by — execution order.
+        """
+        if self.log is not None:
+            self.log.emit(level, logger, event, **fields)
 
     def add_span_listener(self, listener: Any) -> None:
         """Register a listener that wants spans even with no tracer.
@@ -114,21 +141,31 @@ class Observability:
 
 __all__ = [
     "Counter",
+    "DEBUG",
+    "ERROR",
+    "EventLog",
     "Gauge",
     "Histogram",
+    "INFO",
     "LEDGER_VERSION",
     "LedgerCollector",
     "MetricsRegistry",
     "Observability",
+    "ResourceProfiler",
     "RunDiff",
     "RunLedger",
     "TraceEvent",
     "Tracer",
+    "WARNING",
     "detect_stragglers",
     "diff_runs",
     "gini",
     "model_drift",
     "partition_skew",
+    "profiling_enabled",
     "save_chrome_trace",
     "to_chrome",
+    "to_otlp",
+    "to_prometheus",
+    "validate_prometheus",
 ]

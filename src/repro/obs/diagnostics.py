@@ -23,7 +23,29 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.obs.metrics import Histogram
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+# The failure/recovery counters every run maintains; their totals are a
+# run's one-line health readout.
+HEALTH_COUNTERS = (
+    "scheduler.task_retries",
+    "scheduler.fetch_failures",
+    "scheduler.stage_resubmissions",
+    "scheduler.nodes_lost",
+    "scheduler.speculative_launches",
+)
+
+
+def counter_health(registry: MetricsRegistry) -> Dict[str, float]:
+    """Totals of the failure/recovery counters, keyed by counter name.
+
+    Goes through :meth:`MetricsRegistry.counter_total` — the
+    unambiguous total — rather than ``counter_value``, whose
+    sum-the-labels fallback double-counts registries that maintain both
+    an unlabeled total and its labeled decomposition (as the shuffle
+    manager's byte counters do).
+    """
+    return {name: registry.counter_total(name) for name in HEALTH_COUNTERS}
 
 
 def gini(values: Sequence[float]) -> float:

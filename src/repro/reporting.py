@@ -388,8 +388,8 @@ def html_report(entry: dict) -> str:
 
     Sections: run summary, stage waterfall, skew and straggler callouts,
     predicted-vs-actual model scatter, adaptive-execution decisions
-    (predicted vs adapted partition histograms), chaos events. No
-    external assets,
+    (predicted vs adapted partition histograms), chaos events, and the
+    real host-resource profile (``--profile`` runs). No external assets,
     so the file can be archived as a CI artifact and opened anywhere.
     """
     from repro.obs.diagnostics import detect_stragglers, partition_skew
@@ -553,5 +553,48 @@ def html_report(entry: dict) -> str:
         )
     else:
         out.append("<p class='sub ok'>none — the run saw no failures</p>")
+    out.append("</section>")
+
+    profile = entry.get("profile")
+    out.append("<section><h2>Resource profile</h2>")
+    if profile:
+        host = profile.get("host", {})
+        gc_info = host.get("gc", {})
+        out.append(
+            "<p class='sub'>real host cost of this run — wall clock and "
+            "allocator measurements, not simulated time (non-"
+            "deterministic; excluded from identity checks): "
+            f"wall {host.get('wall_s', 0.0):.3f}s"
+            f" · cpu {host.get('cpu_s', 0.0):.3f}s"
+            f" · tracemalloc peak "
+            f"{fmt_bytes(host.get('tracemalloc_peak_bytes', 0))}"
+            f" · gc {gc_info.get('collections', 0)} collections"
+            f" ({gc_info.get('pause_s', 0.0) * 1e3:.1f} ms paused, "
+            f"max {gc_info.get('max_pause_s', 0.0) * 1e3:.2f} ms)</p>"
+        )
+        stages = profile.get("stages", {})
+        if stages:
+            rows = "".join(
+                f"<tr><td>{_esc(name)}</td><td>{agg.get('tasks', 0)}</td>"
+                f"<td>{agg.get('wall_s', 0.0) * 1e3:.1f} ms</td>"
+                f"<td>{agg.get('cpu_s', 0.0) * 1e3:.1f} ms</td>"
+                f"<td>{fmt_bytes(agg.get('alloc_bytes', 0))}</td>"
+                f"<td>{fmt_bytes(agg.get('peak_bytes', 0))}</td>"
+                f"<td>{agg.get('max_task_wall_s', 0.0) * 1e3:.2f} ms</td>"
+                "</tr>"
+                for name, agg in stages.items()
+            )
+            out.append(
+                "<table><tr><th>stage</th><th>tasks</th><th>wall</th>"
+                "<th>cpu</th><th>alloc</th><th>peak</th>"
+                "<th>max task</th></tr>"
+                f"{rows}</table>"
+            )
+    else:
+        out.append(
+            "<p class='sub ok'>not profiled — run with --profile or "
+            "REPRO_PROFILE=1 to measure host CPU, allocations, and GC "
+            "pauses</p>"
+        )
     out.append("</section></body></html>")
     return "".join(out)

@@ -219,3 +219,153 @@ class TestSnapshotDeterminism:
             return json.dumps(reg.snapshot(), sort_keys=True)
 
         assert snapshot_bytes(1) == snapshot_bytes(4)
+
+
+class TestFiniteGuards:
+    def test_counter_rejects_nan_and_inf(self):
+        c = MetricsRegistry().counter("x")
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ConfigurationError):
+                c.inc(bad)
+        assert c.value == 0.0
+
+    def test_gauge_rejects_nan_and_inf(self):
+        g = MetricsRegistry().gauge("x")
+        with pytest.raises(ConfigurationError):
+            g.set(float("nan"))
+        with pytest.raises(ConfigurationError):
+            g.inc(float("inf"))
+        with pytest.raises(ConfigurationError):
+            g.dec(float("-inf"))
+        assert g.value == 0.0
+
+    def test_histogram_rejects_nan_and_inf(self):
+        h = MetricsRegistry().histogram("x")
+        for bad in (float("nan"), float("-inf")):
+            with pytest.raises(ConfigurationError):
+                h.observe(bad)
+        assert h.count == 0
+
+
+class TestHistogramRetention:
+    def test_exact_stats_survive_the_cap(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram("d", retention_cap=100)
+        for v in range(1, 1001):
+            h.observe(float(v))
+        assert h.count == 1000
+        assert h.total == 500500.0
+        assert h.min == 1.0 and h.max == 1000.0
+        assert h.capped
+        assert len(h.to_dict()) >= 5  # quantiles become estimates
+
+    def test_reservoir_is_name_seeded_and_deterministic(self):
+        from repro.obs.metrics import Histogram
+
+        def fill(name):
+            h = Histogram(name, retention_cap=50)
+            for v in range(1000):
+                h.observe(float(v))
+            return h
+
+        assert fill("a").to_dict() == fill("a").to_dict()
+        assert fill("a").to_dict()["p50"] != fill("b").to_dict()["p50"]
+
+    def test_below_cap_quantiles_stay_exact(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram("d", retention_cap=200)
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert not h.capped
+        assert h.quantile(0.5) == pytest.approx(50.5)
+
+    def test_cap_must_be_positive(self):
+        from repro.obs.metrics import Histogram
+
+        with pytest.raises(ConfigurationError):
+            Histogram("d", retention_cap=0)
+
+
+class TestCounterTotal:
+    def test_unlabeled_total_is_authoritative(self):
+        # The engine convention: labeled series decompose a maintained
+        # unlabeled total; summing everything would double-count.
+        reg = MetricsRegistry()
+        reg.counter("shuffle.write_bytes").inc(100)
+        reg.counter("shuffle.write_bytes", node="A").inc(60)
+        reg.counter("shuffle.write_bytes", node="B").inc(40)
+        assert reg.counter_total("shuffle.write_bytes") == 100
+
+    def test_labeled_only_sums_in_sorted_order(self):
+        a = MetricsRegistry()
+        a.counter("x", n="1").inc(0.1)
+        a.counter("x", n="2").inc(0.2)
+        b = MetricsRegistry()
+        b.counter("x", n="2").inc(0.2)
+        b.counter("x", n="1").inc(0.1)
+        assert a.counter_total("x") == b.counter_total("x")
+
+    def test_missing_counter_reads_zero(self):
+        assert MetricsRegistry().counter_total("nope") == 0.0
+
+
+class TestDumpMergeState:
+    def test_merge_reproduces_source_registry(self):
+        src = MetricsRegistry()
+        src.counter("c").inc(5)
+        src.counter("c", node="A").inc(3)
+        src.gauge("g").set(7)
+        for v in (1.0, 2.0, 3.0):
+            src.histogram("h").observe(v)
+        dst = MetricsRegistry()
+        dst.merge_state(src.dump_state())
+        assert json.dumps(dst.snapshot(), sort_keys=True) == json.dumps(
+            src.snapshot(), sort_keys=True
+        )
+
+    def test_merge_accumulates_counters_and_histograms(self):
+        src = MetricsRegistry()
+        src.counter("c").inc(5)
+        src.histogram("h").observe(1.0)
+        dst = MetricsRegistry()
+        dst.merge_state(src.dump_state())
+        dst.merge_state(src.dump_state())
+        assert dst.counter_total("c") == 10
+        assert dst.histogram("h").count == 2
+
+    def test_extra_labels_relabel_every_series(self):
+        src = MetricsRegistry()
+        src.counter("c").inc(5)
+        src.counter("c", node="A").inc(3)
+        dst = MetricsRegistry()
+        dst.merge_state(src.dump_state(), extra_labels={"worker": "w1"})
+        assert dst.counter_value("c", worker="w1") == 5
+        assert dst.counter_value("c", node="A", worker="w1") == 3
+
+    def test_merged_capped_histogram_keeps_exact_count_and_sum(self):
+        from repro.obs.metrics import Histogram
+
+        src = MetricsRegistry()
+        h = Histogram("h", retention_cap=10)
+        src._histograms["h"] = {(): h}
+        for v in range(1, 101):
+            h.observe(float(v))
+        dst = MetricsRegistry()
+        dst.merge_state(src.dump_state())
+        merged = dst.histogram("h")
+        assert merged.count == 100
+        assert merged.total == 5050.0
+        assert merged.min == 1.0 and merged.max == 100.0
+
+
+class TestPrometheusShortcut:
+    def test_registry_to_prometheus_validates(self):
+        from repro.obs.export import validate_prometheus
+
+        reg = MetricsRegistry()
+        reg.counter("tasks", node="A").inc(3)
+        reg.gauge("depth").set(2)
+        reg.histogram("wait").observe(0.5)
+        assert validate_prometheus(reg.to_prometheus()) > 0

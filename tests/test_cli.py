@@ -545,3 +545,85 @@ class TestLedgerErrorHandling:
         assert code == 2
         assert err.startswith("error: ")
         assert err.count("\n") == 1
+
+class TestTelemetryCli:
+    def run_with_telemetry(self, tmp_path):
+        log = str(tmp_path / "run.log")
+        metrics = str(tmp_path / "metrics.json")
+        code, text, _ = run_cli(
+            "run", *WC_FAST, "--log", log, "--metrics", metrics, "--profile",
+        )
+        return code, text, log, metrics
+
+    def test_run_writes_log_and_profile_summary(self, tmp_path):
+        code, text, log, _ = self.run_with_telemetry(tmp_path)
+        assert code == 0
+        assert f"log -> {log} (" in text
+        assert "records)" in text
+        assert "profile: wall " in text
+        assert "health: task_retries=0" in text
+
+    def test_log_file_is_jsonl_with_monotone_seq(self, tmp_path):
+        code, _, log, _ = self.run_with_telemetry(tmp_path)
+        assert code == 0
+        with open(log) as fh:
+            records = [json.loads(line) for line in fh]
+        assert records
+        assert [r["seq"] for r in records] == list(range(len(records)))
+        assert all("event" in r and "logger" in r for r in records)
+
+    def test_logs_command_formats_and_tails(self, tmp_path):
+        _, _, log, _ = self.run_with_telemetry(tmp_path)
+        code, text, _ = run_cli("logs", log, "--tail", "3")
+        assert code == 0
+        lines = text.strip().splitlines()
+        assert len(lines) == 3
+        assert all("t=" in line for line in lines)
+
+        code, text, _ = run_cli("logs", log, "--event", "stage_submitted")
+        assert code == 0
+        assert "stage_submitted" in text
+        assert "task_executed" not in text
+
+    def test_logs_rejects_unknown_level(self, tmp_path):
+        _, _, log, _ = self.run_with_telemetry(tmp_path)
+        code, text, err = run_cli("logs", log, "--level", "LOUD")
+        assert code == 2
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+
+    def test_logs_rejects_malformed_file(self, tmp_path):
+        bad = tmp_path / "bad.log"
+        bad.write_text('{"seq": 0}\n{oops\n')
+        code, _, err = run_cli("logs", str(bad))
+        assert code == 2
+        assert "2" in err  # names the offending line number
+
+    def test_export_metrics_prometheus(self, tmp_path):
+        from repro.obs.export import validate_prometheus
+
+        _, _, _, metrics = self.run_with_telemetry(tmp_path)
+        code, text, _ = run_cli("export-metrics", metrics)
+        assert code == 0
+        assert validate_prometheus(text) > 0
+        assert "# TYPE scheduler_tasks_completed_total counter" in text
+
+    def test_export_metrics_otlp(self, tmp_path):
+        _, _, _, metrics = self.run_with_telemetry(tmp_path)
+        out_path = str(tmp_path / "otlp.json")
+        code, text, _ = run_cli(
+            "export-metrics", metrics, "--otlp", "--out", out_path
+        )
+        assert code == 0
+        assert f"-> {out_path}" in text
+        with open(out_path) as fh:
+            doc = json.load(fh)
+        assert doc["resourceMetrics"]
+
+    def test_export_metrics_rejects_non_snapshot(self, tmp_path):
+        bogus = tmp_path / "trace.json"
+        bogus.write_text(json.dumps({"traceEvents": []}))
+        code, _, err = run_cli("export-metrics", str(bogus))
+        assert code == 2
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
