@@ -1,0 +1,114 @@
+"""CI smoke check: the partition cache must skip work, never change it.
+
+Reads the three sql entries CI appended to the run ledger — one cold
+run that populates a shared sqlite result cache, two warm runs over it —
+and asserts the warm runs actually hit the cache, scheduled strictly
+fewer scan tasks (every pruned partition accounted for, none of them
+ever scheduled), and finished at least 1.5x faster in simulated time.
+Then re-runs the workload in-process cold, warm, and with pruning
+disabled outright, and asserts the collected rows are bit-identical,
+which the ledger alone cannot show (it records performance, not values).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+
+from repro.cluster import uniform_cluster
+from repro.engine import AnalyticsContext, EngineConf
+from repro.workloads.sql import SQLWorkload
+
+LEDGER = sys.argv[1] if len(sys.argv) > 1 else "ledger.jsonl"
+MIN_SPEEDUP = 1.5
+
+
+def scan_tasks(entry) -> int:
+    return sum(s["num_partitions"] for s in entry["stages"])
+
+
+def pruned(entry) -> int:
+    return sum(s.get("pruned_partitions", 0) for s in entry["stages"])
+
+
+def cache_stats(entry) -> dict:
+    block = entry.get("partition_cache")
+    assert block, f"ledger entry {entry['run_id']} has no partition_cache"
+    assert block["zone_maps"], "no zone-map coverage recorded"
+    return block["cache"]
+
+
+def check_ledger():
+    entries = [json.loads(line) for line in open(LEDGER, encoding="utf-8")]
+    sql = [e for e in entries if e["workload"] == "sql"]
+    assert len(sql) == 3, f"expected 3 sql ledger entries, found {len(sql)}"
+    cold, warm1, warm2 = sql
+
+    assert cache_stats(cold)["misses"] >= 1, "cold run did not miss"
+    assert cache_stats(cold)["hits"] == 0, "cold run cannot hit"
+    assert pruned(cold) == 0, "cold run pruned without prior statistics"
+
+    for warm in (warm1, warm2):
+        stats = cache_stats(warm)
+        assert stats["hits"] >= 1, (
+            f"warm run {warm['run_id']} never hit the cache: {stats}"
+        )
+        assert pruned(warm) > 0, f"warm run {warm['run_id']} pruned nothing"
+        assert scan_tasks(warm) < scan_tasks(cold), (
+            f"warm run {warm['run_id']} scheduled no fewer tasks: "
+            f"{scan_tasks(warm)} vs {scan_tasks(cold)} cold"
+        )
+        # Zero pruned tasks scheduled: scanned + pruned must add back up
+        # to the cold run's full scan — a pruned partition that somehow
+        # scheduled anyway would double-count here.
+        assert scan_tasks(warm) + pruned(warm) == scan_tasks(cold), (
+            f"warm run {warm['run_id']} scheduled pruned partitions: "
+            f"{scan_tasks(warm)} + {pruned(warm)} != {scan_tasks(cold)}"
+        )
+        speedup = cold["wall_clock"] / warm["wall_clock"]
+        assert speedup >= MIN_SPEEDUP, (
+            f"warm run {warm['run_id']} only {speedup:.2f}x faster "
+            f"(need >= {MIN_SPEEDUP}x)"
+        )
+    return cold, warm1
+
+
+def run_sql(cache_path=None, pruning=True):
+    conf = dict(default_parallelism=16, partition_pruning=pruning)
+    if cache_path is not None:
+        conf.update(result_cache="sqlite", result_cache_path=cache_path)
+    ctx = AnalyticsContext(uniform_cluster(n_workers=4, cores=2),
+                           EngineConf(**conf))
+    try:
+        workload = SQLWorkload(physical_records=1600, max_order=200)
+        return workload.run(ctx, scale=0.2).value
+    finally:
+        ctx.close()
+
+
+def check_identity() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = f"{tmp}/cache.db"
+        cold_rows = run_sql(cache_path=path)
+        warm_rows = run_sql(cache_path=path)
+        plain_rows = run_sql(pruning=False)
+    assert warm_rows == cold_rows, "warm cached run changed the rows"
+    assert plain_rows == cold_rows, "pruning changed the rows"
+    return len(cold_rows)
+
+
+def main() -> None:
+    cold, warm = check_ledger()
+    n_rows = check_identity()
+    speedup = cold["wall_clock"] / warm["wall_clock"]
+    print(
+        f"ok: warm runs hit the cache ({cache_stats(warm)['hits']} hits), "
+        f"scanned {scan_tasks(warm)}/{scan_tasks(cold)} partitions "
+        f"({pruned(warm)} pruned, none scheduled), {speedup:.2f}x faster; "
+        f"{n_rows} identical result rows cold/warm/unpruned"
+    )
+
+
+if __name__ == "__main__":
+    main()

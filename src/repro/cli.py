@@ -85,6 +85,12 @@ def build_workload(args: argparse.Namespace) -> Workload:
                 f"--skew is not supported by workload {args.workload!r}"
             )
         kwargs["skew"] = args.skew
+    if getattr(args, "max_order", None) is not None:
+        if "max_order" not in inspect.signature(cls.__init__).parameters:
+            raise WorkloadError(
+                f"--max-order is not supported by workload {args.workload!r}"
+            )
+        kwargs["max_order"] = args.max_order
     return cls(**kwargs)
 
 
@@ -140,6 +146,12 @@ def perf_conf_kwargs(args: argparse.Namespace) -> dict:
             )
         except ValueError as exc:
             raise ConfigurationError(str(exc)) from None
+    if getattr(args, "no_prune", False):
+        kwargs["partition_pruning"] = False
+    if getattr(args, "cache", None) is not None:
+        kwargs["result_cache"] = args.cache
+    if getattr(args, "cache_path", None) is not None:
+        kwargs["result_cache_path"] = args.cache_path
     return kwargs
 
 
@@ -425,6 +437,57 @@ def cmd_export_metrics(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace, out) -> int:
+    """Inspect or manage an on-disk partition-pruning result cache."""
+    from repro.relational.cache import open_backend, sniff_backend
+
+    kind = args.backend or sniff_backend(args.path)
+    backend = open_backend(kind, path=args.path)
+    try:
+        entries = backend.entries()
+        if args.action == "stats":
+            tables = sorted({e.table for e in entries})
+            kept = sum(len(e.partitions) for e in entries)
+            total = sum(e.num_partitions for e in entries)
+            out.write(
+                f"backend: {kind}\n"
+                f"path: {args.path}\n"
+                f"entries: {len(entries)}\n"
+                f"hits: {sum(e.hits for e in entries)}\n"
+                f"partitions kept: {kept}/{total}\n"
+                f"tables: {', '.join(tables) or '-'}\n"
+            )
+        elif args.action == "inspect":
+            if not entries:
+                out.write("(empty)\n")
+            for e in entries:
+                out.write(
+                    f"{e.key}  table={e.table} version={e.version[:12]}"
+                    f" partitions={len(e.partitions)}/{e.num_partitions}"
+                    f" hits={e.hits}"
+                    f" kept={','.join(str(p) for p in e.partitions)}\n"
+                )
+        elif args.action == "clear":
+            backend.clear()
+            out.write(f"cleared {len(entries)} entries from {args.path}\n")
+        else:  # export
+            doc = {
+                "backend": kind,
+                "path": args.path,
+                "entries": [e.to_dict() for e in entries],
+            }
+            text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as fh:
+                    fh.write(text)
+                out.write(f"cache export -> {args.out}\n")
+            else:
+                out.write(text)
+    finally:
+        backend.close()
+    return 0
+
+
 def cmd_diff_runs(args: argparse.Namespace, out) -> int:
     """Compare two ledger runs; non-zero exit on a regression (CI gate)."""
     from repro.obs.diagnostics import diff_runs
@@ -596,6 +659,26 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
                         help="Zipf exponent for the key distribution of "
                              "skew-aware workloads (wordcount, "
                              "wordcount-shuffle, sql); larger = hotter keys")
+    parser.add_argument("--max-order", type=int, default=None, metavar="N",
+                        help="sql only: filter orders to order_id < N "
+                             "(a selective scan predicate partition "
+                             "pruning can exploit)")
+    parser.add_argument("--no-prune", action="store_true",
+                        help="disable all partition pruning (zone maps, "
+                             "range layouts, and cached partition sets; "
+                             "identical results, more scan tasks)")
+    # Backend names are validated by EngineConf, not argparse, so the
+    # unknown-backend diagnostic is the standard one-line `error: ...`.
+    parser.add_argument("--cache", default=None, metavar="BACKEND",
+                        help="partition-pruning result cache backend: "
+                             "'memory', 'sqlite', or 'bitmap' (file "
+                             "backends need --cache-path); warm runs "
+                             "skip partitions proven irrelevant "
+                             "(bit-identical results)")
+    parser.add_argument("--cache-path", default=None, metavar="PATH",
+                        help="result cache file for the sqlite/bitmap "
+                             "backends; shared across runs for warm "
+                             "lookups")
 
 
 def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
@@ -706,6 +789,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.add_argument("--out", default=None, metavar="PATH",
                           help="write here instead of stdout")
 
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect/manage an on-disk result cache (run --cache)",
+    )
+    p_cache.add_argument("action",
+                         choices=("stats", "inspect", "clear", "export"),
+                         help="stats: one-line totals; inspect: per-entry "
+                              "rows; clear: drop all entries; export: JSON "
+                              "dump")
+    p_cache.add_argument("path", help="cache file (sqlite or bitmap)")
+    p_cache.add_argument("--backend", default=None,
+                         help="force the backend kind instead of sniffing "
+                              "the file magic ('sqlite' or 'bitmap')")
+    p_cache.add_argument("--out", default=None, metavar="PATH",
+                         help="export: write the JSON dump here instead of "
+                              "stdout")
+
     p_diff = sub.add_parser(
         "diff-runs",
         help="compare two ledger runs; exit 1 on regression (CI gate)",
@@ -730,6 +830,7 @@ COMMANDS = {
     "profile": cmd_profile,
     "optimize": cmd_optimize,
     "compare": cmd_compare,
+    "cache": cmd_cache,
     "diff-runs": cmd_diff_runs,
     "logs": cmd_logs,
     "export-metrics": cmd_export_metrics,

@@ -23,7 +23,7 @@ from repro.engine.dag_scheduler import DAGScheduler
 from repro.engine.listener import JobStats, ListenerBus, StageStats
 from repro.engine.rdd import RDD, SourceRDD, parallelize_generator
 from repro.engine.shuffle import ShuffleManager
-from repro.engine.storage import BlockStore, SpillManager
+from repro.engine.storage import BlockStore, SpillManager, ZoneMapStore
 from repro.engine.task_scheduler import TaskScheduler
 from repro.obs import MetricsRegistry, Observability
 from repro.simul.engine import SimEngine
@@ -120,6 +120,25 @@ class EngineConf:
     # either way (CI gates on it), the optimized plan just runs fewer
     # stages. None reads REPRO_LOGICAL_OPT (default on).
     logical_optimizer: Optional[bool] = None
+    # Partition pruning: a final optimizer batch evaluates Filter
+    # predicates against declared range layouts, collected zone maps
+    # and the result cache, rewriting scans into partition subsets so
+    # skipped partitions never schedule tasks. Collected results are
+    # bit-identical on/off (the evidence is always a conservative
+    # superset). None reads REPRO_PRUNE (default on).
+    partition_pruning: Optional[bool] = None
+    # Result cache of pruned partition sets, keyed by query-variant
+    # signature: None (off), "memory" (per-context), "sqlite" or
+    # "bitmap" (file-backed; warm runs in later processes prune from
+    # earlier runs' zone maps).
+    result_cache: Optional[str] = None
+    # File path of the sqlite/bitmap backends (required for those,
+    # rejected for "memory").
+    result_cache_path: Optional[str] = None
+    # LRU bound on cached query variants.
+    result_cache_max_entries: int = 256
+    # Optional age bound (seconds on the backend's clock) per entry.
+    result_cache_ttl: Optional[float] = None
     # Adaptive query execution: after each map stage materializes, the
     # DAG scheduler consults the exact per-partition shuffle sizes and
     # may re-plan the not-yet-launched reduce side (coalesce tiny
@@ -203,6 +222,39 @@ class EngineConf:
             raise ConfigurationError(
                 "spill_dir requires memory_budget (nothing spills without one)"
             )
+        if self.partition_pruning is None:
+            env = os.environ.get("REPRO_PRUNE", "").strip().lower()
+            self.partition_pruning = env not in ("0", "false", "no", "off")
+        if self.result_cache is not None and self.result_cache not in (
+            "memory", "sqlite", "bitmap",
+        ):
+            raise ConfigurationError(
+                f"unknown cache backend {self.result_cache!r}"
+                f" (choose from memory, sqlite, bitmap)"
+            )
+        if self.result_cache in ("sqlite", "bitmap") and (
+            self.result_cache_path is None
+        ):
+            raise ConfigurationError(
+                f"cache backend {self.result_cache!r} requires a cache path"
+            )
+        if self.result_cache == "memory" and self.result_cache_path is not None:
+            raise ConfigurationError(
+                "cache backend 'memory' does not take a cache path"
+            )
+        if self.result_cache_path is not None and self.result_cache is None:
+            raise ConfigurationError(
+                "a cache path requires a cache backend (sqlite or bitmap)"
+            )
+        if self.result_cache_max_entries < 1:
+            raise ConfigurationError(
+                f"result_cache_max_entries must be >= 1,"
+                f" got {self.result_cache_max_entries}"
+            )
+        if self.result_cache_ttl is not None and self.result_cache_ttl <= 0:
+            raise ConfigurationError(
+                f"result_cache_ttl must be > 0, got {self.result_cache_ttl}"
+            )
 
 
 class Broadcast:
@@ -284,6 +336,24 @@ class AnalyticsContext:
         # One entry per relational plan optimized in this context (rule
         # hit counts, node counts); surfaces in the run ledger as "plan".
         self.plan_events: List[Dict[str, Any]] = []
+        # Zone maps collected at scan time, and the optional result
+        # cache of pruned partition sets (see relational/cache.py). The
+        # import is deferred: the engine layer only needs the cache
+        # machinery when a backend is actually configured.
+        self.zone_maps = ZoneMapStore()
+        self.query_cache: Optional[Any] = None
+        if self.conf.result_cache is not None:
+            from repro.relational.cache import ResultCacheManager, open_backend
+
+            backend = open_backend(
+                self.conf.result_cache,
+                path=self.conf.result_cache_path,
+                max_entries=self.conf.result_cache_max_entries,
+                ttl=self.conf.result_cache_ttl,
+            )
+            self.query_cache = ResultCacheManager(
+                backend, metrics=self.obs.metrics
+            )
 
         self._rdd_counter = 0
         self._job_counter = 0
@@ -343,15 +413,19 @@ class AnalyticsContext:
         size_scale: float = 1.0,
         op_name: str = "source",
         cost: float = 1.0,
+        version: Optional[str] = None,
     ) -> SourceRDD:
         """A re-splittable generated source (see :class:`SourceRDD`).
 
         Give each distinct dataset a distinct ``op_name`` — it is the
-        source's structural signature.
+        source's structural signature. ``version`` (a content hash of
+        the generator's parameters) makes the source eligible for
+        zone-map statistics and the partition-pruning result cache.
         """
         return SourceRDD(
             self, generator, num_partitions,
             size_scale=size_scale, op_name=op_name, cost=cost,
+            version=version,
         )
 
     def union(self, rdds: Sequence[RDD]) -> RDD:
@@ -436,6 +510,11 @@ class AnalyticsContext:
         results survive close() — but spilled payloads do not; close a
         context only once its results are collected.
         """
+        if self.query_cache is not None:
+            # Resolve this run's cache misses from the zone maps its
+            # scans collected, then release the backend.
+            self.query_cache.flush(self.zone_maps)
+            self.query_cache.close()
         self.block_store.clear()
         self.shuffle_manager.clear()
         if self.spill is not None:

@@ -355,6 +355,7 @@ class DAGScheduler:
             ),
             source_signatures=self._source_signatures(stage),
             attempt=attempt,
+            pruned_partitions=self._pruned_partitions(stage),
         )
         result_fn = self._result_fn if stage.kind == RESULT else None
         run = StageRun(stage, stats, result_fn, self._on_stage_complete)
@@ -777,6 +778,26 @@ class DAGScheduler:
             for rdd in stage.input_rdds()
             if isinstance(rdd, SourceRDD)
         ]
+
+    @staticmethod
+    def _pruned_partitions(stage: Stage) -> int:
+        """Source partitions this stage's pipeline skips via pruned scans."""
+        from repro.engine.rdd import PartitionSubsetRDD
+
+        seen: set = set()
+        total = [0]
+
+        def walk(rdd) -> None:
+            if rdd.id in seen:
+                return
+            seen.add(rdd.id)
+            if isinstance(rdd, PartitionSubsetRDD):
+                total[0] += rdd.pruned_count
+            for dep in rdd.narrow_deps():
+                walk(dep.parent)
+
+        walk(stage.rdd)
+        return total[0]
 
     @staticmethod
     def _cogroup_sides(stage: Stage) -> int:

@@ -83,6 +83,22 @@ class RangeNarrowDependency(NarrowDependency):
         return []
 
 
+class SubsetDependency(NarrowDependency):
+    """Child partition *i* maps to a chosen parent partition ``kept[i]``.
+
+    The narrow dependency behind partition pruning: a pruned scan keeps
+    only the parent partitions a filter can possibly match, so the
+    skipped ones never appear in any task's lineage and never schedule.
+    """
+
+    def __init__(self, parent: "RDD", kept) -> None:
+        super().__init__(parent)
+        self.kept = tuple(kept)
+
+    def parent_partitions(self, split: int) -> List[int]:
+        return [self.kept[split]]
+
+
 class CoalesceDependency(NarrowDependency):
     """Child partition *i* merges a contiguous slice of parent partitions.
 

@@ -58,6 +58,10 @@ def loads_payload(blob: bytes) -> Any:
 #   ("counter", counter, value)      - a pre-bound Counter object.
 #   ("metric", name, labels, value)  - a lazily-created labeled counter.
 #   ("acc", accumulator, value)      - an accumulator fold.
+#   ("zone_map", key, split, stats)  - zone-map statistics of one scanned
+#                                      partition; replayed as a put into
+#                                      ctx.zone_maps (idempotent: stats
+#                                      are a pure function of the split).
 #   ("log", level, logger, event, fields)
 #                                    - a structured log record; emitted
 #                                      through ctx.obs.log_event at the

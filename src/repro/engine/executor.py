@@ -127,10 +127,12 @@ class TaskRunner:
             )
             raise
         if tctx.cache_read_bytes:
-            self._inc("cache.hits", node=node.name)
-            self._inc("cache.read_bytes", tctx.cache_read_bytes, node=node.name)
+            self._inc("blockcache.hits", node=node.name)
+            self._inc(
+                "blockcache.read_bytes", tctx.cache_read_bytes, node=node.name
+            )
         for src, nbytes in tctx.cache_remote_by_src.items():
-            self._inc("cache.remote_read_bytes", nbytes, src=src)
+            self._inc("blockcache.remote_read_bytes", nbytes, src=src)
         self._log(
             "DEBUG", "task_executed",
             stage=stage.name, partition=task.partition, node=node.name,
@@ -255,6 +257,9 @@ class TaskRunner:
                 ctx.obs.log_event(level, logger, event, **dict(fields))
             elif tag == "acc":
                 op[1]._fold(op[2])
+            elif tag == "zone_map":
+                _, key, split, stats = op
+                ctx.zone_maps.put(key, split, stats)
             else:  # pragma: no cover - defensive
                 raise SchedulingError(f"unknown deferred op {tag!r}")
 

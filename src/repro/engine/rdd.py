@@ -35,7 +35,9 @@ from repro.engine.dependencies import (
     OneToOneDependency,
     RangeNarrowDependency,
     ShuffleDependency,
+    SubsetDependency,
 )
+from repro.engine import effects
 from repro.engine.partitioner import HashPartitioner, Partitioner
 from repro.engine.task import TaskContext
 
@@ -852,6 +854,7 @@ class SourceRDD(RDD):
         size_scale: float = 1.0,
         op_name: str = "source",
         cost: float = 1.0,
+        version: Optional[str] = None,
     ) -> None:
         super().__init__(ctx, [], op_name, compute_factor=cost)
         if num_partitions < 1:
@@ -859,6 +862,12 @@ class SourceRDD(RDD):
         self._generator = generator
         self._num_partitions = num_partitions
         self._size_scale = size_scale
+        # A content version (hash of the generator's identity) makes the
+        # source eligible for zone maps and result caching; unversioned
+        # sources are never described or cached. The relational layer
+        # fills ``zone_map_spec`` when a consumer could use the maps.
+        self.dataset_version = version
+        self.zone_map_spec = None
 
     @property
     def num_partitions(self) -> int:
@@ -894,6 +903,24 @@ class SourceRDD(RDD):
             * self._size_scale
         )
         task.note_input(nbytes)
+        spec = self.zone_map_spec
+        if spec is not None:
+            # Record zone maps as a pure observer: a deterministic
+            # function of the split's records, deferred through the
+            # task-effects sink (replayed in grant order on the driver)
+            # and idempotent across retries/speculation, so it never
+            # touches simulated time or result identity.
+            key = (spec.table, spec.version, self._num_partitions)
+            store = self.ctx.zone_maps
+            if not store.has(key, split):
+                from repro.relational.stats import collect_column_stats
+
+                stats = collect_column_stats(records, spec.columns)
+                sink = effects.active()
+                if sink is not None:
+                    sink.ops.append(("zone_map", key, split, stats))
+                else:
+                    store.put(key, split, stats)
         return records
 
 
@@ -1079,6 +1106,56 @@ class CoalescedRDD(RDD):
         for parent_split in dep.parent_partitions(split):
             records.extend(dep.parent.materialize(parent_split, task))
         return records
+
+
+class PartitionSubsetRDD(RDD):
+    """A pruned view of a parent: child split *i* is parent ``kept[i]``.
+
+    The lowering of a partition-pruned scan. Because the subset is part
+    of the lineage (not a scheduling-time filter), every consumer —
+    stage building, chaos resubmission, AQE re-planning, preferred
+    locations — sees only the kept partitions; the skipped ones never
+    become tasks anywhere.
+    """
+
+    def __init__(self, parent: RDD, kept) -> None:
+        kept = tuple(kept)
+        total = parent.num_partitions
+        if not kept:
+            raise ConfigurationError("partition subset cannot be empty")
+        for p in kept:
+            if not 0 <= p < total:
+                raise ConfigurationError(
+                    f"subset partition {p} out of range 0..{total - 1}"
+                )
+        super().__init__(
+            parent.ctx,
+            [SubsetDependency(parent, kept)],
+            op_name=f"subset[{len(kept)}/{total}]",
+        )
+        self.kept = kept
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.kept)
+
+    @property
+    def pruned_count(self) -> int:
+        """How many parent partitions this subset skips."""
+        return self.deps[0].parent.num_partitions - len(self.kept)
+
+    @property
+    def signature(self) -> str:
+        if self._signature is None:
+            h = hashlib.blake2b(digest_size=8)
+            h.update(b"subset:")
+            h.update(self.deps[0].parent.signature.encode())
+            h.update(repr(self.kept).encode())
+            self._signature = h.hexdigest()
+        return self._signature
+
+    def compute(self, split: int, task: TaskContext) -> List:
+        return self.deps[0].parent.materialize(self.kept[split], task)
 
 
 def parallelize_generator(data: List, split: int, num_splits: int) -> List:

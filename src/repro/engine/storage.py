@@ -477,3 +477,54 @@ class BlockStore:
                 self._node_bytes[block.node] = max(0.0, remaining)
         if self._spill is not None:
             self._spill.forget(block)
+
+
+class ZoneMapStore:
+    """Per-partition column statistics of versioned source tables.
+
+    Keyed by ``(table, version, num_partitions)`` — the same triple the
+    result cache validates against — mapping each scanned split to its
+    ``{column: ColumnStats}`` zone map. Sits beside the block store as
+    run metadata: written via the deferred-effects path (or directly on
+    the driver), read by the ``PrunePartitions`` rule and by the result
+    cache's flush at context close. Puts are idempotent because the
+    statistics are a pure function of the split's records.
+    """
+
+    def __init__(self) -> None:
+        self._maps: Dict[Tuple[str, str, int], Dict[int, Dict]] = {}
+
+    def put(
+        self, key: Tuple[str, str, int], split: int, stats: Dict
+    ) -> None:
+        self._maps.setdefault(key, {})[split] = stats
+
+    def has(self, key: Tuple[str, str, int], split: int) -> bool:
+        return split in self._maps.get(key, {})
+
+    def get(self, key: Tuple[str, str, int]) -> Dict[int, Dict]:
+        """All recorded splits of one table version (may be partial)."""
+        return self._maps.get(key, {})
+
+    def tables(self) -> List[Tuple[str, str, int]]:
+        return sorted(self._maps)
+
+    def clear(self) -> None:
+        self._maps.clear()
+
+    def summary(self) -> List[Dict]:
+        """Ledger-friendly digest: coverage and columns per table."""
+        out = []
+        for (table, version, num_partitions) in self.tables():
+            splits = self._maps[(table, version, num_partitions)]
+            columns = sorted({c for s in splits.values() for c in s})
+            out.append(
+                {
+                    "table": table,
+                    "version": version,
+                    "num_partitions": num_partitions,
+                    "splits_covered": len(splits),
+                    "columns": columns,
+                }
+            )
+        return out

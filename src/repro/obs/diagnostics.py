@@ -33,6 +33,9 @@ HEALTH_COUNTERS = (
     "scheduler.stage_resubmissions",
     "scheduler.nodes_lost",
     "scheduler.speculative_launches",
+    "cache.hits",
+    "cache.misses",
+    "scan.partitions_pruned",
 )
 
 

@@ -347,6 +347,9 @@ class LedgerCollector:
                 # AQE: physical task count after runtime re-planning;
                 # None when the stage ran its static layout.
                 "adapted_partitions": stats.adapted_num_partitions,
+                # Source partitions skipped by pruned scans in this
+                # stage's pipeline (never scheduled as tasks).
+                "pruned_partitions": stats.pruned_partitions,
             }
         )
 
@@ -418,6 +421,21 @@ class LedgerCollector:
             "plan": plan_summary(
                 getattr(self._ctx, "plan_events", None) if self._ctx else None
             ),
+            "partition_cache": self._partition_cache(),
+        }
+
+    def _partition_cache(self) -> Optional[Dict[str, Any]]:
+        """Result-cache stats and zone-map coverage, when either exists."""
+        if self._ctx is None:
+            return None
+        cache = getattr(self._ctx, "query_cache", None)
+        zone_maps = getattr(self._ctx, "zone_maps", None)
+        zone_summary = zone_maps.summary() if zone_maps is not None else []
+        if cache is None and not zone_summary:
+            return None
+        return {
+            "cache": cache.stats() if cache is not None else None,
+            "zone_maps": zone_summary,
         }
 
 

@@ -42,10 +42,24 @@ from repro.relational.plan import (
     Sort,
     render_plan,
 )
+from repro.relational.cache import (
+    CacheEntry,
+    ResultCacheManager,
+    open_backend,
+    query_signature,
+    sniff_backend,
+)
 from repro.relational.rules import (
     RuleBatch,
     RuleRunner,
     default_rule_runner,
+)
+from repro.relational.stats import (
+    ColumnStats,
+    RangeLayout,
+    ZoneMapSpec,
+    can_match,
+    collect_column_stats,
 )
 from repro.relational.table import GroupedTable, Table, lower_plan
 
@@ -77,4 +91,14 @@ __all__ = [
     "RuleRunner",
     "default_rule_runner",
     "lower_plan",
+    "CacheEntry",
+    "ResultCacheManager",
+    "open_backend",
+    "query_signature",
+    "sniff_backend",
+    "ColumnStats",
+    "RangeLayout",
+    "ZoneMapSpec",
+    "can_match",
+    "collect_column_stats",
 ]

@@ -1,0 +1,564 @@
+"""Partition-pruning result cache: query signatures + pluggable backends.
+
+The cache does *not* store query results — it stores something cheaper
+and safer: for a given query variant, the set of partition IDs of a
+versioned source table that can possibly contribute rows. A warm run
+intersects the cached set into the scan before any task is scheduled;
+a cold run records zone maps while scanning and derives the set at
+context close.
+
+Three backends implement the same five-method surface (``get`` / ``put``
+/ ``delete`` / ``clear`` / ``entries``):
+
+* ``memory`` — an in-process ``OrderedDict`` (LRU order is dict order);
+  gone when the context closes. The default for single-run experiments.
+* ``sqlite`` — a stdlib :mod:`sqlite3` file; survives across processes,
+  which is what makes warm CLI runs possible.
+* ``bitmap`` — a packed-bitmap file (magic ``RPC1``): partition sets are
+  stored as bitsets, one bit per partition, with a JSON header. Compact
+  for wide tables, trivially diffable, rewritten atomically on put.
+
+All backends evict LRU past ``max_entries`` and (optionally) expire
+entries older than ``ttl`` seconds. The clock is injectable so eviction
+is testable; by default entries are stamped with a monotonically
+increasing logical tick, keeping cache files deterministic for
+byte-level comparison (pass ``clock=time.time`` for wall-clock TTLs).
+
+Keys are *query-variant signatures*: a BLAKE2b hash over the
+canonicalized optimized plan text, the scan's table name + dataset
+version + partition count, and the predicate's deterministic repr
+(literal constants included — ``x < 100`` and ``x < 200`` are different
+variants). A table regenerated with different parameters changes its
+dataset version, which changes the signature *and* fails the entry's
+stored-version check — stale sets can never be applied.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from dataclasses import dataclass, replace
+from hashlib import blake2b
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.relational.expr import Expr
+from repro.relational.stats import can_match
+
+#: Valid backend names, in the order `repro cache` and error text list them.
+BACKENDS = ("memory", "sqlite", "bitmap")
+
+#: File magic of the packed-bitmap backend.
+BITMAP_MAGIC = b"RPC1"
+
+
+def query_signature(
+    plan_text: str,
+    table: str,
+    version: str,
+    num_partitions: int,
+    predicate: Expr,
+) -> str:
+    """Deterministic signature of one (query variant, scan) pair.
+
+    ``plan_text`` is the canonical rendering of the optimized plan as it
+    stands *before* partition pruning rewrites it, so cold and warm runs
+    of the same query derive the same key. Expression reprs are
+    deterministic (``col('x')``, ``lit(100)``), so predicate constants
+    are part of the variant.
+    """
+    h = blake2b(digest_size=16)
+    for part in (plan_text, table, version, str(num_partitions), repr(predicate)):
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached partition set, plus enough metadata to validate it."""
+
+    key: str
+    table: str
+    version: str
+    num_partitions: int
+    partitions: Tuple[int, ...]
+    created: float = 0.0
+    last_used: float = 0.0
+    hits: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "table": self.table,
+            "version": self.version,
+            "num_partitions": self.num_partitions,
+            "partitions": list(self.partitions),
+            "created": self.created,
+            "last_used": self.last_used,
+            "hits": self.hits,
+        }
+
+
+class _TickClock:
+    """Deterministic default clock: a logical tick per call."""
+
+    def __init__(self) -> None:
+        self._tick = 0.0
+
+    def __call__(self) -> float:
+        self._tick += 1.0
+        return self._tick
+
+
+class CacheBackend:
+    """Shared LRU/TTL policy; subclasses provide the storage dict."""
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        ttl: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.max_entries = max_entries
+        self.ttl = ttl
+        self.clock = clock if clock is not None else _TickClock()
+
+    # Storage primitives subclasses implement ---------------------------
+    def _load(self) -> Dict[str, CacheEntry]:
+        raise NotImplementedError
+
+    def _store(self, entries: Dict[str, CacheEntry]) -> None:
+        raise NotImplementedError
+
+    # Shared policy ------------------------------------------------------
+    def _expired(self, entry: CacheEntry, now: float) -> bool:
+        return self.ttl is not None and (now - entry.created) > self.ttl
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        entries = self._load()
+        entry = entries.get(key)
+        if entry is None:
+            return None
+        now = self.clock()
+        if self._expired(entry, now):
+            del entries[key]
+            self._store(entries)
+            return None
+        entry = replace(entry, last_used=now, hits=entry.hits + 1)
+        del entries[key]  # re-insert at MRU position
+        entries[key] = entry
+        self._store(entries)
+        return entry
+
+    def put(self, entry: CacheEntry) -> None:
+        entries = self._load()
+        now = self.clock()
+        if entry.created == 0.0:
+            entry = replace(entry, created=now, last_used=now)
+        entries.pop(entry.key, None)
+        entries[entry.key] = entry
+        # Evict expired first, then LRU down to max_entries.
+        for key in [k for k, e in entries.items() if self._expired(e, now)]:
+            del entries[key]
+        while len(entries) > self.max_entries:
+            lru = min(entries.values(), key=lambda e: (e.last_used, e.key))
+            del entries[lru.key]
+        self._store(entries)
+
+    def delete(self, key: str) -> bool:
+        entries = self._load()
+        if key not in entries:
+            return False
+        del entries[key]
+        self._store(entries)
+        return True
+
+    def clear(self) -> int:
+        entries = self._load()
+        count = len(entries)
+        self._store({})
+        return count
+
+    def entries(self) -> List[CacheEntry]:
+        return sorted(self._load().values(), key=lambda e: e.key)
+
+    def close(self) -> None:
+        pass
+
+
+class MemoryCacheBackend(CacheBackend):
+    """In-process dict; per-context lifetime."""
+
+    name = "memory"
+
+    def __init__(self, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self._entries: Dict[str, CacheEntry] = {}
+
+    def _load(self) -> Dict[str, CacheEntry]:
+        return self._entries
+
+    def _store(self, entries: Dict[str, CacheEntry]) -> None:
+        self._entries = entries
+
+
+class SQLiteCacheBackend(CacheBackend):
+    """A stdlib sqlite3 file; shared across processes and runs."""
+
+    name = "sqlite"
+
+    _SCHEMA = """
+        CREATE TABLE IF NOT EXISTS cache_entries (
+            key TEXT PRIMARY KEY,
+            table_name TEXT NOT NULL,
+            version TEXT NOT NULL,
+            num_partitions INTEGER NOT NULL,
+            partitions TEXT NOT NULL,
+            created REAL NOT NULL,
+            last_used REAL NOT NULL,
+            hits INTEGER NOT NULL
+        )
+    """
+
+    def __init__(self, path: str, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self.path = path
+        try:
+            self._conn = sqlite3.connect(path)
+            self._conn.execute(self._SCHEMA)
+            self._conn.commit()
+            # Resume the logical clock past any persisted timestamps so
+            # re-opened caches keep a coherent LRU order.
+            if isinstance(self.clock, _TickClock):
+                row = self._conn.execute(
+                    "SELECT COALESCE(MAX(last_used), 0) FROM cache_entries"
+                ).fetchone()
+                self.clock._tick = float(row[0])
+        except sqlite3.Error as exc:
+            raise ConfigurationError(
+                f"cannot open sqlite cache at {path!r}: {exc}"
+            ) from exc
+
+    def _load(self) -> Dict[str, CacheEntry]:
+        try:
+            rows = self._conn.execute(
+                "SELECT key, table_name, version, num_partitions, partitions,"
+                " created, last_used, hits FROM cache_entries ORDER BY last_used"
+            ).fetchall()
+        except sqlite3.Error as exc:
+            raise ConfigurationError(
+                f"cannot read sqlite cache at {self.path!r}: {exc}"
+            ) from exc
+        return {
+            row[0]: CacheEntry(
+                key=row[0],
+                table=row[1],
+                version=row[2],
+                num_partitions=row[3],
+                partitions=tuple(json.loads(row[4])),
+                created=row[5],
+                last_used=row[6],
+                hits=row[7],
+            )
+            for row in rows
+        }
+
+    def _store(self, entries: Dict[str, CacheEntry]) -> None:
+        try:
+            self._conn.execute("DELETE FROM cache_entries")
+            self._conn.executemany(
+                "INSERT INTO cache_entries VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        e.key, e.table, e.version, e.num_partitions,
+                        json.dumps(list(e.partitions)), e.created,
+                        e.last_used, e.hits,
+                    )
+                    for e in entries.values()
+                ],
+            )
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise ConfigurationError(
+                f"cannot write sqlite cache at {self.path!r}: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+def _pack_bitmap(partitions: Tuple[int, ...], num_partitions: int) -> bytes:
+    packed = bytearray((num_partitions + 7) // 8)
+    for p in partitions:
+        packed[p // 8] |= 1 << (p % 8)
+    return bytes(packed)
+
+
+def _unpack_bitmap(packed: bytes, num_partitions: int) -> Tuple[int, ...]:
+    return tuple(
+        p for p in range(num_partitions) if packed[p // 8] & (1 << (p % 8))
+    )
+
+
+class BitmapCacheBackend(CacheBackend):
+    """Packed-bitmap file: ``RPC1`` magic + JSON doc with hex bitsets.
+
+    Each entry's partition set is one bit per partition; the whole file
+    is rewritten on every put (entry counts are small by construction —
+    ``max_entries`` bounds them).
+    """
+
+    name = "bitmap"
+
+    def __init__(self, path: str, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self.path = path
+        if os.path.exists(path):
+            self._check_magic()
+        else:
+            try:
+                self._store({})
+            except OSError as exc:
+                raise ConfigurationError(
+                    f"cannot create bitmap cache at {path!r}: {exc}"
+                ) from exc
+        if isinstance(self.clock, _TickClock):
+            entries = self._load()
+            if entries:
+                self.clock._tick = max(e.last_used for e in entries.values())
+
+    def _check_magic(self) -> None:
+        try:
+            with open(self.path, "rb") as fh:
+                magic = fh.read(len(BITMAP_MAGIC))
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot open bitmap cache at {self.path!r}: {exc}"
+            ) from exc
+        if magic != BITMAP_MAGIC:
+            raise ConfigurationError(
+                f"not a bitmap cache file (bad magic): {self.path!r}"
+            )
+
+    def _load(self) -> Dict[str, CacheEntry]:
+        try:
+            with open(self.path, "rb") as fh:
+                raw = fh.read()
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read bitmap cache at {self.path!r}: {exc}"
+            ) from exc
+        if raw[: len(BITMAP_MAGIC)] != BITMAP_MAGIC:
+            raise ConfigurationError(
+                f"not a bitmap cache file (bad magic): {self.path!r}"
+            )
+        try:
+            doc = json.loads(raw[len(BITMAP_MAGIC):].decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ConfigurationError(
+                f"corrupt bitmap cache at {self.path!r}: {exc}"
+            ) from exc
+        entries: Dict[str, CacheEntry] = {}
+        for rec in doc.get("entries", []):
+            packed = bytes.fromhex(rec["bitmap"])
+            entries[rec["key"]] = CacheEntry(
+                key=rec["key"],
+                table=rec["table"],
+                version=rec["version"],
+                num_partitions=rec["num_partitions"],
+                partitions=_unpack_bitmap(packed, rec["num_partitions"]),
+                created=rec["created"],
+                last_used=rec["last_used"],
+                hits=rec["hits"],
+            )
+        return entries
+
+    def _store(self, entries: Dict[str, CacheEntry]) -> None:
+        doc = {
+            "format": 1,
+            "entries": [
+                {
+                    "key": e.key,
+                    "table": e.table,
+                    "version": e.version,
+                    "num_partitions": e.num_partitions,
+                    "bitmap": _pack_bitmap(e.partitions, e.num_partitions).hex(),
+                    "created": e.created,
+                    "last_used": e.last_used,
+                    "hits": e.hits,
+                }
+                for e in sorted(entries.values(), key=lambda e: e.key)
+            ],
+        }
+        payload = BITMAP_MAGIC + json.dumps(doc, sort_keys=True).encode("utf-8")
+        # Per-process temp name: concurrent writers each replace their
+        # own file (last one wins, atomically); a shared name would let
+        # one writer's replace() steal the temp out from under another.
+        tmp = f"{self.path}.{os.getpid()}.tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(payload)
+        os.replace(tmp, self.path)
+
+
+def open_backend(
+    kind: str,
+    path: Optional[str] = None,
+    max_entries: int = 256,
+    ttl: Optional[float] = None,
+    clock: Optional[Callable[[], float]] = None,
+) -> CacheBackend:
+    """Open a cache backend by name; ConfigurationError on bad input."""
+    if kind not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown cache backend {kind!r} (choose from {', '.join(BACKENDS)})"
+        )
+    kwargs: Dict[str, Any] = {
+        "max_entries": max_entries, "ttl": ttl, "clock": clock,
+    }
+    if kind == "memory":
+        if path is not None:
+            raise ConfigurationError(
+                "cache backend 'memory' does not take a cache path"
+            )
+        return MemoryCacheBackend(**kwargs)
+    if path is None:
+        raise ConfigurationError(
+            f"cache backend {kind!r} requires a cache path"
+        )
+    if kind == "sqlite":
+        return SQLiteCacheBackend(path, **kwargs)
+    return BitmapCacheBackend(path, **kwargs)
+
+
+def sniff_backend(path: str) -> str:
+    """Identify an on-disk cache file by magic ('sqlite' or 'bitmap')."""
+    try:
+        with open(path, "rb") as fh:
+            head = fh.read(16)
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read cache file {path!r}: {exc}"
+        ) from exc
+    if head.startswith(BITMAP_MAGIC):
+        return "bitmap"
+    if head.startswith(b"SQLite format 3"):
+        return "sqlite"
+    raise ConfigurationError(
+        f"unrecognized cache file format: {path!r}"
+    )
+
+
+@dataclass
+class _PendingLookup:
+    """A cache miss awaiting zone maps from the run that follows it."""
+
+    key: str
+    table: str
+    version: str
+    num_partitions: int
+    predicate: Expr
+    planned: Optional[Tuple[int, ...]] = None  # plan-time static pruning
+
+
+class ResultCacheManager:
+    """Drives the backend on behalf of the optimizer and the context.
+
+    ``lookup`` runs at plan time (driver-side, deterministic — counters
+    incremented here never race); misses are remembered and resolved at
+    ``flush`` time from the zone maps the run collected. Entries are
+    written conservatively: a partition is kept unless its zone map
+    proves the predicate cannot match, and scans that never executed
+    (zero zone-map coverage, e.g. `repro explain`) write nothing.
+    """
+
+    def __init__(self, backend: CacheBackend, metrics=None) -> None:
+        self.backend = backend
+        self._metrics = metrics
+        self._pending: Dict[str, _PendingLookup] = {}
+        self.hits = 0
+        self.misses = 0
+        self._closed = False
+
+    def _count(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc()
+
+    def lookup(
+        self,
+        key: str,
+        table: str,
+        version: str,
+        num_partitions: int,
+        predicate: Expr,
+    ) -> Optional[Set[int]]:
+        """Cached partition set, or None (and a registered miss)."""
+        entry = self.backend.get(key)
+        if (
+            entry is not None
+            and entry.version == version
+            and entry.num_partitions == num_partitions
+        ):
+            self.hits += 1
+            self._count("cache.hits")
+            return set(entry.partitions)
+        self.misses += 1
+        self._count("cache.misses")
+        if key not in self._pending:
+            self._pending[key] = _PendingLookup(
+                key=key, table=table, version=version,
+                num_partitions=num_partitions, predicate=predicate,
+            )
+        return None
+
+    def note_planned(self, key: str, kept: Set[int]) -> None:
+        """Record the plan-time (static) kept set for a pending miss."""
+        pending = self._pending.get(key)
+        if pending is not None:
+            pending.planned = tuple(sorted(kept))
+
+    def flush(self, zone_maps) -> int:
+        """Resolve pending misses against collected zone maps; returns
+        the number of entries written."""
+        written = 0
+        for key in sorted(self._pending):
+            p = self._pending[key]
+            maps = zone_maps.get((p.table, p.version, p.num_partitions))
+            if not maps:
+                continue  # scan never executed: nothing to learn
+            candidates = (
+                p.planned if p.planned is not None
+                else range(p.num_partitions)
+            )
+            kept = tuple(
+                split
+                for split in sorted(candidates)
+                if split not in maps  # no stats: conservative keep
+                or can_match(p.predicate, maps[split])
+            )
+            self.backend.put(
+                CacheEntry(
+                    key=key, table=p.table, version=p.version,
+                    num_partitions=p.num_partitions, partitions=kept,
+                )
+            )
+            written += 1
+        self._pending.clear()
+        return written
+
+    def stats(self) -> dict:
+        return {
+            "backend": self.backend.name,
+            "hits": self.hits,
+            "misses": self.misses,
+            "pending": len(self._pending),
+            "entries": len(self.backend.entries()),
+        }
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.backend.close()

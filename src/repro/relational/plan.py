@@ -98,11 +98,28 @@ class LogicalPlan:
 
 
 class Scan(LogicalPlan):
-    """A leaf wrapping a source RDD of tuple rows."""
+    """A leaf wrapping a source RDD of tuple rows.
 
-    def __init__(self, rdd, schema: Sequence[str]) -> None:
+    ``partitions`` is None for a full scan; the ``PrunePartitions`` rule
+    rewrites it to the sorted tuple of partition ids that may satisfy
+    the enclosing filter (``pruned_by`` names the evidence — declared
+    layout, zone maps, cached set). ``layout`` optionally declares the
+    source's range partitioning for static cold-run pruning.
+    """
+
+    def __init__(
+        self,
+        rdd,
+        schema: Sequence[str],
+        partitions: Optional[Tuple[int, ...]] = None,
+        pruned_by: Tuple[str, ...] = (),
+        layout=None,
+    ) -> None:
         self.rdd = rdd
         self._schema = tuple(schema)
+        self.partitions = tuple(partitions) if partitions is not None else None
+        self.pruned_by = tuple(pruned_by)
+        self.layout = layout
         _check_schema(self._schema, "Scan")
 
     def with_children(self, children: Sequence[LogicalPlan]) -> "Scan":
@@ -110,10 +127,19 @@ class Scan(LogicalPlan):
 
     def describe(self) -> str:
         name = getattr(self.rdd, "op_name", "rdd")
-        return f"Scan {name} [{', '.join(self._schema)}]"
+        base = f"Scan {name} [{', '.join(self._schema)}]"
+        if self.partitions is not None:
+            total = self.rdd.num_partitions
+            by = f" via {', '.join(self.pruned_by)}" if self.pruned_by else ""
+            return f"{base} (scan {len(self.partitions)}/{total} partitions{by})"
+        return base
 
     def _params_same_as(self, other: "Scan") -> bool:
-        return self.rdd is other.rdd and self._schema == other._schema
+        return (
+            self.rdd is other.rdd
+            and self._schema == other._schema
+            and self.partitions == other.partitions
+        )
 
 
 class Project(LogicalPlan):

@@ -46,8 +46,10 @@ from repro.relational.plan import (
     Scan,
     Sort,
     count_nodes,
+    render_plan,
     transform_up,
 )
+from repro.relational.stats import can_match
 
 
 class Rule:
@@ -372,25 +374,148 @@ class PruneColumns(Rule):
         return Project(side, exprs)
 
 
-def default_rule_runner() -> RuleRunner:
-    """The standard batches ``Table`` runs before lowering."""
-    return RuleRunner(
-        [
+class PrunePartitions(Rule):
+    """Rewrite ``Filter``-over-``Scan`` into a partition-subset scan.
+
+    Runs last (the plan is otherwise final) and consults, in order:
+
+    1. the scan's declared :class:`~repro.relational.stats.RangeLayout`
+       (static — prunes even a cold run of a range-partitioned table;
+       a hash layout declares nothing and prunes nothing, CHOPPER's
+       read-path trade-off in one rule);
+    2. zone maps already collected in this context (a second query over
+       the same materialized table prunes from the first one's scan);
+    3. the result cache, keyed by the query-variant signature — a hit
+       intersects the cached partition set in, a miss registers a
+       pending entry the context resolves from zone maps at close.
+
+    All three sources are conservative supersets of the true matching
+    set, so intersecting them never changes results. The rewrite bakes
+    the subset into the lineage at plan time — chaos resubmission and
+    AQE re-planning re-derive the identical scan.
+    """
+
+    name = "PrunePartitions"
+
+    def __init__(self, ctx) -> None:
+        self.ctx = ctx
+
+    def rewrite(self, plan: LogicalPlan) -> Tuple[LogicalPlan, int]:
+        self._hits = 0
+        # The signature hashes the plan as it stands *before* this rule
+        # rewrites anything, so cold and warm runs derive the same key.
+        self._plan_text = render_plan(plan)
+        out = transform_up(plan, self._apply_filter)
+        return out, self._hits
+
+    def _apply_filter(self, node: LogicalPlan) -> Optional[LogicalPlan]:
+        if not isinstance(node, Filter):
+            return None
+        # Walk through intervening Projects (PruneColumns inserts them),
+        # translating the predicate down to scan-level columns.
+        chain: List[Project] = []
+        pred = node.predicate
+        child = node.child
+        while isinstance(child, Project):
+            pred = pred.substitute(_project_mapping(child))
+            chain.append(child)
+            child = child.child
+        if not isinstance(child, Scan) or child.partitions is not None:
+            return None
+        scan = child
+        rdd = scan.rdd
+        n = rdd.num_partitions
+        table = getattr(rdd, "op_name", None)
+        version = getattr(rdd, "dataset_version", None)
+        ctx = self.ctx
+        kept = set(range(n))
+        evidence: List[str] = []
+        if ctx.conf.partition_pruning:
+            if scan.layout is not None:
+                layout_kept = scan.layout.kept_partitions(pred, n)
+                if len(layout_kept) < n:
+                    evidence.append("range-layout")
+                kept &= layout_kept
+            if table is not None and version is not None:
+                maps = ctx.zone_maps.get((table, version, n))
+                if maps:
+                    zone_kept = {
+                        s for s in range(n)
+                        if s not in maps or can_match(pred, maps[s])
+                    }
+                    if len(zone_kept) < n:
+                        evidence.append("zone-map")
+                    kept &= zone_kept
+        cache = getattr(ctx, "query_cache", None)
+        if cache is not None and table is not None and version is not None:
+            from repro.relational.cache import query_signature
+
+            key = query_signature(self._plan_text, table, version, n, pred)
+            cached = cache.lookup(key, table, version, n, pred)
+            if cached is not None:
+                if len(cached) < n:
+                    evidence.append("cache")
+                kept &= cached
+            else:
+                cache.note_planned(key, kept)
+        if len(kept) == n:
+            return None
+        if not kept:
+            # The evidence proves no partition can match; still scan one
+            # so the lowered stage has a task (the filter then yields
+            # zero rows, which is exactly the right answer).
+            kept = {0}
+            if len(kept) == n:
+                return None
+        pruned = n - len(kept)
+        self._hits += 1
+        ctx.obs.metrics.counter("scan.partitions_pruned").inc(pruned)
+        ctx.obs.log_event(
+            "INFO", "optimizer", "partitions_pruned",
+            table=table or "rdd", total=n, scanned=len(kept),
+            pruned=pruned, via=",".join(evidence),
+        )
+        rebuilt: LogicalPlan = Scan(
+            rdd, scan.schema(), partitions=tuple(sorted(kept)),
+            pruned_by=tuple(evidence), layout=scan.layout,
+        )
+        for project in reversed(chain):
+            rebuilt = project.with_children((rebuilt,))
+        return Filter(rebuilt, node.predicate)
+
+
+def default_rule_runner(ctx=None) -> RuleRunner:
+    """The standard batches ``Table`` runs before lowering.
+
+    With a context, a final partition-pruning batch runs unless the
+    context disables pruning — ``partition_pruning=False`` turns off
+    *all* partition-subset rewriting, so a result cache configured
+    alongside it is neither consulted nor written (inert, not merely
+    weakened). Without a context (direct callers, unit tests) the
+    classic two batches apply unchanged.
+    """
+    batches = [
+        RuleBatch(
+            "pushdowns",
+            [
+                PushDownPredicates(),
+                FoldProjections(),
+                PushDownLimit(),
+                DropRepartition(),
+                CollapseSorts(),
+            ],
+            max_passes=10,
+        ),
+        RuleBatch(
+            "pruning",
+            [PruneColumns(), FoldProjections()],
+            max_passes=4,
+        ),
+    ]
+    if ctx is not None and ctx.conf.partition_pruning:
+        batches.append(
             RuleBatch(
-                "pushdowns",
-                [
-                    PushDownPredicates(),
-                    FoldProjections(),
-                    PushDownLimit(),
-                    DropRepartition(),
-                    CollapseSorts(),
-                ],
-                max_passes=10,
-            ),
-            RuleBatch(
-                "pruning",
-                [PruneColumns(), FoldProjections()],
-                max_passes=4,
-            ),
-        ]
-    )
+                "partition-pruning", [PrunePartitions(ctx)], max_passes=1
+            )
+        )
+    return RuleRunner(batches)

@@ -29,7 +29,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.common.errors import WorkloadError
 from repro.engine.context import AnalyticsContext
-from repro.engine.rdd import RDD, RecordOp
+from repro.engine.rdd import RDD, PartitionSubsetRDD, RecordOp
 from repro.relational.expr import Agg, Col, Expr, col
 from repro.relational.plan import (
     Aggregate,
@@ -44,6 +44,7 @@ from repro.relational.plan import (
     render_plan,
 )
 from repro.relational.rules import default_rule_runner
+from repro.relational.stats import RangeLayout, ZoneMapSpec
 
 
 # ----------------------------------------------------------------------
@@ -77,6 +78,11 @@ def _aligned(child: LogicalPlan, child_rdd: RDD, key_col: str) -> bool:
 
 def _lower_node(plan: LogicalPlan, memo: Dict[int, RDD]) -> RDD:
     if isinstance(plan, Scan):
+        if plan.partitions is not None:
+            # Pruned scan: the subset is part of the lineage, so skipped
+            # partitions never become tasks (and resubmissions re-derive
+            # the identical subset).
+            return PartitionSubsetRDD(plan.rdd, plan.partitions)
         return plan.rdd
 
     if isinstance(plan, Project):
@@ -262,6 +268,36 @@ def _lower_join(plan: Join, memo: Dict[int, RDD]) -> RDD:
 # ----------------------------------------------------------------------
 
 
+def _attach_zone_map_spec(scan: Scan) -> None:
+    """Mark a versioned source for zone-map collection at scan time.
+
+    Only source RDDs with a dataset version can be described (the
+    version is what keys the statistics and invalidates them when the
+    data changes); collection is skipped entirely when neither pruning
+    nor a result cache could ever consume the maps.
+    """
+    rdd = scan.rdd
+    version = getattr(rdd, "dataset_version", None)
+    if version is None or not hasattr(rdd, "zone_map_spec"):
+        return
+    ctx = rdd.ctx
+    if not (
+        ctx.conf.partition_pruning
+        or getattr(ctx, "query_cache", None) is not None
+    ):
+        return
+    rdd.zone_map_spec = ZoneMapSpec(
+        table=rdd.op_name, version=version, columns=scan.schema()
+    )
+
+
+def _collect_scans(plan: LogicalPlan, out: List[Scan]) -> None:
+    for child in plan.children:
+        _collect_scans(child, out)
+    if isinstance(plan, Scan):
+        out.append(plan)
+
+
 class Table:
     """A logical plan over RDDs of tuple rows, plus its column names."""
 
@@ -270,11 +306,13 @@ class Table:
         plan: Union[LogicalPlan, RDD],
         schema: Optional[Sequence[str]] = None,
         optimize: Optional[bool] = None,
+        layout: Optional[RangeLayout] = None,
     ) -> None:
         if isinstance(plan, RDD):
             if schema is None:
                 raise WorkloadError("Table(rdd, ...) needs a schema")
-            plan = Scan(plan, schema)
+            plan = Scan(plan, schema, layout=layout)
+            _attach_zone_map_spec(plan)
         self.plan: LogicalPlan = plan
         # None defers to EngineConf.logical_optimizer at lowering time.
         self._optimize = optimize
@@ -314,8 +352,11 @@ class Table:
         rdd: RDD,
         schema: Sequence[str],
         optimize: Optional[bool] = None,
+        layout: Optional[RangeLayout] = None,
     ) -> "Table":
-        return cls(rdd, schema, optimize=optimize)
+        """Wrap an RDD of rows; ``layout`` optionally declares its range
+        partitioning so filters can prune partitions on a cold scan."""
+        return cls(rdd, schema, optimize=optimize, layout=layout)
 
     def _with_plan(self, plan: LogicalPlan) -> "Table":
         return Table(plan, optimize=self._optimize)
@@ -398,7 +439,7 @@ class Table:
         if self._lowered is None:
             plan = self.plan
             if self._effective_optimize():
-                plan, stats = default_rule_runner().optimize(plan)
+                plan, stats = default_rule_runner(self._ctx()).optimize(plan)
                 self._ctx().plan_events.append(stats.to_dict())
             self._lowered = lower_plan(plan)
         return self._lowered
@@ -407,7 +448,8 @@ class Table:
         """The logical plan, and what the rewrite batches make of it."""
         lines = ["== Logical plan ==", render_plan(self.plan)]
         if self._effective_optimize():
-            optimized, stats = default_rule_runner().optimize(self.plan)
+            ctx = self._ctx()
+            optimized, stats = default_rule_runner(ctx).optimize(self.plan)
             lines += ["", "== Optimized plan ==", render_plan(optimized)]
             if stats.rule_hits:
                 hits = ", ".join(
@@ -417,6 +459,27 @@ class Table:
             else:
                 hits = "none"
             lines += ["", f"rules applied: {hits}"]
+            scans: List[Scan] = []
+            _collect_scans(optimized, scans)
+            pruned_any = any(s.partitions is not None for s in scans)
+            # Per-scan decisions: shown whenever something pruned, or
+            # whenever a result cache is attached (`repro explain
+            # --cache ...` then reports exactly what `run` would skip).
+            if pruned_any or getattr(ctx, "query_cache", None) is not None:
+                lines += ["", "== Partition pruning =="]
+                for scan in scans:
+                    name = getattr(scan.rdd, "op_name", "rdd")
+                    total = scan.rdd.num_partitions
+                    if scan.partitions is not None:
+                        via = ", ".join(scan.pruned_by) or "static"
+                        lines.append(
+                            f"{name}: scan {len(scan.partitions)}/{total}"
+                            f" partitions (pruned via {via})"
+                        )
+                    else:
+                        lines.append(
+                            f"{name}: scan {total}/{total} partitions"
+                        )
         return "\n".join(lines)
 
     # ------------------------------------------------------------------

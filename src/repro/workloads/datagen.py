@@ -16,6 +16,7 @@ and CHOPPER runs compute identical answers.
 from __future__ import annotations
 
 from dataclasses import astuple, dataclass
+from hashlib import blake2b
 from typing import Callable, Dict, List, Tuple
 
 import numpy as np
@@ -111,6 +112,21 @@ class _GenBase:
         per_record = estimate_size(sample_record)
         return self.virtual_bytes / (per_record * self.physical_records)
 
+    def dataset_version(self, label: str) -> str:
+        """Content version of one generated stream.
+
+        Hashes exactly the fields record content depends on — the same
+        ones the block cache keys on (virtual_bytes and parse_cost only
+        rescale accounting) — so the partition-pruning result cache is
+        invalidated iff the data actually changes.
+        """
+        key = (
+            (type(self).__name__, self.physical_records, self.seed)
+            + tuple(astuple(self)[4:])
+            + (label,)
+        )
+        return blake2b(repr(key).encode("utf-8"), digest_size=8).hexdigest()
+
 
 @dataclass
 class KMeansDataGen(_GenBase):
@@ -179,6 +195,15 @@ class SQLTableGen(_GenBase):
     ``customers`` records: ``(cust_id, region)``. The Zipf exponent makes
     a few customers account for most orders — the hot-key skew that makes
     partitioner choice matter (§III-B).
+
+    ``orders_layout`` controls how order ids land in partitions — the
+    range-vs-hash placement trade-off partition pruning makes visible:
+
+    * ``"range"`` (default): ``order_id`` is the global record index, so
+      each split holds one contiguous id range and its zone map is tight
+      — an ``order_id < N`` filter prunes most splits.
+    * ``"hash"``: ids are scrambled by a stable hash, every split spans
+      nearly the full id space, and zone maps can prove nothing.
     """
 
     n_customers: int = 500
@@ -186,8 +211,22 @@ class SQLTableGen(_GenBase):
     n_regions: int = 8
     zipf_a: float = 1.4
     customers_fraction: float = 0.1  # share of virtual bytes in customers
+    orders_layout: str = "range"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.orders_layout not in ("range", "hash"):
+            raise WorkloadError(
+                f"orders_layout must be 'range' or 'hash', "
+                f"got {self.orders_layout!r}"
+            )
 
     def orders_rdd(self, ctx: AnalyticsContext, num_partitions: int) -> SourceRDD:
+        from repro.engine.partitioner import stable_hash
+
+        n_ids = self.physical_records
+        scramble = self.orders_layout == "hash"
+
         def block(b: int) -> List[Tuple]:
             n = self._block_len(b)
             rng = self._block_rng("orders", b)
@@ -195,8 +234,12 @@ class SQLTableGen(_GenBase):
             prod = rng.integers(0, self.n_products, size=n)
             amount = np.round(rng.exponential(50.0, size=n), 2)
             base = b * BLOCK
+            if scramble:
+                ids = [stable_hash(base + i) % n_ids for i in range(n)]
+            else:
+                ids = [base + i for i in range(n)]
             return [
-                (base + i, int(cust[i]), int(prod[i]), float(amount[i]))
+                (ids[i], int(cust[i]), int(prod[i]), float(amount[i]))
                 for i in range(n)
             ]
 
@@ -208,7 +251,7 @@ class SQLTableGen(_GenBase):
         return ctx.source(
             lambda split, splits: self._gather(split, splits, block, "orders"),
             num_partitions, size_scale=scale, op_name="orders",
-            cost=self.parse_cost,
+            cost=self.parse_cost, version=self.dataset_version("orders"),
         )
 
     def customers_rdd(self, ctx: AnalyticsContext, num_partitions: int) -> SourceRDD:
@@ -233,7 +276,7 @@ class SQLTableGen(_GenBase):
         )
         return ctx.source(
             generate, num_partitions, size_scale=scale, op_name="customers",
-            cost=self.parse_cost,
+            cost=self.parse_cost, version=self.dataset_version("customers"),
         )
 
 

@@ -74,6 +74,8 @@ class SQLWorkload(Workload):
         sort_output: bool = True,
         optimize: Optional[bool] = None,
         skew: Optional[float] = None,
+        max_order: Optional[int] = None,
+        orders_layout: str = "range",
     ) -> None:
         super().__init__(physical_scale=physical_scale, seed=seed)
         self.input_bytes = virtual_gb * GB
@@ -92,6 +94,12 @@ class SQLWorkload(Workload):
         # None defers to EngineConf.logical_optimizer; False forces the
         # raw (unoptimized) lowering — results are bit-identical.
         self.optimize = optimize
+        # When set, the query filters orders to order_id < max_order — a
+        # selective scan predicate zone maps can prune (`--max-order`).
+        self.max_order = max_order
+        # Placement of order ids across partitions: "range" (contiguous,
+        # prunable) or "hash" (scrambled, unprunable). See SQLTableGen.
+        self.orders_layout = orders_layout
 
     def build_query(self, ctx: AnalyticsContext, scale: float = 1.0) -> Table:
         """The query as a relational plan (what ``repro explain`` shows)."""
@@ -104,6 +112,7 @@ class SQLWorkload(Workload):
             n_customers=self.n_customers,
             n_regions=self.n_regions,
             seed=self.seed,
+            orders_layout=self.orders_layout,
             **gen_kwargs,
         )
         orders = Table.from_rdd(
@@ -111,6 +120,8 @@ class SQLWorkload(Workload):
             ORDERS_SCHEMA,
             optimize=self.optimize,
         )
+        if self.max_order is not None:
+            orders = orders.where(col("order_id") < self.max_order)
         customers = Table.from_rdd(
             gen.customers_rdd(ctx, ctx.default_parallelism),
             CUSTOMERS_SCHEMA,

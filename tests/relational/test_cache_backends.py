@@ -1,0 +1,228 @@
+"""Result-cache backends: round-trip, eviction, TTL, sniffing, errors."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.relational import col, lit
+from repro.relational.cache import (
+    BITMAP_MAGIC,
+    CacheEntry,
+    MemoryCacheBackend,
+    ResultCacheManager,
+    open_backend,
+    query_signature,
+    sniff_backend,
+)
+
+
+def entry(key="k1", partitions=(0, 2, 5), n=8, **kwargs):
+    return CacheEntry(
+        key=key, table="orders", version="v1", num_partitions=n,
+        partitions=tuple(partitions), **kwargs,
+    )
+
+
+def make_backend(kind, tmp_path, **kwargs):
+    path = None
+    if kind != "memory":
+        path = str(tmp_path / f"cache.{kind}")
+    return open_backend(kind, path=path, **kwargs)
+
+
+BACKENDS = ["memory", "sqlite", "bitmap"]
+
+
+class TestQuerySignature:
+    def test_deterministic(self):
+        a = query_signature("plan", "orders", "v1", 8, col("x") < lit(5))
+        b = query_signature("plan", "orders", "v1", 8, col("x") < lit(5))
+        assert a == b
+
+    def test_sensitive_to_every_component(self):
+        base = query_signature("plan", "orders", "v1", 8, col("x") < lit(5))
+        assert base != query_signature("plan2", "orders", "v1", 8, col("x") < lit(5))
+        assert base != query_signature("plan", "other", "v1", 8, col("x") < lit(5))
+        assert base != query_signature("plan", "orders", "v2", 8, col("x") < lit(5))
+        assert base != query_signature("plan", "orders", "v1", 9, col("x") < lit(5))
+        # Predicate constants are part of the variant.
+        assert base != query_signature("plan", "orders", "v1", 8, col("x") < lit(6))
+
+
+@pytest.mark.parametrize("kind", BACKENDS)
+class TestBackendRoundTrip:
+    def test_put_get(self, kind, tmp_path):
+        backend = make_backend(kind, tmp_path)
+        backend.put(entry())
+        got = backend.get("k1")
+        assert got is not None
+        assert got.partitions == (0, 2, 5)
+        assert got.table == "orders"
+        assert got.hits == 1  # get() counts the hit
+        backend.close()
+
+    def test_get_missing(self, kind, tmp_path):
+        backend = make_backend(kind, tmp_path)
+        assert backend.get("nope") is None
+        backend.close()
+
+    def test_delete_and_clear(self, kind, tmp_path):
+        backend = make_backend(kind, tmp_path)
+        backend.put(entry("a"))
+        backend.put(entry("b"))
+        assert backend.delete("a") is True
+        assert backend.delete("a") is False
+        assert backend.clear() == 1
+        assert backend.entries() == []
+        backend.close()
+
+    def test_lru_eviction(self, kind, tmp_path):
+        backend = make_backend(kind, tmp_path, max_entries=2)
+        backend.put(entry("a"))
+        backend.put(entry("b"))
+        backend.get("a")  # refresh a; b becomes LRU
+        backend.put(entry("c"))
+        keys = {e.key for e in backend.entries()}
+        assert keys == {"a", "c"}
+        backend.close()
+
+    def test_ttl_expiry_with_injected_clock(self, kind, tmp_path):
+        ticks = iter(range(1, 100))
+        backend = make_backend(
+            kind, tmp_path, ttl=5.0, clock=lambda: float(next(ticks))
+        )
+        backend.put(entry("a"))  # created at t=1
+        assert backend.get("a") is not None  # t=2: alive
+        for _ in range(6):
+            next(ticks)
+        assert backend.get("a") is None  # past ttl: expired and dropped
+        assert backend.entries() == []
+        backend.close()
+
+    def test_empty_partition_set(self, kind, tmp_path):
+        backend = make_backend(kind, tmp_path)
+        backend.put(entry("e", partitions=()))
+        got = backend.get("e")
+        assert got is not None and got.partitions == ()
+        backend.close()
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("kind", ["sqlite", "bitmap"])
+    def test_survives_reopen(self, kind, tmp_path):
+        path = str(tmp_path / f"c.{kind}")
+        backend = open_backend(kind, path=path)
+        backend.put(entry("a"))
+        backend.close()
+        reopened = open_backend(kind, path=path)
+        got = reopened.get("a")
+        assert got is not None and got.partitions == (0, 2, 5)
+        reopened.close()
+
+    @pytest.mark.parametrize("kind", ["sqlite", "bitmap"])
+    def test_sniff_backend(self, kind, tmp_path):
+        path = str(tmp_path / f"c.{kind}")
+        backend = open_backend(kind, path=path)
+        backend.put(entry("a"))
+        backend.close()
+        assert sniff_backend(path) == kind
+
+    def test_sniff_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            sniff_backend(str(tmp_path / "missing.db"))
+
+    def test_sniff_unrecognized(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"not a cache file")
+        with pytest.raises(ConfigurationError):
+            sniff_backend(str(path))
+
+    def test_bitmap_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "c.bitmap"
+        path.write_bytes(b"XXXX{}")
+        with pytest.raises(ConfigurationError):
+            open_backend("bitmap", path=str(path))
+
+    def test_bitmap_corrupt_payload_rejected(self, tmp_path):
+        path = tmp_path / "c.bitmap"
+        path.write_bytes(BITMAP_MAGIC + b"{truncated")
+        with pytest.raises(ConfigurationError):
+            open_backend("bitmap", path=str(path)).entries()
+
+    def test_bitmap_round_trips_wide_tables(self, tmp_path):
+        path = str(tmp_path / "c.bitmap")
+        backend = open_backend("bitmap", path=path)
+        parts = tuple(range(0, 300, 7))
+        backend.put(entry("wide", partitions=parts, n=300))
+        assert backend.get("wide").partitions == parts
+        backend.close()
+
+
+class TestOpenBackendErrors:
+    def test_unknown_kind(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="unknown cache backend"):
+            open_backend("redis", path=str(tmp_path / "x"))
+
+    def test_memory_with_path(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="does not take"):
+            open_backend("memory", path=str(tmp_path / "x"))
+
+    @pytest.mark.parametrize("kind", ["sqlite", "bitmap"])
+    def test_file_backend_without_path(self, kind):
+        with pytest.raises(ConfigurationError, match="requires a cache path"):
+            open_backend(kind)
+
+
+class TestResultCacheManager:
+    def predicate(self):
+        return col("order_id") < lit(100)
+
+    def test_miss_then_flush_then_hit(self):
+        from repro.engine.storage import ZoneMapStore
+        from repro.relational.stats import ColumnStats
+
+        manager = ResultCacheManager(MemoryCacheBackend())
+        pred = self.predicate()
+        key = query_signature("p", "orders", "v1", 4, pred)
+        assert manager.lookup(key, "orders", "v1", 4, pred) is None
+        assert manager.misses == 1
+
+        store = ZoneMapStore()
+        for split in range(4):
+            lo = split * 100
+            store.put(
+                ("orders", "v1", 4), split,
+                {"order_id": ColumnStats(
+                    count=10, null_count=0, low=lo, high=lo + 99, distinct=10,
+                )},
+            )
+        assert manager.flush(store) == 1
+        got = manager.lookup(key, "orders", "v1", 4, pred)
+        assert got == {0}
+        assert manager.hits == 1
+
+    def test_flush_skips_unexecuted_scans(self):
+        from repro.engine.storage import ZoneMapStore
+
+        manager = ResultCacheManager(MemoryCacheBackend())
+        pred = self.predicate()
+        key = query_signature("p", "orders", "v1", 4, pred)
+        manager.lookup(key, "orders", "v1", 4, pred)
+        # No zone maps collected (e.g. `repro explain`): nothing written.
+        assert manager.flush(ZoneMapStore()) == 0
+
+    def test_version_mismatch_is_a_miss(self):
+        manager = ResultCacheManager(MemoryCacheBackend())
+        pred = self.predicate()
+        key = query_signature("p", "orders", "v1", 4, pred)
+        manager.backend.put(
+            CacheEntry(key=key, table="orders", version="OLD",
+                       num_partitions=4, partitions=(0,))
+        )
+        assert manager.lookup(key, "orders", "v1", 4, pred) is None
+        assert manager.misses == 1
+
+    def test_stats_shape(self):
+        manager = ResultCacheManager(MemoryCacheBackend())
+        s = manager.stats()
+        assert s["backend"] == "memory"
+        assert {"hits", "misses", "pending", "entries"} <= set(s)

@@ -1,0 +1,245 @@
+"""Partition pruning / result cache bit-identity oracle.
+
+Pruning and the result cache are only allowed to change *which tasks
+schedule*, never *what a query returns*: rows must be bit-identical with
+pruning on or off, cold or warm, under threaded and process-parallel
+execution, AQE, node-loss chaos, and with the logical optimizer
+disabled outright.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.cluster import uniform_cluster
+from repro.engine import AnalyticsContext, EngineConf
+from repro.obs import LedgerCollector, MetricsRegistry
+from repro.relational import RangeLayout, Table, col, lit
+from repro.workloads import SQLWorkload
+
+PER_SPLIT = 25
+N_SPLITS = 8
+
+
+def make_ctx(**conf):
+    conf.setdefault("default_parallelism", N_SPLITS)
+    return AnalyticsContext(
+        uniform_cluster(n_workers=4, cores=2),
+        EngineConf(**conf),
+        metrics_registry=MetricsRegistry(),
+    )
+
+
+def id_source(ctx, version="v1"):
+    """Splits hold contiguous id ranges: split i = [i*25, (i+1)*25)."""
+
+    def gen(split, splits):
+        lo = (split * PER_SPLIT * N_SPLITS) // splits
+        hi = ((split + 1) * PER_SPLIT * N_SPLITS) // splits
+        return [(i, i * 2) for i in range(lo, hi)]
+
+    return ctx.source(gen, N_SPLITS, op_name="ids", version=version)
+
+
+def run_query(ctx, limit=40, layout=None, optimize=True):
+    # optimize=True pins the prune rewrite under test regardless of the
+    # session's REPRO_LOGICAL_OPT; the opt-disabled oracle passes None.
+    table = Table.from_rdd(
+        id_source(ctx), ["id", "val"], layout=layout, optimize=optimize
+    )
+    return table.where(col("id") < lit(limit)).collect()
+
+
+def pruned_total(ctx):
+    return ctx.obs.metrics.counter_total("scan.partitions_pruned")
+
+
+class TestInContextPruning:
+    def test_second_query_prunes_and_matches_first(self):
+        ctx = make_ctx()
+        cold = run_query(ctx)
+        assert pruned_total(ctx) == 0  # no zone maps yet
+        warm = run_query(ctx)
+        assert pruned_total(ctx) > 0  # zone maps collected by the cold run
+        assert warm == cold
+        ctx.close()
+
+    def test_matches_pruning_disabled(self):
+        ctx_on = make_ctx()
+        run_query(ctx_on)
+        warm = run_query(ctx_on)
+        ctx_off = make_ctx(partition_pruning=False)
+        run_query(ctx_off)
+        unpruned = run_query(ctx_off)
+        assert pruned_total(ctx_off) == 0
+        assert warm == unpruned
+        ctx_on.close()
+        ctx_off.close()
+
+    def test_range_layout_prunes_cold(self):
+        bounds = tuple(PER_SPLIT * (i + 1) - 1 for i in range(N_SPLITS - 1))
+        layout = RangeLayout(column="id", bounds=bounds)
+        ctx = make_ctx()
+        rows = run_query(ctx, layout=layout)
+        assert pruned_total(ctx) > 0  # pruned with no prior run
+        plain = make_ctx()
+        assert rows == run_query(plain)
+        ctx.close()
+        plain.close()
+
+    def test_empty_result_still_schedules_one_task(self):
+        ctx = make_ctx()
+        run_query(ctx)
+        assert run_query(ctx, limit=-1) == []
+        ctx.close()
+
+
+class TestExecutionModes:
+    def warm_fingerprint(self, optimize=True, **conf):
+        ctx = make_ctx(**conf)
+        cold = run_query(ctx, optimize=optimize)
+        warm = run_query(ctx, optimize=optimize)
+        now = ctx.now
+        ctx.close()
+        return cold, warm, now
+
+    def test_threads4_identical_to_serial(self):
+        serial = self.warm_fingerprint()
+        threaded = self.warm_fingerprint(physical_parallelism=4)
+        assert threaded == serial
+
+    def test_aqe_rows_identical(self):
+        cold, warm, _ = self.warm_fingerprint(adaptive_execution=True)
+        base_cold, base_warm, _ = self.warm_fingerprint()
+        assert cold == base_cold
+        assert warm == base_warm
+
+    def test_node_loss_chaos_rows_identical(self):
+        cold, warm, _ = self.warm_fingerprint(
+            node_failure_times={"w0": 0.01}, node_recovery_delay=5.0
+        )
+        base_cold, base_warm, _ = self.warm_fingerprint()
+        assert cold == base_cold
+        assert warm == base_warm
+
+    def test_logical_opt_disabled(self, monkeypatch):
+        # optimize=None honors the env var: raw lowering, no pruning —
+        # rows must still match the optimized-and-pruned baseline.
+        monkeypatch.setenv("REPRO_LOGICAL_OPT", "0")
+        cold, warm, _ = self.warm_fingerprint(optimize=None)
+        monkeypatch.delenv("REPRO_LOGICAL_OPT")
+        base_cold, base_warm, _ = self.warm_fingerprint()
+        assert cold == base_cold
+        assert warm == base_warm
+
+
+WORKER = """
+import json, sys
+sys.path.insert(0, {src!r})
+from repro.cluster import uniform_cluster
+from repro.engine import AnalyticsContext, EngineConf
+from repro.workloads import SQLWorkload
+
+ctx = AnalyticsContext(
+    uniform_cluster(n_workers=4, cores=2),
+    EngineConf(default_parallelism=8, result_cache="bitmap",
+               result_cache_path={path!r}),
+)
+wl = SQLWorkload(physical_records=1200, max_order=150, optimize=True)
+result = wl.run(ctx, scale=0.2)
+hits = ctx.query_cache.hits
+ctx.close()
+print(json.dumps({{"rows": repr(result.value), "hits": hits}}))
+"""
+
+
+class TestProcessParallelism:
+    def test_procs4_share_a_bitmap_cache(self, tmp_path):
+        """Four concurrent processes over one warm bitmap cache all
+        return the serial answer (and actually hit the cache)."""
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        src = os.path.abspath(src)
+        path = str(tmp_path / "shared.bitmap")
+        script = WORKER.format(src=src, path=path)
+
+        # Seed the cache with one in-process cold run.
+        ctx = AnalyticsContext(
+            uniform_cluster(n_workers=4, cores=2),
+            EngineConf(default_parallelism=8, result_cache="bitmap",
+                       result_cache_path=path),
+        )
+        workload = SQLWorkload(physical_records=1200, max_order=150,
+                               optimize=True)
+        serial = workload.run(ctx, scale=0.2)
+        ctx.close()
+
+        env = dict(os.environ, PYTHONHASHSEED="0")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+            )
+            for _ in range(4)
+        ]
+        outputs = []
+        for proc in procs:
+            out, err = proc.communicate(timeout=300)
+            assert proc.returncode == 0, err.decode()
+            outputs.append(json.loads(out.decode()))
+        for payload in outputs:
+            assert payload["rows"] == repr(serial.value)
+            assert payload["hits"] >= 1  # warm: the seeded entry was used
+
+
+class TestSQLWorkloadWarmRuns:
+    def run_sql(self, tmp_path, tag, **wl_kwargs):
+        ctx = AnalyticsContext(
+            uniform_cluster(n_workers=4, cores=2),
+            EngineConf(
+                default_parallelism=16,
+                result_cache="sqlite",
+                result_cache_path=str(tmp_path / "q.db"),
+            ),
+            metrics_registry=MetricsRegistry(),
+        )
+        collector = LedgerCollector().attach(ctx)
+        workload = SQLWorkload(physical_records=1600, max_order=200,
+                               optimize=True, **wl_kwargs)
+        result = workload.run(ctx, scale=0.2)
+        collector.detach()
+        stats = {
+            "rows": result.value,
+            "now": ctx.now,
+            "scan_tasks": sum(
+                s["num_partitions"] for s in collector.stages
+            ),
+            "pruned": sum(s["pruned_partitions"] for s in collector.stages),
+            "hits": ctx.query_cache.hits,
+            "ledger_cache": collector.body()["partition_cache"],
+        }
+        ctx.close()
+        return stats
+
+    def test_warm_prunes_and_speeds_up(self, tmp_path):
+        cold = self.run_sql(tmp_path, "cold")
+        warm = self.run_sql(tmp_path, "warm")
+        assert warm["rows"] == cold["rows"]
+        assert cold["hits"] == 0 and warm["hits"] == 1
+        assert cold["pruned"] == 0 and warm["pruned"] > 0
+        # Strictly fewer partitions scheduled, strictly faster.
+        assert warm["scan_tasks"] < cold["scan_tasks"]
+        assert warm["now"] < cold["now"]
+        # The ledger surfaces both the cache stats and zone-map coverage.
+        assert warm["ledger_cache"]["cache"]["hits"] == 1
+        assert any(
+            t["table"] == "orders"
+            for t in warm["ledger_cache"]["zone_maps"]
+        )
+
+    def test_hash_layout_cannot_prune(self, tmp_path):
+        cold = self.run_sql(tmp_path, "cold", orders_layout="hash")
+        warm = self.run_sql(tmp_path, "warm", orders_layout="hash")
+        assert warm["rows"] == cold["rows"]
+        assert warm["hits"] == 1  # the cache still hits...
+        assert warm["pruned"] == 0  # ...but scrambled ids prove nothing

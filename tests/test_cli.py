@@ -627,3 +627,141 @@ class TestTelemetryCli:
         assert code == 2
         assert err.startswith("error: ")
         assert err.count("\n") == 1
+
+    def test_health_line_includes_cache_counters(self, tmp_path):
+        _, text, _, _ = self.run_with_telemetry(tmp_path)
+        assert "hits=" in text
+        assert "misses=" in text
+        assert "partitions_pruned=" in text
+
+    def test_cache_counters_export_round_trip(self, tmp_path):
+        metrics = str(tmp_path / "m.json")
+        code, _, _ = run_cli(
+            "run", "sql", "--physical-records", "1200", "--parallelism", "8",
+            "--max-order", "150", "--cache", "sqlite",
+            "--cache-path", str(tmp_path / "q.db"), "--metrics", metrics,
+        )
+        assert code == 0
+        code, text, _ = run_cli("export-metrics", metrics)
+        assert code == 0
+        assert "cache_misses_total" in text
+
+
+SQL_FAST = ("sql", "--physical-records", "1200", "--parallelism", "8")
+
+
+class TestCacheCli:
+    def cold_run(self, tmp_path, *extra):
+        path = str(tmp_path / "q.db")
+        code, text, err = run_cli(
+            "run", *SQL_FAST, "--max-order", "150",
+            "--cache", "sqlite", "--cache-path", path,
+            "--metrics", str(tmp_path / "m.json"), *extra,
+        )
+        assert code == 0, err
+        return path, text
+
+    def test_warm_run_hits_and_prunes(self, tmp_path):
+        path, cold_text = self.cold_run(tmp_path)
+        assert "misses=1" in cold_text
+        _, warm_text = self.cold_run(tmp_path)
+        assert "hits=1" in warm_text
+        assert "partitions_pruned=0" not in warm_text
+
+    def test_cache_stats_and_inspect(self, tmp_path):
+        path, _ = self.cold_run(tmp_path)
+        code, text, _ = run_cli("cache", "stats", path)
+        assert code == 0
+        assert "backend: sqlite" in text
+        assert "entries: 1" in text
+        assert "orders" in text
+        code, text, _ = run_cli("cache", "inspect", path)
+        assert code == 0
+        assert "table=orders" in text
+
+    def test_cache_export_and_clear(self, tmp_path):
+        path, _ = self.cold_run(tmp_path)
+        out_path = str(tmp_path / "dump.json")
+        code, text, _ = run_cli("cache", "export", path, "--out", out_path)
+        assert code == 0
+        with open(out_path) as fh:
+            doc = json.load(fh)
+        assert doc["backend"] == "sqlite"
+        assert len(doc["entries"]) == 1
+        assert doc["entries"][0]["table"] == "orders"
+        code, text, _ = run_cli("cache", "clear", path)
+        assert code == 0
+        assert "cleared 1 entries" in text
+        code, text, _ = run_cli("cache", "stats", path)
+        assert "entries: 0" in text
+
+    def test_explain_shows_pruning_decisions(self, tmp_path):
+        path, _ = self.cold_run(tmp_path)
+        code, text, _ = run_cli(
+            "explain", *SQL_FAST, "--max-order", "150",
+            "--cache", "sqlite", "--cache-path", path,
+        )
+        assert code == 0
+        assert "== Partition pruning ==" in text
+        assert "pruned via" in text
+        # And explain must not poison the cache for later runs.
+        _, warm_text = self.cold_run(tmp_path)
+        assert "hits=1" in warm_text
+
+    def test_explain_without_cache_matches_run_flags(self, tmp_path):
+        code, text, _ = run_cli("explain", *SQL_FAST, "--max-order", "150")
+        assert code == 0
+        assert "Filter" in text
+
+    def test_no_prune_flag_disables_pruning(self, tmp_path):
+        path, _ = self.cold_run(tmp_path)
+        _, warm_text = self.cold_run(tmp_path, "--no-prune")
+        assert "partitions_pruned=0" in warm_text
+
+    def test_unknown_backend_one_line_error(self, tmp_path):
+        code, _, err = run_cli(
+            "run", *SQL_FAST, "--cache", "redis",
+            "--cache-path", str(tmp_path / "x"),
+        )
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "redis" in err
+        assert "sqlite" in err  # suggests the valid names
+        assert err.count("\n") == 1
+
+    def test_file_backend_without_path_one_line_error(self):
+        code, _, err = run_cli("run", *SQL_FAST, "--cache", "sqlite")
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "cache path" in err
+        assert err.count("\n") == 1
+
+    def test_memory_backend_with_path_one_line_error(self, tmp_path):
+        code, _, err = run_cli(
+            "run", *SQL_FAST, "--cache", "memory",
+            "--cache-path", str(tmp_path / "x"),
+        )
+        assert code == 2
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+
+    def test_cache_cmd_missing_file_one_line_error(self, tmp_path):
+        code, _, err = run_cli("cache", "stats", str(tmp_path / "missing.db"))
+        assert code == 2
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+
+    def test_cache_cmd_unrecognized_file_one_line_error(self, tmp_path):
+        junk = tmp_path / "junk.bin"
+        junk.write_bytes(b"what even is this")
+        code, _, err = run_cli("cache", "stats", str(junk))
+        assert code == 2
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+
+    def test_max_order_rejected_for_non_sql(self):
+        code, _, err = run_cli("run", *WC_FAST, "--max-order", "5")
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "--max-order" in err
+        assert err.count("\n") == 1
