@@ -10,6 +10,7 @@ via the listener bus (the statistics collector).
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -137,7 +138,10 @@ class EngineConf:
     result_cache_path: Optional[str] = None
     # LRU bound on cached query variants.
     result_cache_max_entries: int = 256
-    # Optional age bound (seconds on the backend's clock) per entry.
+    # Optional per-entry age bound in wall-clock seconds. Setting it
+    # opens the backend with a wall clock (entry timestamps stop being
+    # deterministic logical ticks — the trade TTL users opt into);
+    # leaving it None keeps the tick clock and byte-stable cache files.
     result_cache_ttl: Optional[float] = None
     # Adaptive query execution: after each map stage materializes, the
     # DAG scheduler consults the exact per-partition shuffle sizes and
@@ -345,11 +349,19 @@ class AnalyticsContext:
         if self.conf.result_cache is not None:
             from repro.relational.cache import ResultCacheManager, open_backend
 
+            # A TTL is wall-clock seconds, so the backend needs a wall
+            # clock; without one the deterministic tick clock applies
+            # (one tick per get/put, keeping cache files byte-stable).
             backend = open_backend(
                 self.conf.result_cache,
                 path=self.conf.result_cache_path,
                 max_entries=self.conf.result_cache_max_entries,
                 ttl=self.conf.result_cache_ttl,
+                clock=(
+                    time.time
+                    if self.conf.result_cache_ttl is not None
+                    else None
+                ),
             )
             self.query_cache = ResultCacheManager(
                 backend, metrics=self.obs.metrics

@@ -111,6 +111,10 @@ class _TickClock:
         self._tick += 1.0
         return self._tick
 
+    def peek(self) -> float:
+        """The current tick without advancing (read-only lookups)."""
+        return self._tick
+
 
 class CacheBackend:
     """Shared LRU/TTL policy; subclasses provide the storage dict."""
@@ -134,6 +138,22 @@ class CacheBackend:
     def _store(self, entries: Dict[str, CacheEntry]) -> None:
         raise NotImplementedError
 
+    # Granular persist hooks: the defaults fall back to a full _store
+    # rewrite; file backends override with cheaper targeted writes so a
+    # cache *lookup* doesn't cost O(entries) I/O (or clobber entries
+    # another process wrote between our load and store).
+    def _touch_stored(
+        self, entry: CacheEntry, entries: Dict[str, CacheEntry]
+    ) -> None:
+        """Persist one entry's LRU touch (last_used/hits bump)."""
+        self._store(entries)
+
+    def _delete_stored(
+        self, key: str, entries: Dict[str, CacheEntry]
+    ) -> None:
+        """Persist one entry's removal (``entries`` no longer has it)."""
+        self._store(entries)
+
     # Shared policy ------------------------------------------------------
     def _expired(self, entry: CacheEntry, now: float) -> bool:
         return self.ttl is not None and (now - entry.created) > self.ttl
@@ -146,12 +166,30 @@ class CacheBackend:
         now = self.clock()
         if self._expired(entry, now):
             del entries[key]
-            self._store(entries)
+            self._delete_stored(key, entries)
             return None
         entry = replace(entry, last_used=now, hits=entry.hits + 1)
         del entries[key]  # re-insert at MRU position
         entries[key] = entry
-        self._store(entries)
+        self._touch_stored(entry, entries)
+        return entry
+
+    def peek(self, key: str) -> Optional[CacheEntry]:
+        """Read-only lookup: no hit count, no LRU touch, no expiry
+        delete — the clock is not advanced, so a peek leaves every
+        observable cache state (counters, files, eviction order) as it
+        was. Dry runs (``repro explain``) use this."""
+        entries = self._load()
+        entry = entries.get(key)
+        if entry is None:
+            return None
+        now = (
+            self.clock.peek()
+            if isinstance(self.clock, _TickClock)
+            else self.clock()
+        )
+        if self._expired(entry, now):
+            return None
         return entry
 
     def put(self, entry: CacheEntry) -> None:
@@ -287,6 +325,37 @@ class SQLiteCacheBackend(CacheBackend):
                 f"cannot write sqlite cache at {self.path!r}: {exc}"
             ) from exc
 
+    def _touch_stored(
+        self, entry: CacheEntry, entries: Dict[str, CacheEntry]
+    ) -> None:
+        # Row-targeted: a lookup must not rewrite the whole table (and a
+        # full rewrite would clobber rows concurrent processes inserted
+        # between our load and store).
+        try:
+            self._conn.execute(
+                "UPDATE cache_entries SET last_used = ?, hits = ?"
+                " WHERE key = ?",
+                (entry.last_used, entry.hits, entry.key),
+            )
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise ConfigurationError(
+                f"cannot write sqlite cache at {self.path!r}: {exc}"
+            ) from exc
+
+    def _delete_stored(
+        self, key: str, entries: Dict[str, CacheEntry]
+    ) -> None:
+        try:
+            self._conn.execute(
+                "DELETE FROM cache_entries WHERE key = ?", (key,)
+            )
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise ConfigurationError(
+                f"cannot write sqlite cache at {self.path!r}: {exc}"
+            ) from exc
+
     def close(self) -> None:
         self._conn.close()
 
@@ -308,8 +377,12 @@ class BitmapCacheBackend(CacheBackend):
     """Packed-bitmap file: ``RPC1`` magic + JSON doc with hex bitsets.
 
     Each entry's partition set is one bit per partition; the whole file
-    is rewritten on every put (entry counts are small by construction —
-    ``max_entries`` bounds them).
+    is rewritten on every *put* (entry counts are small by construction
+    — ``max_entries`` bounds them). LRU touches from ``get`` are
+    write-behind: held in an in-memory overlay and persisted at the next
+    put/delete/clear or at ``close()``, so a lookup costs one read, not
+    a whole-file rewrite — and concurrent reader processes can't drop
+    each other's entries through a per-hit read-modify-write cycle.
     """
 
     name = "bitmap"
@@ -317,6 +390,9 @@ class BitmapCacheBackend(CacheBackend):
     def __init__(self, path: str, **kwargs: Any) -> None:
         super().__init__(**kwargs)
         self.path = path
+        # Write-behind LRU touches keyed by entry; merged over _load
+        # results and flushed by the next full _store.
+        self._touched: Dict[str, CacheEntry] = {}
         if os.path.exists(path):
             self._check_magic()
         else:
@@ -375,6 +451,12 @@ class BitmapCacheBackend(CacheBackend):
                 last_used=rec["last_used"],
                 hits=rec["hits"],
             )
+        # Overlay not-yet-persisted LRU touches (newer than the file
+        # copy). Keys missing from the file were deleted elsewhere;
+        # their touches are dropped with them.
+        for key, touched in self._touched.items():
+            if key in entries:
+                entries[key] = touched
         return entries
 
     def _store(self, entries: Dict[str, CacheEntry]) -> None:
@@ -402,6 +484,18 @@ class BitmapCacheBackend(CacheBackend):
         with open(tmp, "wb") as fh:
             fh.write(payload)
         os.replace(tmp, self.path)
+        # Callers pass entries derived from _load(), which already
+        # merged the overlay — the write above persisted every touch.
+        self._touched.clear()
+
+    def _touch_stored(
+        self, entry: CacheEntry, entries: Dict[str, CacheEntry]
+    ) -> None:
+        self._touched[entry.key] = entry  # write-behind; see class doc
+
+    def close(self) -> None:
+        if self._touched:
+            self._store(self._load())
 
 
 def open_backend(
@@ -512,6 +606,22 @@ class ResultCacheManager:
                 key=key, table=table, version=version,
                 num_partitions=num_partitions, predicate=predicate,
             )
+        return None
+
+    def peek(
+        self, key: str, version: str, num_partitions: int
+    ) -> Optional[Set[int]]:
+        """Read-only lookup for dry runs (``repro explain``): reports
+        the cached set without counting a hit/miss, touching the
+        backend's LRU state, or registering a pending miss — explaining
+        a query must not perturb what a subsequent run observes."""
+        entry = self.backend.peek(key)
+        if (
+            entry is not None
+            and entry.version == version
+            and entry.num_partitions == num_partitions
+        ):
+            return set(entry.partitions)
         return None
 
     def note_planned(self, key: str, kept: Set[int]) -> None:

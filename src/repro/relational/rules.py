@@ -393,12 +393,20 @@ class PrunePartitions(Rule):
     set, so intersecting them never changes results. The rewrite bakes
     the subset into the lineage at plan time — chaos resubmission and
     AQE re-planning re-derive the identical scan.
+
+    ``dry_run`` (what ``Table.explain`` uses) derives the identical
+    rewrite but as a pure observer: no counter increments, no log
+    events, and the cache is *peeked* rather than looked up — no
+    hit/miss counting, no LRU touch, no pending-miss registration — so
+    explaining a query never double-counts the health line or perturbs
+    backend state a real run would then see.
     """
 
     name = "PrunePartitions"
 
-    def __init__(self, ctx) -> None:
+    def __init__(self, ctx, dry_run: bool = False) -> None:
         self.ctx = ctx
+        self.dry_run = dry_run
 
     def rewrite(self, plan: LogicalPlan) -> Tuple[LogicalPlan, int]:
         self._hits = 0
@@ -451,12 +459,15 @@ class PrunePartitions(Rule):
             from repro.relational.cache import query_signature
 
             key = query_signature(self._plan_text, table, version, n, pred)
-            cached = cache.lookup(key, table, version, n, pred)
+            if self.dry_run:
+                cached = cache.peek(key, version, n)
+            else:
+                cached = cache.lookup(key, table, version, n, pred)
             if cached is not None:
                 if len(cached) < n:
                     evidence.append("cache")
                 kept &= cached
-            else:
+            elif not self.dry_run:
                 cache.note_planned(key, kept)
         if len(kept) == n:
             return None
@@ -469,12 +480,13 @@ class PrunePartitions(Rule):
                 return None
         pruned = n - len(kept)
         self._hits += 1
-        ctx.obs.metrics.counter("scan.partitions_pruned").inc(pruned)
-        ctx.obs.log_event(
-            "INFO", "optimizer", "partitions_pruned",
-            table=table or "rdd", total=n, scanned=len(kept),
-            pruned=pruned, via=",".join(evidence),
-        )
+        if not self.dry_run:
+            ctx.obs.metrics.counter("scan.partitions_pruned").inc(pruned)
+            ctx.obs.log_event(
+                "INFO", "optimizer", "partitions_pruned",
+                table=table or "rdd", total=n, scanned=len(kept),
+                pruned=pruned, via=",".join(evidence),
+            )
         rebuilt: LogicalPlan = Scan(
             rdd, scan.schema(), partitions=tuple(sorted(kept)),
             pruned_by=tuple(evidence), layout=scan.layout,
@@ -484,7 +496,7 @@ class PrunePartitions(Rule):
         return Filter(rebuilt, node.predicate)
 
 
-def default_rule_runner(ctx=None) -> RuleRunner:
+def default_rule_runner(ctx=None, dry_run: bool = False) -> RuleRunner:
     """The standard batches ``Table`` runs before lowering.
 
     With a context, a final partition-pruning batch runs unless the
@@ -492,7 +504,9 @@ def default_rule_runner(ctx=None) -> RuleRunner:
     *all* partition-subset rewriting, so a result cache configured
     alongside it is neither consulted nor written (inert, not merely
     weakened). Without a context (direct callers, unit tests) the
-    classic two batches apply unchanged.
+    classic two batches apply unchanged. ``dry_run`` makes the pruning
+    batch side-effect-free (``Table.explain``'s mode — see
+    :class:`PrunePartitions`).
     """
     batches = [
         RuleBatch(
@@ -515,7 +529,9 @@ def default_rule_runner(ctx=None) -> RuleRunner:
     if ctx is not None and ctx.conf.partition_pruning:
         batches.append(
             RuleBatch(
-                "partition-pruning", [PrunePartitions(ctx)], max_passes=1
+                "partition-pruning",
+                [PrunePartitions(ctx, dry_run=dry_run)],
+                max_passes=1,
             )
         )
     return RuleRunner(batches)

@@ -40,9 +40,13 @@ class ColumnStats:
     """Zone-map entry of one column in one partition.
 
     ``low``/``high`` are ``None`` when the column held no comparable
-    non-NULL values (empty, all-NULL, or mixed-type) — consumers must
-    treat that as "unbounded". ``distinct`` is a lower-bound estimate
-    capped at :data:`DISTINCT_CAP`; ``None`` when values were unhashable.
+    non-NULL values (empty, all-NULL, all-NaN, or mixed-type) —
+    consumers must treat that as "unbounded". NaN values are excluded
+    from the bounds (NaN compares False against everything, so it can
+    never widen them soundly) and counted in ``nan_count`` instead;
+    the ``!=`` path needs that count because ``nan != v`` is True.
+    ``distinct`` is a lower-bound estimate capped at
+    :data:`DISTINCT_CAP`; ``None`` when values were unhashable.
     """
 
     count: int
@@ -50,6 +54,7 @@ class ColumnStats:
     low: Optional[Any] = None
     high: Optional[Any] = None
     distinct: Optional[int] = None
+    nan_count: int = 0
 
     def to_dict(self) -> dict:
         low = self.low if isinstance(self.low, (int, float, str)) else None
@@ -60,22 +65,39 @@ class ColumnStats:
             "low": low,
             "high": high,
             "distinct": self.distinct,
+            "nan_count": self.nan_count,
         }
+
+
+def _is_nan(value: Any) -> bool:
+    """NaN of any float flavor (Python float, numpy scalar)."""
+    try:
+        return bool(value != value)
+    except (TypeError, ValueError):
+        return False  # exotic __ne__ (arrays): not a NaN
 
 
 def _column_stats(values: Sequence[Any]) -> ColumnStats:
     count = len(values)
     non_null = [v for v in values if v is not None]
     null_count = count - len(non_null)
+    nan_count = sum(1 for v in non_null if _is_nan(v))
+    # NaN poisons min/max (every comparison is False, so the result is
+    # order-dependent garbage); bound only the comparable values. That
+    # stays conservative: a NaN row can never satisfy an ordered or ==
+    # predicate, and the != path consults nan_count.
+    bounded = (
+        [v for v in non_null if not _is_nan(v)] if nan_count else non_null
+    )
     low: Optional[Any] = None
     high: Optional[Any] = None
-    if non_null:
-        first = non_null[0]
+    if bounded:
+        first = bounded[0]
         if isinstance(first, (int, float)) and not isinstance(first, bool):
             # Vectorized min/max over numeric columns; mixed numeric
             # types (int + float) coerce fine, anything else falls back.
             try:
-                arr = np.asarray(non_null)
+                arr = np.asarray(bounded)
                 if arr.dtype.kind in "if":
                     low = arr.min().item()
                     high = arr.max().item()
@@ -83,8 +105,8 @@ def _column_stats(values: Sequence[Any]) -> ColumnStats:
                 pass
         if low is None:
             try:
-                low = min(non_null)
-                high = max(non_null)
+                low = min(bounded)
+                high = max(bounded)
             except TypeError:
                 low = high = None  # mixed incomparable types: unbounded
     distinct: Optional[int] = None
@@ -99,7 +121,7 @@ def _column_stats(values: Sequence[Any]) -> ColumnStats:
         distinct = None  # unhashable values (arrays): no estimate
     return ColumnStats(
         count=count, null_count=null_count, low=low, high=high,
-        distinct=distinct,
+        distinct=distinct, nan_count=nan_count,
     )
 
 
@@ -133,14 +155,16 @@ def _cmp_against_stats(symbol: str, stats: ColumnStats, value: Any) -> bool:
     Python semantics, matching the lowered filter exactly: ``None != x``
     is True, ordered comparisons against None raise (so a partition with
     NULLs is never pruned under an ordered predicate — pruning it would
-    turn a runtime TypeError into silence).
+    turn a runtime TypeError into silence). NaN rows compare False under
+    every ordered/== predicate (they can never un-prune those), but
+    ``nan != x`` is True, so a partition with NaNs survives ``!=``.
     """
     if stats.count == 0:
         return False  # no rows at all: the filter of nothing is nothing
     non_null = stats.count - stats.null_count
     if symbol == "!=":
-        if stats.null_count > 0:
-            return True  # None != value is True in Python
+        if stats.null_count > 0 or stats.nan_count > 0:
+            return True  # None != value and nan != value are True
         if non_null == 0:
             return False
         if stats.low is None or stats.high is None:

@@ -445,11 +445,19 @@ class Table:
         return self._lowered
 
     def explain(self) -> str:
-        """The logical plan, and what the rewrite batches make of it."""
+        """The logical plan, and what the rewrite batches make of it.
+
+        Optimizes in dry-run mode: pruning decisions are derived and
+        shown exactly as a run would make them, but no counters move
+        and the result-cache backend is only peeked — explaining then
+        collecting counts each lookup once, not twice.
+        """
         lines = ["== Logical plan ==", render_plan(self.plan)]
         if self._effective_optimize():
             ctx = self._ctx()
-            optimized, stats = default_rule_runner(ctx).optimize(self.plan)
+            optimized, stats = default_rule_runner(
+                ctx, dry_run=True
+            ).optimize(self.plan)
             lines += ["", "== Optimized plan ==", render_plan(optimized)]
             if stats.rule_hits:
                 hits = ", ".join(

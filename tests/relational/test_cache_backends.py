@@ -1,5 +1,7 @@
 """Result-cache backends: round-trip, eviction, TTL, sniffing, errors."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.common.errors import ConfigurationError
@@ -105,6 +107,32 @@ class TestBackendRoundTrip:
         assert got is not None and got.partitions == ()
         backend.close()
 
+    def test_peek_is_read_only(self, kind, tmp_path):
+        backend = make_backend(kind, tmp_path, max_entries=2)
+        backend.put(entry("a"))
+        backend.put(entry("b"))
+        got = backend.peek("a")
+        assert got is not None and got.partitions == (0, 2, 5)
+        assert got.hits == 0  # no hit counted
+        assert backend.peek("nope") is None
+        # Unlike get(), peek must not refresh recency: "a" stays LRU
+        # and is the one evicted by the next put.
+        backend.put(entry("c"))
+        assert {e.key for e in backend.entries()} == {"b", "c"}
+        backend.close()
+
+    def test_peek_hides_expired_without_deleting(self, kind, tmp_path):
+        ticks = iter(range(1, 100))
+        backend = make_backend(
+            kind, tmp_path, ttl=5.0, clock=lambda: float(next(ticks))
+        )
+        backend.put(entry("a"))  # created at t=1
+        for _ in range(6):
+            next(ticks)
+        assert backend.peek("a") is None  # expired for readers...
+        assert len(backend.entries()) == 1  # ...but not dropped
+        backend.close()
+
 
 class TestPersistence:
     @pytest.mark.parametrize("kind", ["sqlite", "bitmap"])
@@ -155,6 +183,51 @@ class TestPersistence:
         backend.put(entry("wide", partitions=parts, n=300))
         assert backend.get("wide").partitions == parts
         backend.close()
+
+    def test_sqlite_touch_preserves_concurrent_writes(self, tmp_path):
+        # A lookup's LRU touch must only update its own row: entries
+        # another process wrote between our load and the touch have to
+        # survive (a full delete-and-rewrite from the stale snapshot
+        # would silently drop them).
+        path = str(tmp_path / "c.sqlite")
+        ours = open_backend("sqlite", path=path)
+        ours.put(entry("a"))
+        stale = ours._load()  # snapshot taken before "b" exists
+        theirs = open_backend("sqlite", path=path)
+        theirs.put(entry("b"))
+        theirs.close()
+        touched = replace(stale["a"], hits=5)
+        ours._touch_stored(touched, stale)
+        keys = {e.key for e in ours.entries()}
+        assert keys == {"a", "b"}  # "b" not clobbered by the touch
+        assert ours.peek("a").hits == 5
+        ours.close()
+
+    def test_bitmap_get_is_write_behind(self, tmp_path):
+        # Hits must not rewrite the file; the touch persists at the
+        # next put or at close.
+        path = str(tmp_path / "c.bitmap")
+        backend = open_backend("bitmap", path=path)
+        backend.put(entry("a"))
+        before = open(path, "rb").read()
+        assert backend.get("a").hits == 1
+        assert open(path, "rb").read() == before  # untouched on disk
+        backend.close()  # flushes the pending touch
+        reopened = open_backend("bitmap", path=path)
+        got = reopened.peek("a")
+        assert got is not None and got.hits == 1
+        reopened.close()
+
+    def test_bitmap_put_flushes_pending_touches(self, tmp_path):
+        path = str(tmp_path / "c.bitmap")
+        backend = open_backend("bitmap", path=path)
+        backend.put(entry("a"))
+        backend.get("a")
+        backend.put(entry("b"))  # full write carries the touch along
+        backend.close()
+        reopened = open_backend("bitmap", path=path)
+        assert reopened.peek("a").hits == 1
+        reopened.close()
 
 
 class TestOpenBackendErrors:

@@ -94,6 +94,67 @@ class TestInContextPruning:
         assert run_query(ctx, limit=-1) == []
         ctx.close()
 
+    def test_nan_rows_never_pruned_away(self):
+        """Float columns with NaN: warm pruning must keep the partition
+        holding the finite match (NaN used to poison the zone-map
+        bounds, pruning the partition and dropping its 5.0 row)."""
+
+        def gen(split, splits):
+            if split == 0:
+                return [(float("nan"), 0), (5.0, 1)]
+            return [(float(1000 + split), split)]
+
+        def query(ctx):
+            rdd = ctx.source(gen, 4, op_name="nans", version="v1")
+            table = Table.from_rdd(rdd, ["x", "tag"], optimize=True)
+            # NaN rows fail the filter, so results are NaN-free and
+            # plainly comparable.
+            return table.where(col("x") < lit(100.0)).collect()
+
+        ctx = make_ctx()
+        cold = query(ctx)
+        warm = query(ctx)  # zone maps collected: splits 1-3 prunable
+        assert pruned_total(ctx) > 0
+        off = make_ctx(partition_pruning=False)
+        query(off)
+        base = query(off)
+        assert cold == warm == base == [(5.0, 1)]
+        ctx.close()
+        off.close()
+
+
+class TestExplainDryRun:
+    def test_explain_moves_no_counters_or_cache_state(self):
+        ctx = make_ctx(result_cache="memory")
+        table = Table.from_rdd(id_source(ctx), ["id", "val"], optimize=True)
+        query = table.where(col("id") < lit(40))
+        query.collect()  # cold run: one counted miss, zone maps recorded
+        ctx.query_cache.flush(ctx.zone_maps)  # write the entry, as close would
+        before = (
+            ctx.query_cache.hits,
+            ctx.query_cache.misses,
+            pruned_total(ctx),
+            ctx.obs.metrics.counter_total("cache.hits"),
+            ctx.obs.metrics.counter_total("cache.misses"),
+        )
+        text = query.explain()
+        # Explain still reports the full decision, cached set included...
+        assert "Partition pruning" in text
+        assert "cache" in text
+        # ...but as a pure observer: no hit/miss counted, no pruned
+        # counter moved, no LRU touch, no pending miss registered.
+        after = (
+            ctx.query_cache.hits,
+            ctx.query_cache.misses,
+            pruned_total(ctx),
+            ctx.obs.metrics.counter_total("cache.hits"),
+            ctx.obs.metrics.counter_total("cache.misses"),
+        )
+        assert after == before
+        assert ctx.query_cache.stats()["pending"] == 0
+        assert all(e.hits == 0 for e in ctx.query_cache.backend.entries())
+        ctx.close()
+
 
 class TestExecutionModes:
     def warm_fingerprint(self, optimize=True, **conf):

@@ -47,6 +47,20 @@ class TestCollectColumnStats:
         assert s.low is None and s.high is None
         assert s.count == 3
 
+    def test_nan_excluded_from_bounds(self):
+        # NaN compares False against everything, so np.min/min would
+        # return order-dependent garbage; bounds come from the finite
+        # values and the NaN rows are counted separately.
+        s = stats_of([float("nan"), 5.0])
+        assert (s.low, s.high) == (5.0, 5.0)
+        assert s.nan_count == 1
+        assert s.null_count == 0
+
+    def test_all_nan_column_unbounded(self):
+        s = stats_of([float("nan"), np.nan])
+        assert s.low is None and s.high is None
+        assert s.nan_count == 2
+
     def test_distinct_estimate(self):
         s = stats_of([1, 1, 2, 2, 3])
         assert s.distinct == 3
@@ -97,6 +111,28 @@ class TestCanMatch:
         maps = {"x": stats_of([7, 7, 7])}
         assert not can_match(col("x") != lit(7), maps)
         assert can_match(col("x") != lit(8), maps)
+
+    def test_nan_rows_never_unsound(self):
+        # The REVIEW.md repro: [nan, 5.0] under x < 100 must keep the
+        # partition — the 5.0 row matches. With NaN folded into the
+        # bounds every comparison against nan is False and the
+        # partition would be pruned, silently dropping the row.
+        maps = {"x": stats_of([float("nan"), 5.0])}
+        assert can_match(col("x") < lit(100.0), maps)
+        assert can_match(col("x") == lit(5.0), maps)
+        # nan != x is True, so != survives even when the finite bounds
+        # alone would refute it.
+        assert can_match(col("x") != lit(5.0), maps)
+        # The finite bounds still prune what they soundly can: a NaN
+        # row itself can never satisfy an ordered/== predicate.
+        assert not can_match(col("x") > lit(100.0), maps)
+        assert not can_match(col("x") == lit(6.0), maps)
+
+    def test_all_nan_partition_conservative(self):
+        maps = {"x": stats_of([float("nan"), float("nan")])}
+        # Unbounded: ordered/== read as "cannot tell", != as True.
+        assert can_match(col("x") < lit(1.0), maps)
+        assert can_match(col("x") != lit(1.0), maps)
 
     def test_and_or_composition(self):
         maps = {"x": stats_of([10, 20]), "y": stats_of([1, 2])}
